@@ -1,0 +1,418 @@
+// Package harmony_test holds the benchmark harness: one benchmark per table
+// and figure of the paper (regenerating the experiment and reporting its
+// headline metric), plus micro-benchmarks of the core algorithms.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package harmony_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"harmony/internal/cachesim"
+	"harmony/internal/climate"
+	"harmony/internal/datagen"
+	"harmony/internal/estimate"
+	"harmony/internal/experiment"
+	"harmony/internal/rsl"
+	"harmony/internal/scilib"
+	"harmony/internal/search"
+	"harmony/internal/sensitivity"
+	"harmony/internal/stats"
+	"harmony/internal/tpcw"
+	"harmony/internal/webservice"
+)
+
+// runExperiment executes an experiment b.N times (quick mode keeps each
+// iteration in seconds) and returns the last table.
+func runExperiment(b *testing.B, id string) *experiment.Table {
+	b.Helper()
+	var tbl *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = experiment.Run(id, experiment.Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func cellFloat(b *testing.B, tbl *experiment.Table, row, col int) float64 {
+	b.Helper()
+	s := strings.Fields(tbl.Cell(row, col))[0]
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q not numeric", row, col, tbl.Cell(row, col))
+	}
+	return v
+}
+
+// BenchmarkFig4PerformanceDistribution regenerates Figure 4 and reports the
+// total-variation distance between the web-cluster and synthetic
+// distributions (smaller = better match).
+func BenchmarkFig4PerformanceDistribution(b *testing.B) {
+	tbl := runExperiment(b, "fig4")
+	// The distance is in the first note: "... distance ...: 0.123 ...".
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "total-variation") {
+			fields := strings.Fields(n)
+			for _, f := range fields {
+				if v, err := strconv.ParseFloat(f, 64); err == nil {
+					b.ReportMetric(v, "tv-distance")
+					return
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Sensitivity regenerates Figure 5 and reports the worst rank
+// of the two planted irrelevant parameters at 0% noise (15 = last, ideal).
+func BenchmarkFig5Sensitivity(b *testing.B) {
+	tbl := runExperiment(b, "fig5")
+	// Count how many parameters have zero sensitivity at 0% noise; the two
+	// irrelevant ones must be among them.
+	zero := 0.0
+	for row := range tbl.Rows {
+		if cellFloat(b, tbl, row, 1) == 0 {
+			zero++
+		}
+	}
+	b.ReportMetric(zero, "zero-sens-params")
+}
+
+// BenchmarkFig6TopN regenerates Figure 6 and reports the time saving of
+// tuning 5 parameters instead of all 15 at 0% noise.
+func BenchmarkFig6TopN(b *testing.B) {
+	tbl := runExperiment(b, "fig6")
+	t5 := cellFloat(b, tbl, 1, 1)
+	t15 := cellFloat(b, tbl, len(tbl.Rows)-1, 1)
+	if t15 > 0 {
+		b.ReportMetric(100*(1-t5/t15), "%time-saved")
+	}
+}
+
+// BenchmarkFig7ExperienceDistance regenerates Figure 7 and reports the
+// ratio of far-experience to near-experience tuning time.
+func BenchmarkFig7ExperienceDistance(b *testing.B) {
+	tbl := runExperiment(b, "fig7")
+	near := cellFloat(b, tbl, 0, 1)
+	far := cellFloat(b, tbl, len(tbl.Rows)-1, 1)
+	if near > 0 {
+		b.ReportMetric(far/near, "far/near-time")
+	}
+}
+
+// BenchmarkFig8WebSensitivity regenerates Figure 8 and reports the
+// cache-memory sensitivity contrast (shopping over ordering).
+func BenchmarkFig8WebSensitivity(b *testing.B) {
+	tbl := runExperiment(b, "fig8")
+	for row := range tbl.Rows {
+		if tbl.Cell(row, 0) == "PROXYCacheMem" {
+			sh, or := cellFloat(b, tbl, row, 1), cellFloat(b, tbl, row, 2)
+			if or > 0 {
+				b.ReportMetric(sh/or, "cache-shop/order")
+			}
+			return
+		}
+	}
+}
+
+// BenchmarkFig9WebTopN regenerates Figure 9 and reports the shopping time
+// saving of tuning 3 parameters instead of all 10.
+func BenchmarkFig9WebTopN(b *testing.B) {
+	tbl := runExperiment(b, "fig9")
+	t3 := cellFloat(b, tbl, 1, 1)
+	t10 := cellFloat(b, tbl, len(tbl.Rows)-1, 1)
+	if t10 > 0 {
+		b.ReportMetric(100*(1-t3/t10), "%time-saved")
+	}
+}
+
+// BenchmarkTable1SearchRefinement regenerates Table 1 and reports the
+// shopping tuning-time reduction of the improved kernel.
+func BenchmarkTable1SearchRefinement(b *testing.B) {
+	tbl := runExperiment(b, "table1")
+	secsOrig := cellFloat(b, tbl, 0, 4)
+	secsImpr := cellFloat(b, tbl, 1, 4)
+	if secsOrig > 0 {
+		b.ReportMetric(100*(1-secsImpr/secsOrig), "%time-saved")
+	}
+}
+
+// BenchmarkTable2PriorHistories regenerates Table 2 and reports the
+// shopping convergence-time reduction from prior histories.
+func BenchmarkTable2PriorHistories(b *testing.B) {
+	tbl := runExperiment(b, "table2")
+	without := cellFloat(b, tbl, 0, 2)
+	with := cellFloat(b, tbl, 1, 2)
+	if without > 0 {
+		b.ReportMetric(100*(1-with/without), "%conv-saved")
+	}
+}
+
+// BenchmarkAppendixBRestriction regenerates the Appendix B comparison and
+// reports the search-space reduction factor of the first scenario.
+func BenchmarkAppendixBRestriction(b *testing.B) {
+	tbl := runExperiment(b, "appB")
+	restricted := cellFloat(b, tbl, 0, 1)
+	unrestricted := cellFloat(b, tbl, 0, 2)
+	if restricted > 0 {
+		b.ReportMetric(unrestricted/restricted, "space-reduction")
+	}
+}
+
+// BenchmarkAblationEvalCache regenerates the cache ablation and reports how
+// many probe requests the cache answered for free.
+func BenchmarkAblationEvalCache(b *testing.B) {
+	tbl := runExperiment(b, "ablation-cache")
+	b.ReportMetric(cellFloat(b, tbl, 0, 2), "free-probes")
+}
+
+// BenchmarkAblationClassifierDeltaV regenerates the Δv′ ablation.
+func BenchmarkAblationClassifierDeltaV(b *testing.B) {
+	runExperiment(b, "ablation-deltav")
+}
+
+// BenchmarkAblationEstimateNeighbors regenerates the estimation ablation.
+func BenchmarkAblationEstimateNeighbors(b *testing.B) {
+	tbl := runExperiment(b, "ablation-estimate")
+	nearest := cellFloat(b, tbl, 0, 1)
+	latest := cellFloat(b, tbl, 1, 1)
+	if latest > 0 {
+		b.ReportMetric(nearest/latest, "nearest/latest-err")
+	}
+}
+
+// BenchmarkAblationInit regenerates the initial-simplex ablation.
+func BenchmarkAblationInit(b *testing.B) {
+	tbl := runExperiment(b, "ablation-init")
+	extreme := cellFloat(b, tbl, 0, 2)
+	distributed := cellFloat(b, tbl, 1, 2)
+	b.ReportMetric(distributed-extreme, "worst-seen-gain")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core algorithms.
+
+func BenchmarkNelderMead15Dim(b *testing.B) {
+	model, err := datagen.New(datagen.PaperSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := model.WorkloadSpace().DefaultConfig()
+	obj := model.Objective(w, 0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.NelderMead(model.TunableSpace(), obj, search.NelderMeadOptions{
+			Direction: search.Maximize, MaxEvals: 150, Init: search.DistributedInit{},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSimulation(b *testing.B) {
+	space := webservice.Space()
+	def := space.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := webservice.NewCluster(webservice.Options{Seed: uint64(i)})
+		if _, err := c.Run(def, tpcw.Shopping); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensitivitySweep(b *testing.B) {
+	model, err := datagen.New(datagen.PaperSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := model.Objective(model.WorkloadSpace().DefaultConfig(), 0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensitivity.Analyze(model.TunableSpace(), obj, sensitivity.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyntheticEval(b *testing.B) {
+	model, err := datagen.New(datagen.PaperSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := model.TunableSpace().DefaultConfig()
+	w := model.WorkloadSpace().DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Eval(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriangulationEstimate(b *testing.B) {
+	space := search.MustSpace(
+		search.Param{Name: "x", Min: 0, Max: 100, Step: 1, Default: 50},
+		search.Param{Name: "y", Min: 0, Max: 100, Step: 1, Default: 50},
+		search.Param{Name: "z", Min: 0, Max: 100, Step: 1, Default: 50},
+	)
+	rng := stats.NewRNG(3)
+	records := make([]estimate.Record, 40)
+	for i := range records {
+		c := search.Config{rng.IntRange(0, 100), rng.IntRange(0, 100), rng.IntRange(0, 100)}
+		records[i] = estimate.Record{Config: c, Perf: float64(c[0] + 2*c[1] - c[2]), Seq: i}
+	}
+	est := estimate.New(space)
+	target := search.Config{33, 44, 55}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(records, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSLParse(b *testing.B) {
+	src := `
+{ harmonyBundle B { int {1 8 1} } }
+{ harmonyBundle C { int {1 9-$B 1} } }
+{ harmonyBundle D { int {1 (10-$B-$C)*2 1} } }
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rsl.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPCWStream(b *testing.B) {
+	rng := stats.NewRNG(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs := tpcw.GenerateStream(tpcw.Shopping, 1000, 1, rng)
+		tpcw.Characteristics(reqs)
+	}
+}
+
+// BenchmarkMotivatingClimate regenerates the §4.1 climate example and
+// reports the ocean-heavy speedup of tuning over the even split.
+func BenchmarkMotivatingClimate(b *testing.B) {
+	tbl := runExperiment(b, "motivating-climate")
+	even := cellFloat(b, tbl, 1, 1)
+	tuned := cellFloat(b, tbl, 1, 2)
+	if even > 0 {
+		b.ReportMetric(tuned/even, "tuned/even-speedup")
+	}
+}
+
+// BenchmarkBaselineSearch regenerates the algorithm comparison.
+func BenchmarkBaselineSearch(b *testing.B) {
+	runExperiment(b, "baseline-search")
+}
+
+func BenchmarkPowell15Dim(b *testing.B) {
+	model, err := datagen.New(datagen.PaperSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := model.Objective(model.WorkloadSpace().DefaultConfig(), 0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Powell(model.TunableSpace(), obj, search.PowellOptions{
+			Direction: search.Maximize, MaxEvals: 150,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlackettBurmanScreen(b *testing.B) {
+	model, err := datagen.New(datagen.PaperSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := model.Objective(model.WorkloadSpace().DefaultConfig(), 0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensitivity.PlackettBurman(model.TunableSpace(), obj, sensitivity.ScreeningOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSimplexWebCluster measures the wall-clock effect of
+// parallel batch evaluation when measurements are genuinely expensive
+// (full cluster simulations).
+func BenchmarkParallelSimplexWebCluster(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		name := "serial"
+		if workers > 1 {
+			name = "parallel4"
+		}
+		b.Run(name, func(b *testing.B) {
+			space := webservice.Space()
+			for i := 0; i < b.N; i++ {
+				cluster := webservice.NewCluster(webservice.Options{Duration: 30, Warmup: 5, Seed: uint64(i)})
+				obj := cluster.Objective(tpcw.Shopping, false)
+				if _, err := search.NelderMead(space, obj, search.NelderMeadOptions{
+					Direction: search.Maximize, MaxEvals: 40,
+					Init: search.DistributedInit{}, Parallel: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClimateStep(b *testing.B) {
+	model := climate.New(climate.Model{Steps: 50, Seed: 1})
+	cfg := model.BestStaticAllocation(climate.Balanced)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Run(cfg, climate.Balanced); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheSimAccess(b *testing.B) {
+	c, err := cachesim.New(cachesim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*8) % 32768)
+	}
+}
+
+func BenchmarkSciLibMatVec(b *testing.B) {
+	lib := scilib.NewLibrary()
+	m := scilib.NewDense(256, 1)
+	x := make([]float64, 256)
+	for _, v := range []scilib.Version{scilib.VersionNaive, scilib.VersionBlocked, scilib.VersionCSR} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lib.MatVec(m, x, v, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMotivatingSciLib regenerates the §4.2 library example and
+// reports the sparse matrix's saving over the naive kernel.
+func BenchmarkMotivatingSciLib(b *testing.B) {
+	tbl := runExperiment(b, "motivating-scilib")
+	b.ReportMetric(cellFloat(b, tbl, 1, 4), "%sparse-saving")
+}

@@ -1,0 +1,31 @@
+// Command harmonyd runs the Active Harmony tuning server.
+//
+// Applications connect over TCP, register their tunable parameters in the
+// resource specification language (including Appendix B's parameter
+// restriction), then alternate fetching configurations and reporting
+// measured performance; the server drives the Nelder–Mead tuning kernel.
+//
+// Usage:
+//
+//	harmonyd -addr :7854
+package main
+
+import (
+	"flag"
+	"log"
+
+	"harmony/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7854", "listen address")
+	maxEvals := flag.Int("max-evals", 10000, "hard cap on per-session exploration budgets")
+	flag.Parse()
+
+	s := server.NewServer()
+	s.MaxEvalsCap = *maxEvals
+	s.Logf = log.Printf
+	if err := s.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Command hbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hbench -list
+//	hbench -exp fig6
+//	hbench -exp all -quick
+//
+// Each experiment prints the same rows or series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"harmony/internal/experiment"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id to run, or 'all'")
+		quick = flag.Bool("quick", false, "shrink budgets (coarser, faster)")
+		seed  = flag.Uint64("seed", 0, "seed offset for all experiment randomness")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.Names() {
+			fmt.Printf("%-18s %s\n", id, experiment.Describe(id))
+		}
+		return
+	}
+
+	cfg := experiment.Config{Quick: *quick, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiment.Names()
+	}
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiment.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

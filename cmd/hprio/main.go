@@ -1,0 +1,131 @@
+// Command hprio is the standalone parameter prioritizing tool (paper §3).
+//
+// It sweeps every tunable parameter of a target system (others held at
+// defaults), computes the ΔP/Δv′ sensitivities, and prints the ranked
+// report the tuning server uses to focus on performance-critical
+// parameters.
+//
+// Targets:
+//
+//	-target webservice -workload shopping|ordering|browsing
+//	    the simulated cluster-based web service (ten parameters)
+//	-target synthetic -seed N
+//	    the paper's fifteen-parameter synthetic system
+//
+// Usage:
+//
+//	hprio -target webservice -workload ordering -repeats 3
+//	hprio -target synthetic -noise 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"harmony/internal/climate"
+	"harmony/internal/datagen"
+	"harmony/internal/search"
+	"harmony/internal/sensitivity"
+	"harmony/internal/stats"
+	"harmony/internal/tpcw"
+	"harmony/internal/webservice"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "webservice", "system to prioritize: webservice, synthetic or climate")
+		workload = flag.String("workload", "shopping", "TPC-W mix for the webservice target, or climate scenario (balanced, ocean-heavy, atmosphere-heavy)")
+		repeats  = flag.Int("repeats", 1, "sweeps to average per parameter")
+		noise    = flag.Float64("noise", 0, "measurement perturbation for the synthetic target (0..0.25)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		topN     = flag.Int("top", 0, "also print the top-n parameter indices")
+		literal  = flag.Bool("literal-deltav", false, "use the paper's literal argmax/argmin Δv′ (noise-fragile)")
+		pb       = flag.Bool("pb", false, "use Plackett–Burman factorial screening instead of one-at-a-time sweeps")
+	)
+	flag.Parse()
+
+	var space *search.Space
+	var obj search.Objective
+	switch *target {
+	case "climate":
+		model := climate.New(climate.Model{Seed: *seed})
+		var sc climate.Scenario
+		found := false
+		for _, cand := range climate.Scenarios() {
+			if cand.Name == *workload {
+				sc, found = cand, true
+			}
+		}
+		if !found {
+			log.Fatalf("hprio: unknown climate scenario %q", *workload)
+		}
+		space = model.Space()
+		obj = model.Objective(sc, true)
+	case "webservice":
+		var mix tpcw.Mix
+		switch *workload {
+		case "shopping":
+			mix = tpcw.Shopping
+		case "ordering":
+			mix = tpcw.Ordering
+		case "browsing":
+			mix = tpcw.Browsing
+		default:
+			log.Fatalf("hprio: unknown workload %q", *workload)
+		}
+		space = webservice.Space()
+		obj = webservice.NewCluster(webservice.Options{Seed: *seed}).Objective(mix, true)
+	case "synthetic":
+		model, err := datagen.New(datagen.PaperSpec(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		space = model.TunableSpace()
+		var rng *stats.RNG
+		if *noise > 0 {
+			rng = stats.NewRNG(*seed)
+		}
+		obj = model.Objective(model.WorkloadSpace().DefaultConfig(), *noise, rng)
+	default:
+		log.Fatalf("hprio: unknown target %q", *target)
+	}
+
+	var ranked interface {
+		TopN(int) []int
+	}
+	if *pb {
+		s, err := sensitivity.PlackettBurman(space, obj, sensitivity.ScreeningOptions{Repeats: *repeats})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %12s\n", "parameter", "|effect|")
+		for i, p := range space.Params {
+			fmt.Printf("%-28s %12.2f\n", p.Name, s.Effects[i])
+		}
+		fmt.Printf("(%d measurements in a %d-run Plackett–Burman design)\n", s.Evals, s.Runs)
+		ranked = s
+	} else {
+		opts := sensitivity.Options{Repeats: *repeats}
+		if *literal {
+			opts.DeltaV = sensitivity.DeltaVArgExtremes
+		}
+		rep, err := sensitivity.Analyze(space, obj, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(os.Stdout, rep.String())
+		ranked = rep
+	}
+	if *topN > 0 {
+		fmt.Printf("top-%d parameters: ", *topN)
+		for i, idx := range ranked.TopN(*topN) {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(space.Params[idx].Name)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,102 @@
+// Command hsim runs the simulated cluster-based web service directly:
+// one configuration, one workload, full result breakdown. Useful for poking
+// at the substrate the §6 experiments tune.
+//
+// Usage:
+//
+//	hsim -workload ordering
+//	hsim -workload shopping -set PROXYCacheMem=240 -set AJPMaxProcessors=28
+//	hsim -workload ordering -duration 120 -browsers 200 -seed 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"harmony/internal/search"
+	"harmony/internal/tpcw"
+	"harmony/internal/webservice"
+)
+
+// settings collects repeated -set name=value flags.
+type settings map[string]int
+
+func (s settings) String() string { return fmt.Sprint(map[string]int(s)) }
+
+func (s settings) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("-set wants name=value, got %q", v)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(val))
+	if err != nil {
+		return fmt.Errorf("-set %s: %v", name, err)
+	}
+	s[strings.TrimSpace(name)] = n
+	return nil
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "shopping", "TPC-W mix: browsing, shopping or ordering")
+		duration = flag.Float64("duration", 120, "simulated seconds")
+		browsers = flag.Int("browsers", 0, "emulated browsers (0 = default)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		override = settings{}
+	)
+	flag.Var(override, "set", "override a parameter, e.g. -set PROXYCacheMem=240 (repeatable)")
+	flag.Parse()
+
+	var mix tpcw.Mix
+	switch *workload {
+	case "browsing":
+		mix = tpcw.Browsing
+	case "shopping":
+		mix = tpcw.Shopping
+	case "ordering":
+		mix = tpcw.Ordering
+	default:
+		log.Fatalf("hsim: unknown workload %q", *workload)
+	}
+
+	space := webservice.Space()
+	cfg := space.DefaultConfig()
+	for name, val := range override {
+		idx := space.Index(name)
+		if idx < 0 {
+			log.Fatalf("hsim: unknown parameter %q (have %v)", name, space.Names())
+		}
+		cfg[idx] = val
+	}
+	if !space.Contains(cfg) {
+		log.Fatalf("hsim: configuration %v is off the parameter grid", cfg)
+	}
+
+	cluster := webservice.NewCluster(webservice.Options{
+		Duration: *duration,
+		Browsers: *browsers,
+		Seed:     *seed,
+	})
+	res, err := cluster.Run(search.Config(cfg), mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s (%.0f%% order-class)\n", mix.Name, 100*mix.OrderFraction())
+	fmt.Println("configuration:")
+	for i, p := range space.Params {
+		marker := ""
+		if cfg[i] != p.Default {
+			marker = "  *"
+		}
+		fmt.Printf("  %-22s %4d%s\n", p.Name, cfg[i], marker)
+	}
+	fmt.Printf("\nWIPS  %8.2f   (browse %.2f + order %.2f)\n", res.WIPS, res.WIPSb, res.WIPSo)
+	fmt.Printf("completed %d, dropped %d, cache hits %d\n", res.Completed, res.Dropped, res.CacheHits)
+	fmt.Printf("avg response %.0f ms\n", 1000*res.AvgResponse)
+	fmt.Printf("utilization: proxy %.0f%%  app %.0f%%  db %.0f%%\n",
+		100*res.ProxyUtil, 100*res.AppUtil, 100*res.DBUtil)
+}

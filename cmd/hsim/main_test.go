@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestSettingsSet(t *testing.T) {
+	s := settings{}
+	if err := s.Set("PROXYCacheMem=240"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(" AJPMaxProcessors = 28 "); err != nil {
+		t.Fatal(err)
+	}
+	if s["PROXYCacheMem"] != 240 || s["AJPMaxProcessors"] != 28 {
+		t.Errorf("settings = %v", s)
+	}
+	if err := s.Set("nope"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if err := s.Set("x=abc"); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

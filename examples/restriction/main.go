@@ -1,0 +1,102 @@
+// Restriction: Appendix B end-to-end, over the real client/server protocol.
+// A matrix library must split k rows into n blocks; the resource
+// specification language expresses the constraint (later block sizes depend
+// on earlier ones), the in-process harmony server searches only feasible
+// partitions, and the client just measures what it is told to.
+//
+//	go run ./examples/restriction
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"harmony/internal/rsl"
+	"harmony/internal/search"
+	"harmony/internal/server"
+)
+
+// The scenario: a 32-row matrix split into 4 blocks (the 4th is implied).
+// Computation is fastest when blocks are balanced, with a mild preference
+// for a slightly larger first block (it overlaps with communication).
+const spec = `
+{ harmonyBundle P1 { int {1 29 1} } }
+{ harmonyBundle P2 { int {1 30-$P1 1} } }
+{ harmonyBundle P3 { int {1 31-$P1-$P2 1} } }
+`
+
+func blockTime(cfg search.Config) float64 {
+	p4 := 32 - cfg[0] - cfg[1] - cfg[2]
+	blocks := []int{cfg[0], cfg[1], cfg[2], p4}
+	// The slowest block dominates (bulk-synchronous steps), plus a small
+	// penalty per imbalance.
+	worst := 0
+	imbalance := 0.0
+	for _, b := range blocks {
+		if b > worst {
+			worst = b
+		}
+		d := float64(b - 8)
+		imbalance += d * d
+	}
+	return float64(worst)*10 + imbalance // milliseconds per step; lower is better
+}
+
+func main() {
+	parsed, err := rsl.Parse(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feasible, err := parsed.Count(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	box, err := parsed.UnrestrictedCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search space: %v feasible partitions (the unrestricted box has %v)\n",
+		feasible, box)
+
+	// Run the tuning server in-process, as harmonyd would.
+	srv := server.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := server.Dial(addr.String(), 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	names, err := client.Register(spec, server.RegisterOptions{
+		Minimize: true, // block time: lower is better
+		MaxEvals: 120,
+		Improved: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered parameters: %v\n", names)
+
+	measured := 0
+	best, err := client.Tune(func(cfg search.Config) float64 {
+		measured++
+		return blockTime(cfg)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p4 := 32 - best.Values[0] - best.Values[1] - best.Values[2]
+	fmt.Printf("best partition: %v + [%d]  (step time %.1f ms, %d measurements)\n",
+		best.Values, p4, best.Perf, measured)
+	if !parsed.Contains(best.Values) {
+		log.Fatal("BUG: server returned an infeasible partition")
+	}
+	fmt.Println("every configuration the server proposed was feasible — no wasted measurements")
+}

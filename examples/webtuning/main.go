@@ -1,0 +1,83 @@
+// Webtuning: the paper's §6 pipeline on the simulated cluster-based web
+// service — prioritize the ten parameters for the current workload, tune
+// only the most sensitive ones, and compare against the default
+// configuration and against tuning everything.
+//
+//	go run ./examples/webtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmony/internal/core"
+	"harmony/internal/search"
+	"harmony/internal/sensitivity"
+	"harmony/internal/tpcw"
+	"harmony/internal/webservice"
+)
+
+func main() {
+	space := webservice.Space()
+	mix := tpcw.Ordering
+	cluster := webservice.NewCluster(webservice.Options{Seed: 42})
+	objective := cluster.Objective(mix, true)
+
+	fmt.Printf("workload: %s (%.0f%% order-class interactions)\n\n",
+		mix.Name, 100*mix.OrderFraction())
+
+	// Step 1: the parameter prioritizing tool (§3).
+	report, err := sensitivity.Analyze(space, objective, sensitivity.Options{Repeats: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+
+	// Step 2: tune only the top-4 parameters, everything else stays at its
+	// default (the Figure 9 strategy).
+	tuner := core.New(space, objective)
+	top4 := report.TopN(4)
+	fmt.Print("tuning top-4 parameters: ")
+	for i, idx := range top4 {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(space.Params[idx].Name)
+	}
+	fmt.Println()
+
+	focused, err := tuner.Run(core.Options{
+		Direction:  search.Maximize,
+		MaxEvals:   80,
+		Improved:   true,
+		Priorities: top4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: for comparison, tune all ten parameters.
+	full, err := tuner.Run(core.Options{
+		Direction: search.Maximize,
+		MaxEvals:  150,
+		Improved:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify all three configurations under one fixed seed so WIPS numbers
+	// are comparable.
+	verify := webservice.NewCluster(webservice.Options{Seed: 7})
+	show := func(label string, cfg search.Config, evals int) {
+		res, err := verify.Run(cfg, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s WIPS %6.1f  (%3d explorations)  %v\n", label, res.WIPS, evals, cfg)
+	}
+	fmt.Println("\nresults (fixed-seed verification):")
+	show("default", space.DefaultConfig(), 0)
+	show("tuned top-4", focused.FullBest, focused.Result.Evals)
+	show("tuned all 10", full.FullBest, full.Result.Evals)
+}

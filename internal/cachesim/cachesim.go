@@ -1,0 +1,132 @@
+// Package cachesim is a small set-associative cache simulator with LRU
+// replacement. The scientific-library substrate (internal/scilib) replays
+// its memory access patterns through it, so algorithm variants and block
+// sizes have honest, deterministic cache behaviour — the mechanism that
+// gives blocked kernels their interior block-size optimum.
+package cachesim
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// LineBytes is the cache line size (power of two, default 64).
+	LineBytes int
+	// Sets is the number of sets (default 64).
+	Sets int
+	// Ways is the associativity (default 4).
+	Ways int
+	// MissPenalty is the cost of a miss relative to a hit cost of 1
+	// (default 20).
+	MissPenalty int
+}
+
+func (c *Config) fill() error {
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.Sets == 0 {
+		c.Sets = 64
+	}
+	if c.Ways == 0 {
+		c.Ways = 4
+	}
+	if c.MissPenalty == 0 {
+		c.MissPenalty = 20
+	}
+	if c.LineBytes < 1 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: LineBytes %d not a power of two", c.LineBytes)
+	}
+	if c.Sets < 1 || c.Ways < 1 {
+		return fmt.Errorf("cachesim: need at least 1 set and 1 way")
+	}
+	if c.MissPenalty < 1 {
+		return fmt.Errorf("cachesim: MissPenalty must be positive")
+	}
+	return nil
+}
+
+// SizeBytes returns the cache capacity.
+func (c Config) SizeBytes() int { return c.LineBytes * c.Sets * c.Ways }
+
+// Stats reports accumulated accesses.
+type Stats struct {
+	Accesses int
+	Hits     int
+	Misses   int
+}
+
+// HitRate returns hits per access (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is one simulated level.
+type Cache struct {
+	cfg Config
+	// sets[s] holds the tags resident in set s, most recently used first.
+	sets  [][]uint64
+	stats Stats
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	sets := make([][]uint64, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]uint64, 0, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Config returns the cache's (filled-in) configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access touches one byte address and returns whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr / uint64(c.cfg.LineBytes)
+	setIdx := int(line % uint64(c.cfg.Sets))
+	tag := line / uint64(c.cfg.Sets)
+	set := c.sets[setIdx]
+	c.stats.Accesses++
+
+	for i, t := range set {
+		if t == tag {
+			// Move to front (most recently used).
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	// Evict the least recently used (the tail) by shifting right.
+	copy(set[1:], set[:len(set)-1])
+	set[0] = tag
+	c.sets[setIdx] = set
+	return false
+}
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Cost returns the accumulated access cost: hits cost 1, misses cost
+// MissPenalty.
+func (c *Cache) Cost() int {
+	return c.stats.Hits + c.stats.Misses*c.cfg.MissPenalty
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.stats = Stats{}
+}

@@ -1,0 +1,145 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t testing.TB, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{LineBytes: 48}); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := New(Config{Sets: -1}); err == nil {
+		t.Error("negative sets accepted")
+	}
+	if _, err := New(Config{MissPenalty: -5}); err == nil {
+		t.Error("negative penalty accepted")
+	}
+	c := mustCache(t, Config{})
+	if c.Config().SizeBytes() != 64*64*4 {
+		t.Errorf("default size = %d", c.Config().SizeBytes())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustCache(t, Config{})
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("repeat access missed")
+	}
+	// Same line, different byte.
+	if !c.Access(0x1001) {
+		t.Error("same-line access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestWorkingSetFitsAllHitsAfterWarm(t *testing.T) {
+	c := mustCache(t, Config{LineBytes: 64, Sets: 16, Ways: 4}) // 4 KiB
+	// A 2 KiB working set scanned twice: second pass all hits.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 2048; a += 8 {
+			c.Access(a)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 2048/64 {
+		t.Errorf("misses = %d, want %d cold misses only", s.Misses, 2048/64)
+	}
+}
+
+func TestWorkingSetExceedsCapacityThrashes(t *testing.T) {
+	c := mustCache(t, Config{LineBytes: 64, Sets: 16, Ways: 2}) // 2 KiB
+	// An 8 KiB sequential working set scanned repeatedly: LRU on a
+	// streaming pattern evicts lines before reuse, so every pass misses.
+	passes, lines := 4, 8192/64
+	for p := 0; p < passes; p++ {
+		for a := uint64(0); a < 8192; a += 64 {
+			c.Access(a)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != passes*lines {
+		t.Errorf("misses = %d, want %d (stream thrashing)", s.Misses, passes*lines)
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	// Direct-mapped-per-tag test: 2-way set; touch A, B, A, then C.
+	// B is LRU and must be evicted; A must survive.
+	c := mustCache(t, Config{LineBytes: 64, Sets: 1, Ways: 2})
+	a, b, d := uint64(0), uint64(64), uint64(128)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // A now MRU
+	c.Access(d) // evicts B
+	if !c.Access(a) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Access(b) {
+		t.Error("B survived despite being LRU")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	c := mustCache(t, Config{MissPenalty: 10})
+	c.Access(0) // miss: 10
+	c.Access(0) // hit: 1
+	c.Access(0) // hit: 1
+	if got := c.Cost(); got != 12 {
+		t.Errorf("Cost = %d, want 12", got)
+	}
+	if c.Stats().HitRate() != 2.0/3 {
+		t.Errorf("HitRate = %v", c.Stats().HitRate())
+	}
+	var idle Stats
+	if idle.HitRate() != 0 {
+		t.Error("idle hit rate not 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustCache(t, Config{})
+	c.Access(0)
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Errorf("stats after reset = %+v", c.Stats())
+	}
+	if c.Access(0) {
+		t.Error("contents survived reset")
+	}
+}
+
+// Property: hits + misses == accesses, and determinism across replays.
+func TestAccountingProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c1 := mustCache(t, Config{Sets: 8, Ways: 2})
+		c2 := mustCache(t, Config{Sets: 8, Ways: 2})
+		for _, a := range addrs {
+			h1 := c1.Access(uint64(a))
+			h2 := c2.Access(uint64(a))
+			if h1 != h2 {
+				return false
+			}
+		}
+		s := c1.Stats()
+		return s.Hits+s.Misses == s.Accesses && s.Accesses == len(addrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

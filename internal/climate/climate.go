@@ -1,0 +1,270 @@
+// Package climate simulates the coupled climate model the paper uses as its
+// second motivating example (§4.1): "The computing nodes are divided into
+// groups. Each group of machines is responsible for part of the simulation
+// task (e.g., land, ocean, atmosphere). Using a fixed number of nodes for
+// each task will often cause a load imbalance … balancing the number of
+// nodes to match the computational complexity of each task will provide the
+// best performance."
+//
+// The model runs bulk-synchronous timesteps: each component (land, ocean,
+// atmosphere) computes its share of work on its node group, the coupler
+// exchanges boundary state, and the step completes when the slowest
+// component finishes. Tunables:
+//
+//   - nodes per component — constrained by the fixed machine count, the
+//     textbook use of Appendix B's parameter restriction (atmosphere gets
+//     the remainder),
+//   - a domain-decomposition block size per component, with the usual
+//     interior optimum (small blocks thrash the halo exchange, large blocks
+//     fall out of cache).
+//
+// Scenarios shift the relative component workloads (an ocean-heavy
+// spin-up vs an atmosphere-heavy storm run), so the optimal node allocation
+// moves with the scenario — the same experience-transfer structure the
+// paper's web workloads have.
+package climate
+
+import (
+	"fmt"
+	"math"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// Component indexes the three model components.
+type Component int
+
+const (
+	Land Component = iota
+	Ocean
+	Atmosphere
+	numComponents
+)
+
+var componentNames = [...]string{"land", "ocean", "atmosphere"}
+
+// String returns the component name.
+func (c Component) String() string {
+	if c < 0 || c >= numComponents {
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// Scenario is a workload: the relative computational demand of each
+// component per timestep.
+type Scenario struct {
+	Name string
+	Work [3]float64 // work units per step for land, ocean, atmosphere
+}
+
+// The stock scenarios.
+var (
+	// Balanced is a typical production run.
+	Balanced = Scenario{Name: "balanced", Work: [3]float64{1.0, 2.2, 2.8}}
+	// OceanHeavy is an ocean spin-up: the ocean dominates.
+	OceanHeavy = Scenario{Name: "ocean-heavy", Work: [3]float64{0.8, 4.5, 1.7}}
+	// AtmosphereHeavy is a storm-resolving run.
+	AtmosphereHeavy = Scenario{Name: "atmosphere-heavy", Work: [3]float64{0.9, 1.5, 5.2}}
+)
+
+// Scenarios returns the stock scenarios.
+func Scenarios() []Scenario { return []Scenario{Balanced, OceanHeavy, AtmosphereHeavy} }
+
+// Characteristics returns the scenario's workload characteristic vector
+// (normalized work shares), the analogue of the web system's interaction
+// frequencies for the data analyzer.
+func (s Scenario) Characteristics() []float64 {
+	total := s.Work[0] + s.Work[1] + s.Work[2]
+	out := make([]float64, 3)
+	if total == 0 {
+		return out
+	}
+	for i, w := range s.Work {
+		out[i] = w / total
+	}
+	return out
+}
+
+// Parameter indices into the tuning configuration.
+const (
+	PLandNodes = iota
+	POceanNodes
+	PLandBlock
+	POceanBlock
+	PAtmBlock
+	NumParams
+)
+
+// Model is the simulated machine and coupled model.
+type Model struct {
+	// TotalNodes is the fixed machine count split across components
+	// (default 64).
+	TotalNodes int
+	// Steps is the number of timesteps one measurement simulates
+	// (default 50).
+	Steps int
+	// Noise is the per-step relative jitter of component compute times
+	// (default 0.03).
+	Noise float64
+	// Seed drives the jitter.
+	Seed uint64
+}
+
+// New returns a model with defaults filled in.
+func New(m Model) *Model {
+	if m.TotalNodes == 0 {
+		m.TotalNodes = 64
+	}
+	if m.Steps == 0 {
+		m.Steps = 50
+	}
+	if m.Noise == 0 {
+		m.Noise = 0.03
+	}
+	return &m
+}
+
+// RSL returns the restricted resource specification for the model: land and
+// ocean node counts are tunable, the atmosphere takes the remainder, and
+// every component keeps at least one node (Appendix B's pattern). Block
+// sizes are unconstrained.
+func (m *Model) RSL() string {
+	n := m.TotalNodes
+	return fmt.Sprintf(`{ harmonyBundle landNodes { int {1 %d 1} } }
+{ harmonyBundle oceanNodes { int {1 %d-$landNodes 1} } }
+{ harmonyBundle landBlock { int {4 64 4} } }
+{ harmonyBundle oceanBlock { int {4 64 4} } }
+{ harmonyBundle atmBlock { int {4 64 4} } }
+`, n-2, n-1)
+}
+
+// Space returns the unrestricted box (for searches that handle infeasible
+// allocations through the objective's penalty).
+func (m *Model) Space() *search.Space {
+	n := m.TotalNodes
+	return search.MustSpace(
+		search.Param{Name: "landNodes", Min: 1, Max: n - 2, Step: 1, Default: n / 3},
+		search.Param{Name: "oceanNodes", Min: 1, Max: n - 2, Step: 1, Default: n / 3},
+		search.Param{Name: "landBlock", Min: 4, Max: 64, Step: 4, Default: 16},
+		search.Param{Name: "oceanBlock", Min: 4, Max: 64, Step: 4, Default: 16},
+		search.Param{Name: "atmBlock", Min: 4, Max: 64, Step: 4, Default: 16},
+	)
+}
+
+// Result is one measurement of the model.
+type Result struct {
+	StepsPerSecond float64 // the performance metric (higher is better)
+	MeanStepTime   float64 // seconds per step
+	Imbalance      float64 // mean (max-min)/max component time
+	Feasible       bool
+}
+
+// Calibration constants of the performance model.
+const (
+	workUnitSeconds = 4.0   // single-node seconds per work unit
+	commBaseSeconds = 0.020 // halo-exchange cost scale per step
+	couplerFraction = 0.5   // coupler cost per unit of component imbalance
+	optBlock        = 24.0  // cache-optimal block size
+	blockPenalty    = 0.35  // how hard deviating from optBlock hurts
+	infeasibleRate  = 0.01  // steps/s reported for unrunnable allocations
+)
+
+// Run simulates Steps timesteps under the scenario and returns the
+// performance. Deterministic in (cfg, scenario, Seed).
+func (m *Model) Run(cfg search.Config, sc Scenario) (Result, error) {
+	if len(cfg) != NumParams {
+		return Result{}, fmt.Errorf("climate: config has %d values, want %d", len(cfg), NumParams)
+	}
+	land, ocean := cfg[PLandNodes], cfg[POceanNodes]
+	atm := m.TotalNodes - land - ocean
+	if land < 1 || ocean < 1 || atm < 1 {
+		// The scheduler refuses the allocation; the run never starts.
+		return Result{StepsPerSecond: infeasibleRate, Feasible: false}, nil
+	}
+	nodes := [3]int{land, ocean, atm}
+	blocks := [3]int{cfg[PLandBlock], cfg[POceanBlock], cfg[PAtmBlock]}
+
+	rng := stats.NewRNG(m.Seed ^ 0xC11A7E)
+	totalTime := 0.0
+	totalImb := 0.0
+	for step := 0; step < m.Steps; step++ {
+		var worst, best float64
+		for c := 0; c < 3; c++ {
+			t := m.componentStep(sc.Work[c], nodes[c], blocks[c])
+			t = rng.Perturb(t, m.Noise)
+			if c == 0 || t > worst {
+				worst = t
+			}
+			if c == 0 || t < best {
+				best = t
+			}
+		}
+		// The coupler waits for everyone and pays for the skew.
+		stepTime := worst + couplerFraction*(worst-best)
+		totalTime += stepTime
+		if worst > 0 {
+			totalImb += (worst - best) / worst
+		}
+	}
+	mean := totalTime / float64(m.Steps)
+	return Result{
+		StepsPerSecond: 1 / mean,
+		MeanStepTime:   mean,
+		Imbalance:      totalImb / float64(m.Steps),
+		Feasible:       true,
+	}, nil
+}
+
+// componentStep models one component's compute+communication time.
+func (m *Model) componentStep(work float64, nodes, block int) float64 {
+	// Cache efficiency: unimodal in block size.
+	b := float64(block) / optBlock
+	eff := 1 / (1 + blockPenalty*(b+1/b-2))
+	compute := work * workUnitSeconds / (float64(nodes) * eff)
+	// Halo exchange: grows with the node count (surface-to-volume) and
+	// shrinks with block size (fewer, bigger messages).
+	comm := commBaseSeconds * math.Sqrt(float64(nodes)) * (1 + 8/float64(block))
+	return compute + comm
+}
+
+// Objective adapts the model to the search kernel for a fixed scenario.
+// When vary is true, every measurement jitters with a fresh seed.
+func (m *Model) Objective(sc Scenario, vary bool) search.Objective {
+	seq := uint64(0)
+	return search.ObjectiveFunc(func(cfg search.Config) float64 {
+		mm := *m
+		if vary {
+			seq++
+			mm.Seed = m.Seed*0x9E3779B9 + seq
+		}
+		res, err := mm.Run(cfg, sc)
+		if err != nil {
+			panic(err) // fixed space; a malformed config is a caller bug
+		}
+		return res.StepsPerSecond
+	})
+}
+
+// BestStaticAllocation returns the work-proportional node split (the hand
+// tuning a modeller would do), useful as a baseline in examples and tests.
+func (m *Model) BestStaticAllocation(sc Scenario) search.Config {
+	total := sc.Work[0] + sc.Work[1] + sc.Work[2]
+	land := int(float64(m.TotalNodes)*sc.Work[0]/total + 0.5)
+	ocean := int(float64(m.TotalNodes)*sc.Work[1]/total + 0.5)
+	if land < 1 {
+		land = 1
+	}
+	if ocean < 1 {
+		ocean = 1
+	}
+	for land+ocean > m.TotalNodes-1 {
+		if ocean > land {
+			ocean--
+		} else {
+			land--
+		}
+	}
+	return search.Config{land, ocean, int(optBlock), int(optBlock), int(optBlock)}
+}

@@ -1,0 +1,226 @@
+package climate
+
+import (
+	"testing"
+
+	"harmony/internal/rsl"
+	"harmony/internal/search"
+)
+
+func model(t testing.TB) *Model {
+	t.Helper()
+	return New(Model{TotalNodes: 64, Steps: 30, Seed: 7})
+}
+
+func TestComponentNames(t *testing.T) {
+	if Land.String() != "land" || Atmosphere.String() != "atmosphere" {
+		t.Error("component names wrong")
+	}
+	if Component(9).String() != "Component(9)" {
+		t.Error("out-of-range component name wrong")
+	}
+}
+
+func TestScenarioCharacteristics(t *testing.T) {
+	for _, sc := range Scenarios() {
+		ch := sc.Characteristics()
+		sum := 0.0
+		for _, v := range ch {
+			if v < 0 {
+				t.Fatalf("%s has negative share", sc.Name)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s characteristics sum to %v", sc.Name, sum)
+		}
+	}
+	var empty Scenario
+	for _, v := range empty.Characteristics() {
+		if v != 0 {
+			t.Error("empty scenario must have zero characteristics")
+		}
+	}
+	// The ocean-heavy scenario's ocean share dominates.
+	ch := OceanHeavy.Characteristics()
+	if ch[Ocean] <= ch[Land] || ch[Ocean] <= ch[Atmosphere] {
+		t.Errorf("ocean-heavy characteristics = %v", ch)
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	m := New(Model{})
+	if m.TotalNodes != 64 || m.Steps != 50 || m.Noise != 0.03 {
+		t.Errorf("defaults = %+v", m)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	m := model(t)
+	cfg := m.Space().DefaultConfig()
+	a, err := m.Run(cfg, Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(cfg, Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := model(t)
+	if _, err := m.Run(search.Config{1, 2}, Balanced); err == nil {
+		t.Error("short config accepted")
+	}
+}
+
+func TestInfeasibleAllocationRefused(t *testing.T) {
+	m := model(t)
+	// land + ocean = 64 leaves nothing for the atmosphere.
+	res, err := m.Run(search.Config{32, 32, 24, 24, 24}, Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("infeasible allocation reported feasible")
+	}
+	if res.StepsPerSecond > 0.1 {
+		t.Errorf("infeasible allocation rate = %v, want tiny", res.StepsPerSecond)
+	}
+}
+
+func TestWorkProportionalBeatsEqualSplit(t *testing.T) {
+	// The paper's §4.1 point: "balancing the number of nodes to match the
+	// computational complexity of each task will provide the best
+	// performance" — an even split loses to the work-proportional one on a
+	// skewed scenario.
+	m := model(t)
+	even := search.Config{21, 21, 24, 24, 24}
+	prop := m.BestStaticAllocation(OceanHeavy)
+	evenRes, _ := m.Run(even, OceanHeavy)
+	propRes, _ := m.Run(prop, OceanHeavy)
+	if propRes.StepsPerSecond <= evenRes.StepsPerSecond {
+		t.Errorf("work-proportional (%v steps/s) not above even split (%v)",
+			propRes.StepsPerSecond, evenRes.StepsPerSecond)
+	}
+	if propRes.Imbalance >= evenRes.Imbalance {
+		t.Errorf("work-proportional imbalance %v not below even split %v",
+			propRes.Imbalance, evenRes.Imbalance)
+	}
+}
+
+func TestBlockSizeInteriorOptimum(t *testing.T) {
+	m := model(t)
+	base := m.BestStaticAllocation(Balanced)
+	rate := func(block int) float64 {
+		cfg := base.Clone()
+		cfg[PLandBlock], cfg[POceanBlock], cfg[PAtmBlock] = block, block, block
+		res, _ := m.Run(cfg, Balanced)
+		return res.StepsPerSecond
+	}
+	mid := rate(24)
+	if lo := rate(4); lo >= mid {
+		t.Errorf("block=4 (%v) >= block=24 (%v)", lo, mid)
+	}
+	if hi := rate(64); hi >= mid {
+		t.Errorf("block=64 (%v) >= block=24 (%v)", hi, mid)
+	}
+}
+
+func TestOptimalAllocationMovesWithScenario(t *testing.T) {
+	m := model(t)
+	a := m.BestStaticAllocation(OceanHeavy)
+	b := m.BestStaticAllocation(AtmosphereHeavy)
+	if a[POceanNodes] <= b[POceanNodes] {
+		t.Errorf("ocean-heavy ocean nodes %d not above atmosphere-heavy %d",
+			a[POceanNodes], b[POceanNodes])
+	}
+	// Cross-applying allocations hurts.
+	own, _ := m.Run(a, OceanHeavy)
+	cross, _ := m.Run(b, OceanHeavy)
+	if cross.StepsPerSecond >= own.StepsPerSecond {
+		t.Errorf("wrong-scenario allocation (%v) not below matched one (%v)",
+			cross.StepsPerSecond, own.StepsPerSecond)
+	}
+}
+
+func TestBestStaticAllocationFeasible(t *testing.T) {
+	for _, total := range []int{4, 8, 64, 200} {
+		m := New(Model{TotalNodes: total, Steps: 5, Seed: 1})
+		for _, sc := range Scenarios() {
+			cfg := m.BestStaticAllocation(sc)
+			res, err := m.Run(cfg, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Feasible {
+				t.Errorf("total=%d %s: static allocation %v infeasible", total, sc.Name, cfg)
+			}
+		}
+	}
+}
+
+func TestRSLMatchesModel(t *testing.T) {
+	m := model(t)
+	spec, err := rsl.Parse(m.RSL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Dim() != NumParams {
+		t.Fatalf("RSL declares %d bundles, want %d", spec.Dim(), NumParams)
+	}
+	// Every enumerable node split keeps one node per component.
+	count := 0
+	err = spec.Enumerate(func(c search.Config) bool {
+		land, ocean := c[PLandNodes], c[POceanNodes]
+		if land+ocean > m.TotalNodes-1 {
+			t.Fatalf("RSL allowed allocation land=%d ocean=%d", land, ocean)
+		}
+		count++
+		return count < 2000
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuningFindsBalancedAllocation(t *testing.T) {
+	// End to end: the restricted search discovers a node split close to
+	// work-proportional and beats the naive even split.
+	m := model(t)
+	spec, err := rsl.Parse(m.RSL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, wrapped, err := spec.SearchAdapter(m.Objective(OceanHeavy, true), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.NelderMead(space, wrapped, search.NelderMeadOptions{
+		Direction: search.Maximize, MaxEvals: 150, Init: search.DistributedInit{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, _ := m.Run(search.Config{21, 21, 24, 24, 24}, OceanHeavy)
+	if res.BestPerf <= even.StepsPerSecond {
+		t.Errorf("tuned %v steps/s not above even split %v", res.BestPerf, even.StepsPerSecond)
+	}
+}
+
+func TestObjectiveVaryAndFixed(t *testing.T) {
+	m := model(t)
+	cfg := m.BestStaticAllocation(Balanced)
+	fixed := m.Objective(Balanced, false)
+	if fixed.Measure(cfg) != fixed.Measure(cfg) {
+		t.Error("fixed objective not deterministic")
+	}
+	vary := m.Objective(Balanced, true)
+	if vary.Measure(cfg) == vary.Measure(cfg) {
+		t.Error("varying objective returned identical measurements")
+	}
+}

@@ -1,0 +1,643 @@
+// Package datagen reproduces the paper's synthetic data generator (§5.1).
+//
+// The paper used the commercial DataGen 3.0 tool to produce a set of
+// conjunctive-normal-form rules of the form
+//
+//	P_i ← C_a(v_j) & C_b(v_k) & C_c(v_l) …
+//
+// where the v's range over tunable parameters and workload characteristics,
+// the C's are interval tests, no two rules can fire on the same input, and
+// inputs matching no rule take the performance of the closest rule.
+//
+// We rebuild that generator from scratch. Every relevant variable (the
+// planted performance-irrelevant parameters get none) is cut into a small
+// number of interval bins; a rule is one cell of the resulting product grid,
+// and its performance is a smooth underlying landscape evaluated at the cell
+// centre. The rule set is therefore disjoint and total by construction, and
+// is kept implicit — cells are materialized lazily, so spaces with billions
+// of rules cost nothing. The landscape gives the data the properties the
+// paper's experiments need:
+//
+//   - every parameter has an importance weight (0 for irrelevant ones) and
+//     an interior optimum location,
+//   - optimum locations shift with the workload characteristics, so
+//     experience from a similar workload transfers (Figure 7),
+//   - cell performances can be reshaped onto an arbitrary bucket
+//     distribution by a monotone quantile map, matching a measured system's
+//     histogram without moving the optimum (Figure 4).
+//
+// Measurement noise is modelled as the paper does: a uniform ±p%
+// multiplicative perturbation of the returned performance. Partial rule
+// coverage (CoverageFraction < 1) deterministically drops a fraction of
+// cells; inputs landing in a dropped cell take the nearest kept rule's
+// answer, exercising the paper's closest-rule fallback.
+package datagen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/big"
+	"sort"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// Condition is one interval test v ∈ [Lo, Hi] (inclusive) on variable Var.
+type Condition struct {
+	Var    int // index into the joint variable list (tunables then workload)
+	Lo, Hi int
+}
+
+// Rule is a conjunction of conditions with an associated performance result.
+type Rule struct {
+	Conds []Condition
+	Perf  float64
+}
+
+// Matches reports whether the joint point satisfies every condition.
+func (r Rule) Matches(joint []int) bool {
+	for _, c := range r.Conds {
+		v := joint[c.Var]
+		if v < c.Lo || v > c.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Spec configures the generator.
+type Spec struct {
+	// Tunable lists the tunable parameters (the paper's synthetic experiment
+	// uses fifteen, named D through R).
+	Tunable []search.Param
+	// Workload lists the workload-characteristic variables (the paper adds
+	// three: browsing, shopping and ordering weights).
+	Workload []search.Param
+	// Irrelevant names tunable parameters that must not affect performance
+	// (the paper plants two, H and M).
+	Irrelevant []string
+	// Weights optionally overrides the importance weight per tunable
+	// parameter name. Unlisted relevant parameters get a deterministic
+	// heavy-tailed pseudo-random weight; irrelevant parameters always
+	// weigh 0.
+	Weights map[string]float64
+	// Resolution is the target number of rule bins per relevant dimension
+	// (default 5). Heavier-weighted dimensions get up to Resolution bins,
+	// lighter ones fewer, never below 2.
+	Resolution int
+	// BucketWeights, when non-empty, reshapes the performance distribution
+	// onto this relative bucket weighting over [PerfMin, PerfMax] via a
+	// monotone quantile map.
+	BucketWeights []float64
+	// PerfMin and PerfMax bound the noiseless performance range
+	// (defaults 1 and 100).
+	PerfMin, PerfMax float64
+	// WorkloadCoupling scales how strongly workload characteristics move the
+	// per-parameter optimum locations (default 0.35).
+	WorkloadCoupling float64
+	// CoverageFraction keeps only this fraction of rule cells (default 1).
+	// Inputs falling into a dropped cell exercise the paper's nearest-rule
+	// fallback.
+	CoverageFraction float64
+	// Seed drives all generator randomness.
+	Seed uint64
+}
+
+func (s *Spec) fill() error {
+	if len(s.Tunable) == 0 {
+		return fmt.Errorf("datagen: spec needs at least one tunable parameter")
+	}
+	if s.Resolution == 0 {
+		s.Resolution = 5
+	}
+	if s.Resolution < 2 {
+		return fmt.Errorf("datagen: Resolution must be at least 2")
+	}
+	if s.PerfMin == 0 && s.PerfMax == 0 {
+		s.PerfMin, s.PerfMax = 1, 100
+	}
+	if s.PerfMax <= s.PerfMin {
+		return fmt.Errorf("datagen: PerfMax %v <= PerfMin %v", s.PerfMax, s.PerfMin)
+	}
+	if s.WorkloadCoupling == 0 {
+		s.WorkloadCoupling = 0.35
+	}
+	if s.CoverageFraction == 0 {
+		s.CoverageFraction = 1
+	}
+	if s.CoverageFraction < 0 || s.CoverageFraction > 1 {
+		return fmt.Errorf("datagen: CoverageFraction %v outside (0, 1]", s.CoverageFraction)
+	}
+	return nil
+}
+
+// Model is a generated synthetic system: an implicit disjoint rule grid over
+// the joint space plus the smooth landscape that produced it.
+type Model struct {
+	spec     Spec
+	joint    *search.Space // tunables followed by workload variables
+	tunable  *search.Space
+	workload *search.Space // nil when no workload variables
+
+	weights  []float64 // importance per joint variable
+	baseOpt  []float64 // optimum location in [0,1] per tunable dim
+	coupling [][]float64
+
+	// bounds[d] holds the ascending grid-index start positions of each bin
+	// of joint dimension d; len(bounds[d]) == number of bins. Irrelevant
+	// dimensions have a single bin covering everything.
+	bounds [][]int
+
+	// Monotone distribution-shaping map (identity when nil): sorted source
+	// landscape quantiles and the target values they map to.
+	shapeSrc, shapeDst []float64
+
+	dropSalt uint64 // seeds the deterministic cell-dropping hash
+}
+
+// New generates a Model from the spec. Generation is deterministic in
+// Spec.Seed.
+func New(spec Spec) (*Model, error) {
+	if err := spec.fill(); err != nil {
+		return nil, err
+	}
+	joint := append(append([]search.Param{}, spec.Tunable...), spec.Workload...)
+	js, err := search.NewSpace(joint...)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := search.NewSpace(spec.Tunable...)
+	if err != nil {
+		return nil, err
+	}
+	var ws *search.Space
+	if len(spec.Workload) > 0 {
+		ws, err = search.NewSpace(spec.Workload...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	irr := map[string]bool{}
+	for _, name := range spec.Irrelevant {
+		if ts.Index(name) < 0 {
+			return nil, fmt.Errorf("datagen: irrelevant parameter %q not in tunable list", name)
+		}
+		irr[name] = true
+	}
+
+	rng := stats.NewRNG(spec.Seed)
+	m := &Model{spec: spec, joint: js, tunable: ts, workload: ws}
+	m.dropSalt = rng.Uint64()
+
+	// Importance weights. Workload variables always matter (weight ~0.5) so
+	// that "the performance is decided by both the input characteristics and
+	// the tunable parameter values" (§5.1).
+	m.weights = make([]float64, js.Dim())
+	for i, p := range spec.Tunable {
+		switch {
+		case irr[p.Name]:
+			m.weights[i] = 0
+		case spec.Weights != nil && spec.Weights[p.Name] != 0:
+			m.weights[i] = spec.Weights[p.Name]
+		default:
+			// Heavy-tailed draw: real systems have a few dominant parameters
+			// and a long tail of weak ones — the premise of prioritization.
+			u := rng.Float64()
+			m.weights[i] = 0.2 + 2.3*u*u*u
+		}
+	}
+	for i := range spec.Workload {
+		m.weights[len(spec.Tunable)+i] = rng.Uniform(0.4, 0.6)
+	}
+
+	// Per-tunable optimum locations, kept away from the boundaries (the
+	// paper notes desirable configurations are not at extremes, §4.1).
+	m.baseOpt = make([]float64, len(spec.Tunable))
+	for i := range m.baseOpt {
+		m.baseOpt[i] = rng.Uniform(0.25, 0.75)
+	}
+	// Workload coupling: how each workload variable shifts each optimum.
+	m.coupling = make([][]float64, len(spec.Tunable))
+	for i := range m.coupling {
+		m.coupling[i] = make([]float64, len(spec.Workload))
+		for k := range m.coupling[i] {
+			m.coupling[i][k] = rng.Uniform(-1, 1) * spec.WorkloadCoupling
+		}
+	}
+
+	m.buildBins(rng)
+	if len(spec.BucketWeights) > 0 {
+		m.buildShaping(rng)
+	}
+	return m, nil
+}
+
+// buildBins cuts every relevant joint dimension into interval bins, with
+// heavier-weighted dimensions resolved more finely and cut positions
+// jittered so bins are not perfectly regular.
+func (m *Model) buildBins(rng *stats.RNG) {
+	maxW := 0.0
+	for _, w := range m.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	m.bounds = make([][]int, m.joint.Dim())
+	for d, p := range m.joint.Params {
+		nvals := p.NumValues()
+		if m.weights[d] == 0 || nvals == 1 {
+			m.bounds[d] = []int{0}
+			continue
+		}
+		if d >= len(m.spec.Tunable) {
+			// Workload-characteristic variables get full resolution: they
+			// are inputs, not tunables, and the Figure 7 experiment needs
+			// the optimum to move smoothly as the workload drifts rather
+			// than in coarse bin-sized steps.
+			starts := make([]int, nvals)
+			for i := range starts {
+				starts[i] = i
+			}
+			m.bounds[d] = starts
+			continue
+		}
+		frac := 1.0
+		if maxW > 0 {
+			frac = 0.5 + 0.5*m.weights[d]/maxW
+		}
+		bins := int(float64(m.spec.Resolution)*frac + 0.5)
+		if bins < 2 {
+			bins = 2
+		}
+		if bins > nvals {
+			bins = nvals
+		}
+		starts := make([]int, bins)
+		for b := 1; b < bins; b++ {
+			ideal := float64(b) * float64(nvals) / float64(bins)
+			jitter := rng.Uniform(-0.25, 0.25) * float64(nvals) / float64(bins)
+			starts[b] = int(ideal + jitter)
+		}
+		// Enforce strictly increasing starts within [1, nvals-1].
+		starts[0] = 0
+		for b := 1; b < bins; b++ {
+			if starts[b] <= starts[b-1] {
+				starts[b] = starts[b-1] + 1
+			}
+			if starts[b] > nvals-(bins-b) {
+				starts[b] = nvals - (bins - b)
+			}
+		}
+		m.bounds[d] = starts
+	}
+}
+
+// buildShaping samples the landscape and constructs the monotone quantile
+// map onto the requested bucket distribution. Samples are drawn the way the
+// Figure 4 experiment probes the data — tunable values uniform on the value
+// grid, workload characteristics at their defaults — so the shaped marginal
+// matches the target under exactly those conditions.
+func (m *Model) buildShaping(rng *stats.RNG) {
+	const samples = 4096
+	nt := len(m.spec.Tunable)
+	src := make([]float64, samples)
+	cell := make([]int, m.joint.Dim())
+	for d := nt; d < m.joint.Dim(); d++ {
+		p := m.joint.Params[d]
+		cell[d] = m.binIndex(d, p.Default)
+	}
+	for s := 0; s < samples; s++ {
+		for d := 0; d < nt; d++ {
+			p := m.joint.Params[d]
+			v := p.Min + rng.Intn(p.NumValues())*p.Step
+			cell[d] = m.binIndex(d, v)
+		}
+		src[s] = m.landscape(m.cellCenter(cell))
+	}
+	sort.Float64s(src)
+
+	total := 0.0
+	for _, w := range m.spec.BucketWeights {
+		total += w
+	}
+	dst := make([]float64, samples)
+	width := (m.spec.PerfMax - m.spec.PerfMin) / float64(len(m.spec.BucketWeights))
+	for i := range dst {
+		u := rng.Float64() * total
+		acc := 0.0
+		b := len(m.spec.BucketWeights) - 1
+		for j, w := range m.spec.BucketWeights {
+			acc += w
+			if u <= acc {
+				b = j
+				break
+			}
+		}
+		dst[i] = m.spec.PerfMin + (float64(b)+rng.Float64())*width
+	}
+	sort.Float64s(dst)
+	m.shapeSrc, m.shapeDst = src, dst
+}
+
+// shape applies the monotone quantile map (identity when unshaped).
+func (m *Model) shape(v float64) float64 {
+	if m.shapeSrc == nil {
+		return v
+	}
+	n := len(m.shapeSrc)
+	i := sort.SearchFloat64s(m.shapeSrc, v)
+	if i >= n {
+		return m.shapeDst[n-1]
+	}
+	return m.shapeDst[i]
+}
+
+// binIndex returns the bin of value v along joint dimension d.
+func (m *Model) binIndex(d, v int) int {
+	p := m.joint.Params[d]
+	gi := (v - p.Min) / p.Step
+	b := sort.SearchInts(m.bounds[d], gi+1) - 1
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// cellBounds returns the inclusive grid-index range of bin b along dim d.
+func (m *Model) cellBounds(d, b int) (lo, hi int) {
+	lo = m.bounds[d][b]
+	if b+1 < len(m.bounds[d]) {
+		hi = m.bounds[d][b+1] - 1
+	} else {
+		hi = m.joint.Params[d].NumValues() - 1
+	}
+	return lo, hi
+}
+
+// cellCenter returns the normalized [0,1] joint coordinates of a cell's
+// centre.
+func (m *Model) cellCenter(cell []int) []float64 {
+	out := make([]float64, m.joint.Dim())
+	for d := range cell {
+		lo, hi := m.cellBounds(d, cell[d])
+		n := float64(m.joint.Params[d].NumValues() - 1)
+		if n == 0 {
+			out[d] = 0
+			continue
+		}
+		out[d] = (float64(lo) + float64(hi)) / 2 / n
+	}
+	return out
+}
+
+// landscape is the smooth ground-truth performance surface over normalized
+// joint coordinates: a weighted sum of per-parameter unimodal bumps whose
+// optima shift with the workload characteristics, scaled to
+// [PerfMin, PerfMax].
+func (m *Model) landscape(norm []float64) float64 {
+	nt := len(m.spec.Tunable)
+	score, weightSum := 0.0, 0.0
+	for i := 0; i < nt; i++ {
+		w := m.weights[i]
+		if w == 0 {
+			continue
+		}
+		opt := m.baseOpt[i]
+		for k := 0; k < len(m.spec.Workload); k++ {
+			opt += m.coupling[i][k] * (norm[nt+k] - 0.5)
+		}
+		opt = clamp01(opt)
+		d := norm[i] - opt
+		ad := d
+		if ad < 0 {
+			ad = -ad
+		}
+		// A tent-plus-parabola bump: the linear term keeps the cost of a
+		// misconfigured parameter growing near the optimum (so stale
+		// configurations measurably lag fresh ones, Figure 7), while the
+		// quadratic term still punishes extremes hard (§4.1).
+		score += w * (1 - 1.2*ad - 2*d*d)
+		weightSum += w
+	}
+	// Workload variables contribute a direct (tunable-independent) term so
+	// different workloads have different absolute performance levels.
+	scoreMax := 0.0
+	for i := 0; i < nt; i++ {
+		scoreMax += m.weights[i]
+	}
+	for k := 0; k < len(m.spec.Workload); k++ {
+		w := m.weights[nt+k]
+		score += w * (1 - 2*abs(norm[nt+k]-0.5))
+		scoreMax += w
+		weightSum += w
+	}
+	if weightSum == 0 {
+		return (m.spec.PerfMin + m.spec.PerfMax) / 2
+	}
+	// Map the score deficit below its maximum through a fixed reference
+	// weight rather than the total weight: a parameter's effect on
+	// performance is then proportional to its own weight instead of being
+	// diluted by the parameter count, which keeps the per-parameter
+	// sensitivity signal visible above measurement noise. Configurations
+	// whose accumulated deficit exceeds the range saturate at PerfMin,
+	// mirroring how a thrashing system bottoms out rather than going
+	// negative.
+	const refWeight = 2.5
+	frac := clamp01(1 + (score-scoreMax)/(4*refWeight))
+	return m.spec.PerfMin + frac*(m.spec.PerfMax-m.spec.PerfMin)
+}
+
+// dropped reports whether the rule cell is removed under partial coverage.
+func (m *Model) dropped(cell []int) bool {
+	if m.spec.CoverageFraction >= 1 {
+		return false
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put64(buf[:], m.dropSalt)
+	h.Write(buf[:])
+	for _, c := range cell {
+		put64(buf[:], uint64(c)+0x9e37)
+		h.Write(buf[:])
+	}
+	const scale = 1 << 20
+	return h.Sum64()%scale >= uint64(m.spec.CoverageFraction*scale)
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// TunableSpace returns the space over the tunable parameters only.
+func (m *Model) TunableSpace() *search.Space { return m.tunable }
+
+// WorkloadSpace returns the space over workload-characteristic variables,
+// or nil when the spec declared none.
+func (m *Model) WorkloadSpace() *search.Space { return m.workload }
+
+// JointSpace returns the space over all variables (tunables then workload).
+func (m *Model) JointSpace() *search.Space { return m.joint }
+
+// RuleCount returns the total number of rules in the implicit product grid
+// (before coverage dropping); it can be astronomically large.
+func (m *Model) RuleCount() *big.Int {
+	total := big.NewInt(1)
+	for d := range m.bounds {
+		total.Mul(total, big.NewInt(int64(len(m.bounds[d]))))
+	}
+	return total
+}
+
+// MaxExplicitRules bounds how many rules Rules is willing to materialize.
+const MaxExplicitRules = 200_000
+
+// Rules materializes the explicit rule set (kept cells only under partial
+// coverage). It fails when the grid exceeds MaxExplicitRules cells.
+func (m *Model) Rules() ([]Rule, error) {
+	if m.RuleCount().Cmp(big.NewInt(MaxExplicitRules)) > 0 {
+		return nil, fmt.Errorf("datagen: %v rules exceed the %d materialization limit", m.RuleCount(), MaxExplicitRules)
+	}
+	var rules []Rule
+	cell := make([]int, m.joint.Dim())
+	for {
+		if !m.dropped(cell) {
+			rules = append(rules, m.cellRule(cell))
+		}
+		// Odometer over bins.
+		d := len(cell) - 1
+		for d >= 0 {
+			cell[d]++
+			if cell[d] < len(m.bounds[d]) {
+				break
+			}
+			cell[d] = 0
+			d--
+		}
+		if d < 0 {
+			return rules, nil
+		}
+	}
+}
+
+// cellRule builds the explicit Rule for a cell.
+func (m *Model) cellRule(cell []int) Rule {
+	var conds []Condition
+	for d, p := range m.joint.Params {
+		if m.weights[d] == 0 {
+			continue // irrelevant: no condition, any value matches
+		}
+		lo, hi := m.cellBounds(d, cell[d])
+		conds = append(conds, Condition{
+			Var: d,
+			Lo:  p.Min + lo*p.Step,
+			Hi:  p.Min + hi*p.Step,
+		})
+	}
+	return Rule{Conds: conds, Perf: m.cellPerf(cell)}
+}
+
+// cellPerf is the (shaped, noiseless) performance of a rule cell.
+func (m *Model) cellPerf(cell []int) float64 {
+	return m.shape(m.landscape(m.cellCenter(cell)))
+}
+
+// Eval returns the noiseless performance of a tunable configuration under
+// the given workload characteristics.
+func (m *Model) Eval(cfg search.Config, workload search.Config) (float64, error) {
+	if len(cfg) != m.tunable.Dim() {
+		return 0, fmt.Errorf("datagen: config has %d values, want %d", len(cfg), m.tunable.Dim())
+	}
+	wdim := 0
+	if m.workload != nil {
+		wdim = m.workload.Dim()
+	}
+	if len(workload) != wdim {
+		return 0, fmt.Errorf("datagen: workload has %d values, want %d", len(workload), wdim)
+	}
+	joint := make([]int, 0, len(cfg)+len(workload))
+	joint = append(joint, cfg...)
+	joint = append(joint, workload...)
+
+	cell := make([]int, len(joint))
+	for d, v := range joint {
+		cell[d] = m.binIndex(d, v)
+	}
+	if m.dropped(cell) {
+		// The paper: "When no rule is satisfied, it will return the
+		// performance result from the closest rule." Search axis-aligned
+		// neighbour cells at increasing distance.
+		if near, ok := m.nearestKept(cell); ok {
+			cell = near
+		}
+		// If even the axis sweep finds nothing kept, fall through and answer
+		// from the dropped cell's own landscape value — the closest possible
+		// approximation.
+	}
+	return m.cellPerf(cell), nil
+}
+
+// nearestKept scans axis-aligned neighbours of the cell at increasing bin
+// distance and returns the first kept cell.
+func (m *Model) nearestKept(cell []int) ([]int, bool) {
+	maxRadius := 0
+	for d := range m.bounds {
+		if len(m.bounds[d]) > maxRadius {
+			maxRadius = len(m.bounds[d])
+		}
+	}
+	for r := 1; r <= maxRadius; r++ {
+		for d := range cell {
+			for _, dir := range []int{-1, 1} {
+				nb := dir * r
+				c := cell[d] + nb
+				if c < 0 || c >= len(m.bounds[d]) {
+					continue
+				}
+				cand := append([]int{}, cell...)
+				cand[d] = c
+				if !m.dropped(cand) {
+					return cand, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// Objective binds a workload and noise level into a search.Objective over
+// the tunable space. Each measurement applies an independent uniform ±p
+// perturbation drawn from rng, mirroring the paper's 0–25 % noise sweeps.
+// Pass a nil rng for noiseless measurements.
+func (m *Model) Objective(workload search.Config, perturb float64, rng *stats.RNG) search.Objective {
+	return search.ObjectiveFunc(func(cfg search.Config) float64 {
+		perf, err := m.Eval(cfg, workload)
+		if err != nil {
+			panic(err) // spaces are fixed at construction; this is a bug
+		}
+		if rng != nil && perturb > 0 {
+			perf = rng.Perturb(perf, perturb)
+		}
+		return perf
+	})
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

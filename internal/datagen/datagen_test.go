@@ -1,0 +1,495 @@
+package datagen
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+func tinySpec(seed uint64) Spec {
+	return Spec{
+		Tunable: []search.Param{
+			{Name: "a", Min: 0, Max: 9, Step: 1, Default: 5},
+			{Name: "b", Min: 0, Max: 9, Step: 1, Default: 5},
+			{Name: "irr", Min: 0, Max: 9, Step: 1, Default: 5},
+		},
+		Workload: []search.Param{
+			{Name: "w", Min: 0, Max: 4, Step: 1, Default: 2},
+		},
+		Irrelevant: []string{"irr"},
+		Resolution: 4,
+		PerfMin:    1,
+		PerfMax:    100,
+		Seed:       seed,
+	}
+}
+
+func mustModel(t testing.TB, spec Spec) *Model {
+	t.Helper()
+	m, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustRules(t testing.TB, m *Model) []Rule {
+	t.Helper()
+	rules, err := m.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}
+
+func TestNewValidatesSpec(t *testing.T) {
+	if _, err := New(Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := tinySpec(1)
+	bad.Irrelevant = []string{"nope"}
+	if _, err := New(bad); err == nil {
+		t.Error("unknown irrelevant name accepted")
+	}
+	bad = tinySpec(1)
+	bad.PerfMin, bad.PerfMax = 10, 5
+	if _, err := New(bad); err == nil {
+		t.Error("inverted perf range accepted")
+	}
+	bad = tinySpec(1)
+	bad.CoverageFraction = 1.5
+	if _, err := New(bad); err == nil {
+		t.Error("coverage > 1 accepted")
+	}
+	bad = tinySpec(1)
+	bad.Resolution = 1
+	if _, err := New(bad); err == nil {
+		t.Error("resolution 1 accepted")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := mustModel(t, tinySpec(7))
+	b := mustModel(t, tinySpec(7))
+	ra, rb := mustRules(t, a), mustRules(t, b)
+	if len(ra) != len(rb) {
+		t.Fatalf("rule counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Perf != rb[i].Perf || len(ra[i].Conds) != len(rb[i].Conds) {
+			t.Fatalf("rule %d differs", i)
+		}
+	}
+}
+
+func TestRuleCountMatchesMaterialization(t *testing.T) {
+	m := mustModel(t, tinySpec(3))
+	rules := mustRules(t, m)
+	if got := m.RuleCount(); got.Cmp(big.NewInt(int64(len(rules)))) != 0 {
+		t.Errorf("RuleCount = %v, materialized %d", got, len(rules))
+	}
+	if len(rules) < 8 {
+		t.Errorf("suspiciously few rules: %d", len(rules))
+	}
+}
+
+func TestRulesAreDisjointAndTotal(t *testing.T) {
+	// The defining property of the paper's rule set: for every possible
+	// input exactly one rule fires (full coverage case).
+	m := mustModel(t, tinySpec(11))
+	rules := mustRules(t, m)
+	joint := m.JointSpace()
+	joint.EachConfig(func(c search.Config) bool {
+		fired := 0
+		for _, r := range rules {
+			if r.Matches(c) {
+				fired++
+			}
+		}
+		if fired != 1 {
+			t.Fatalf("config %v fired %d rules, want exactly 1", c, fired)
+		}
+		return true
+	})
+}
+
+func TestRulesMatchEval(t *testing.T) {
+	// The materialized rules and the implicit Eval must agree everywhere.
+	m := mustModel(t, tinySpec(15))
+	rules := mustRules(t, m)
+	joint := m.JointSpace()
+	joint.EachConfig(func(c search.Config) bool {
+		var rulePerf float64
+		for _, r := range rules {
+			if r.Matches(c) {
+				rulePerf = r.Perf
+				break
+			}
+		}
+		got, err := m.Eval(search.Config(c[:3]), search.Config(c[3:]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rulePerf {
+			t.Fatalf("Eval(%v) = %v, rule says %v", c, got, rulePerf)
+		}
+		return true
+	})
+}
+
+func TestHugeGridRefusesMaterialization(t *testing.T) {
+	m := mustModel(t, PaperSpec(1))
+	if m.RuleCount().Cmp(big.NewInt(MaxExplicitRules)) <= 0 {
+		t.Skip("paper grid unexpectedly small")
+	}
+	if _, err := m.Rules(); err == nil {
+		t.Error("huge grid materialized without error")
+	}
+}
+
+func TestIrrelevantParamsHaveNoConditionsAndNoEffect(t *testing.T) {
+	m := mustModel(t, tinySpec(13))
+	irrIdx := m.TunableSpace().Index("irr")
+	for _, r := range mustRules(t, m) {
+		for _, c := range r.Conds {
+			if c.Var == irrIdx {
+				t.Fatalf("rule constrains irrelevant variable: %+v", r)
+			}
+		}
+	}
+	// Sweeping the irrelevant parameter never changes performance.
+	w := search.Config{2}
+	for _, a := range []int{0, 3, 7} {
+		base, err := m.Eval(search.Config{a, 4, 0}, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for irr := 1; irr <= 9; irr++ {
+			p, err := m.Eval(search.Config{a, 4, irr}, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p != base {
+				t.Fatalf("irrelevant param changed perf: %v vs %v", p, base)
+			}
+		}
+	}
+}
+
+func TestRelevantParamsAffectPerformance(t *testing.T) {
+	m := mustModel(t, tinySpec(17))
+	w := search.Config{2}
+	changed := false
+	base, _ := m.Eval(search.Config{0, 5, 5}, w)
+	for a := 1; a <= 9; a++ {
+		p, _ := m.Eval(search.Config{a, 5, 5}, w)
+		if p != base {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("sweeping relevant parameter a never changed performance")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	m := mustModel(t, tinySpec(19))
+	if _, err := m.Eval(search.Config{1}, search.Config{2}); err == nil {
+		t.Error("short config accepted")
+	}
+	if _, err := m.Eval(search.Config{1, 2, 3}, search.Config{}); err == nil {
+		t.Error("short workload accepted")
+	}
+}
+
+func TestPerfWithinRange(t *testing.T) {
+	m := mustModel(t, tinySpec(23))
+	for _, r := range mustRules(t, m) {
+		if r.Perf < 1 || r.Perf > 100 {
+			t.Fatalf("rule perf %v outside [1, 100]", r.Perf)
+		}
+	}
+}
+
+func TestWorkloadShiftsPerformance(t *testing.T) {
+	m := mustModel(t, tinySpec(29))
+	cfg := search.Config{4, 4, 0}
+	p0, _ := m.Eval(cfg, search.Config{0})
+	diff := false
+	for wv := 1; wv <= 4; wv++ {
+		p, _ := m.Eval(cfg, search.Config{wv})
+		if p != p0 {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("workload characteristic never changed performance")
+	}
+}
+
+func TestPartialCoverageNearestRuleFallback(t *testing.T) {
+	spec := tinySpec(31)
+	spec.CoverageFraction = 0.5
+	m := mustModel(t, spec)
+	rules := mustRules(t, m)
+	total := int(m.RuleCount().Int64())
+	if len(rules) >= total || len(rules) == 0 {
+		t.Fatalf("kept %d of %d rules, want a strict non-empty subset", len(rules), total)
+	}
+	// Every input still gets an answer within the perf range, including
+	// inputs in dropped cells.
+	joint := m.JointSpace()
+	count := 0
+	joint.EachConfig(func(c search.Config) bool {
+		p, err := m.Eval(search.Config(c[:3]), search.Config(c[3:]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 1 || p > 100 {
+			t.Fatalf("fallback perf %v outside range", p)
+		}
+		count++
+		return count < 500
+	})
+}
+
+func TestDroppedCellAnswersFromNearestKeptRule(t *testing.T) {
+	spec := tinySpec(33)
+	spec.CoverageFraction = 0.5
+	m := mustModel(t, spec)
+	rules := mustRules(t, m)
+	// Find an input matching no rule; its answer must equal some kept
+	// rule's performance.
+	found := false
+	m.JointSpace().EachConfig(func(c search.Config) bool {
+		for _, r := range rules {
+			if r.Matches(c) {
+				return true
+			}
+		}
+		found = true
+		p, err := m.Eval(search.Config(c[:3]), search.Config(c[3:]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rules {
+			if r.Perf == p {
+				return false // answered from a kept rule; done
+			}
+		}
+		t.Errorf("dropped-cell answer %v matches no kept rule", p)
+		return false
+	})
+	if !found {
+		t.Skip("no dropped cell found at this seed")
+	}
+}
+
+func TestObjectivePerturbation(t *testing.T) {
+	m := mustModel(t, tinySpec(37))
+	w := search.Config{2}
+	cfg := search.Config{3, 3, 3}
+	clean, _ := m.Eval(cfg, w)
+
+	noiseless := m.Objective(w, 0, nil)
+	if got := noiseless.Measure(cfg); got != clean {
+		t.Errorf("noiseless objective = %v, want %v", got, clean)
+	}
+
+	rng := stats.NewRNG(1)
+	noisy := m.Objective(w, 0.25, rng)
+	sawDifferent := false
+	for i := 0; i < 20; i++ {
+		got := noisy.Measure(cfg)
+		if got < clean*0.75-1e-9 || got > clean*1.25+1e-9 {
+			t.Fatalf("perturbed perf %v outside ±25%% of %v", got, clean)
+		}
+		if got != clean {
+			sawDifferent = true
+		}
+	}
+	if !sawDifferent {
+		t.Error("perturbation never changed the measurement")
+	}
+}
+
+func TestBucketWeightsShapeDistribution(t *testing.T) {
+	spec := tinySpec(41)
+	// Everything in the top 20% of the range.
+	spec.BucketWeights = []float64{0, 0, 0, 0, 1}
+	m := mustModel(t, spec)
+	for _, r := range mustRules(t, m) {
+		if r.Perf < 1+0.8*99-1e-9 {
+			t.Fatalf("rule perf %v outside the requested top bucket", r.Perf)
+		}
+	}
+}
+
+func TestBucketWeightsPreserveOrdering(t *testing.T) {
+	plain := mustModel(t, tinySpec(43))
+
+	shaped := tinySpec(43)
+	shaped.BucketWeights = []float64{1, 2, 4, 2, 1}
+	sm := mustModel(t, shaped)
+
+	// The monotone quantile map must preserve the argmax cell.
+	pr, sr := mustRules(t, plain), mustRules(t, sm)
+	bestPlain, bestShaped := 0, 0
+	for i := range pr {
+		if pr[i].Perf > pr[bestPlain].Perf {
+			bestPlain = i
+		}
+		if sr[i].Perf > sr[bestShaped].Perf {
+			bestShaped = i
+		}
+	}
+	if bestPlain != bestShaped {
+		t.Errorf("argmax rule moved: %d vs %d", bestPlain, bestShaped)
+	}
+}
+
+func TestPaperSpecShape(t *testing.T) {
+	spec := PaperSpec(1)
+	m := mustModel(t, spec)
+	if m.TunableSpace().Dim() != 15 {
+		t.Errorf("tunable dim = %d, want 15", m.TunableSpace().Dim())
+	}
+	if m.WorkloadSpace().Dim() != 3 {
+		t.Errorf("workload dim = %d, want 3", m.WorkloadSpace().Dim())
+	}
+	// H and M are irrelevant: perf invariant under their sweep.
+	w := m.WorkloadSpace().DefaultConfig()
+	cfg := m.TunableSpace().DefaultConfig()
+	base, err := m.Eval(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range PaperIrrelevant {
+		idx := m.TunableSpace().Index(name)
+		for v := 1; v <= 20; v++ {
+			c := cfg.Clone()
+			c[idx] = v
+			p, _ := m.Eval(c, w)
+			if p != base {
+				t.Fatalf("irrelevant %s changed perf", name)
+			}
+		}
+	}
+	// Relevant parameters each have at least two bins, so sweeps see signal.
+	for i, name := range PaperParamNames {
+		if name == "H" || name == "M" {
+			continue
+		}
+		varies := false
+		probe := cfg.Clone()
+		baseP, _ := m.Eval(probe, w)
+		for v := 1; v <= 20; v++ {
+			probe[i] = v
+			p, _ := m.Eval(probe, w)
+			if p != baseP {
+				varies = true
+				break
+			}
+		}
+		if !varies {
+			t.Errorf("relevant parameter %s shows no variation", name)
+		}
+	}
+}
+
+// Property: every rule's conditions stay within the joint space bounds and
+// have Lo <= Hi.
+func TestRuleConditionBoundsProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		m, err := New(tinySpec(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		rules, err := m.Rules()
+		if err != nil {
+			return false
+		}
+		for _, r := range rules {
+			for _, c := range r.Conds {
+				p := m.JointSpace().Params[c.Var]
+				if c.Lo > c.Hi || c.Lo < p.Min || c.Hi > p.Max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval is deterministic (same model, same input, same output).
+func TestEvalDeterministicProperty(t *testing.T) {
+	m := mustModel(t, tinySpec(47))
+	f := func(a, b, c, w uint8) bool {
+		cfg := search.Config{int(a) % 10, int(b) % 10, int(c) % 10}
+		wl := search.Config{int(w) % 5}
+		p1, err1 := m.Eval(cfg, wl)
+		p2, err2 := m.Eval(cfg, wl)
+		return err1 == nil && err2 == nil && p1 == p2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadDimensionsFullyResolved(t *testing.T) {
+	// Every workload value must be its own rule bin, so the optimum can
+	// move smoothly with workload drift (the Figure 7 requirement).
+	m := mustModel(t, PaperSpec(3))
+	cfg := m.TunableSpace().DefaultConfig()
+	prev := -1.0
+	distinct := 0
+	for wv := 0; wv <= 10; wv++ {
+		p, err := m.Eval(cfg, search.Config{wv, 5, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != prev {
+			distinct++
+		}
+		prev = p
+	}
+	if distinct < 8 {
+		t.Errorf("only %d distinct performance levels across 11 workload values", distinct)
+	}
+}
+
+func TestShapedDistributionMatchesTargetOnGridSamples(t *testing.T) {
+	// Sample the shaped model the way Figure 4 does (uniform grid values,
+	// default workload) and check the marginal roughly matches the target
+	// bucket weights.
+	spec := PaperSpec(7)
+	spec.BucketWeights = []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1} // uniform
+	m := mustModel(t, spec)
+	w := m.WorkloadSpace().DefaultConfig()
+	rng := stats.NewRNG(5)
+	h := stats.NewHistogram(1, 100, 10)
+	for i := 0; i < 4000; i++ {
+		cfg := make(search.Config, m.TunableSpace().Dim())
+		for j, p := range m.TunableSpace().Params {
+			cfg[j] = p.Min + rng.Intn(p.NumValues())*p.Step
+		}
+		perf, err := m.Eval(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Add(perf)
+	}
+	for i, f := range h.Fractions() {
+		if f < 0.05 || f > 0.16 {
+			t.Errorf("bucket %d fraction %v, want ~0.1 under uniform shaping", i, f)
+		}
+	}
+}

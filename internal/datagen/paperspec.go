@@ -1,0 +1,42 @@
+package datagen
+
+import "harmony/internal/search"
+
+// PaperParamNames are the fifteen tunable parameter names of the paper's
+// synthetic experiment (Figure 5 labels them D through R).
+var PaperParamNames = []string{"D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q", "R"}
+
+// PaperIrrelevant are the two parameters the paper plants as
+// performance-irrelevant.
+var PaperIrrelevant = []string{"H", "M"}
+
+// PaperWorkloadNames are the three workload-characteristic variables the
+// paper adds to mimic an e-commerce site's request mix.
+var PaperWorkloadNames = []string{"browsing", "shopping", "ordering"}
+
+// PaperSpec returns the synthetic-data specification used throughout §5 of
+// the paper: fifteen tunable parameters (H and M irrelevant) plus three
+// workload-characteristic variables. The seed selects the concrete rule set.
+func PaperSpec(seed uint64) Spec {
+	tunable := make([]search.Param, len(PaperParamNames))
+	for i, name := range PaperParamNames {
+		tunable[i] = search.Param{Name: name, Min: 1, Max: 20, Step: 1, Default: 10}
+	}
+	workload := make([]search.Param, len(PaperWorkloadNames))
+	for i, name := range PaperWorkloadNames {
+		workload[i] = search.Param{Name: name, Min: 0, Max: 10, Step: 1, Default: 5}
+	}
+	return Spec{
+		Tunable:    tunable,
+		Workload:   workload,
+		Irrelevant: PaperIrrelevant,
+		Resolution: 6,
+		PerfMin:    1,
+		PerfMax:    100,
+		// Strong coupling: the best configuration genuinely depends on the
+		// workload, so experience transfers only between similar workloads
+		// (the Figure 7 premise).
+		WorkloadCoupling: 0.8,
+		Seed:             seed,
+	}
+}

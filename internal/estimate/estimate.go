@@ -1,0 +1,176 @@
+// Package estimate implements the paper's triangulation performance
+// estimator (§4.3).
+//
+// When the tuning server wants the performance of a configuration the
+// historical data never measured, it selects k "appropriate" recorded
+// configurations (vertices), lifts them into an N+1-dimensional space whose
+// extra axis is performance, fits the hyperplane
+//
+//	[C_i 1]·x = P_i
+//
+// through them (exactly for a square system, least squares otherwise), and
+// evaluates the plane at the target: P_t = [C_t 1]·x. Geometrically this is
+// interpolation or extrapolation on the simplex spanned by the chosen
+// vertices — the Figure 3 construction.
+//
+// The paper notes the vertex choice is situational: near-in-space vertices
+// suit a stable environment, latest-in-time vertices suit a drifting one.
+// Both policies are implemented; the paper's current implementation (and our
+// default) uses nearest-in-space.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"harmony/internal/linalg"
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// Record pairs a configuration with its measured performance. Seq orders
+// records in measurement time (larger is newer).
+type Record struct {
+	Config search.Config
+	Perf   float64
+	Seq    int
+}
+
+// NeighborPolicy selects which recorded vertices form the simplex.
+type NeighborPolicy int
+
+const (
+	// NearestInSpace picks the records closest to the target configuration
+	// in normalized parameter space (the paper's current implementation).
+	NearestInSpace NeighborPolicy = iota
+	// LatestInTime picks the most recently measured records, for execution
+	// environments that change frequently.
+	LatestInTime
+)
+
+// ErrNoRecords is returned when estimation is attempted with no history.
+var ErrNoRecords = errors.New("estimate: no historical records")
+
+// Estimator estimates performance at unmeasured configurations from
+// historical records.
+type Estimator struct {
+	Space  *search.Space
+	Policy NeighborPolicy
+	// K is the number of vertices to fit through (default dim+1, the
+	// simplex size of the paper's construction).
+	K int
+}
+
+// New returns an estimator over the space with the default policy.
+func New(space *search.Space) *Estimator {
+	return &Estimator{Space: space}
+}
+
+// Estimate predicts the performance at target from the records.
+//
+// Degenerate vertex sets (all vertices affinely dependent, e.g. repeated
+// measurements of one configuration) cannot support a hyperplane; the
+// estimator then falls back to an inverse-distance-weighted average of the
+// selected vertices, which is well-defined for any non-empty history.
+func (e *Estimator) Estimate(records []Record, target search.Config) (float64, error) {
+	if len(records) == 0 {
+		return 0, ErrNoRecords
+	}
+	if !e.Space.Contains(target) {
+		return 0, fmt.Errorf("estimate: target %v not in space", target)
+	}
+	for _, r := range records {
+		if len(r.Config) != e.Space.Dim() {
+			return 0, fmt.Errorf("estimate: record config %v has wrong dimension", r.Config)
+		}
+	}
+
+	k := e.K
+	if k <= 0 {
+		k = e.Space.Dim() + 1
+	}
+	chosen := e.selectVertices(records, target, k)
+
+	// Fit [C_i 1]·x = P_i in normalized coordinates (better conditioned
+	// than raw values when parameter ranges differ by orders of magnitude).
+	rows := make([][]float64, len(chosen))
+	b := make([]float64, len(chosen))
+	for i, r := range chosen {
+		norm := e.Space.Normalized(r.Config)
+		rows[i] = append(norm, 1)
+		b[i] = r.Perf
+	}
+	a := linalg.FromRows(rows)
+	x, err := linalg.SolveLeastSquares(a, b)
+	if err != nil {
+		if errors.Is(err, linalg.ErrSingular) {
+			return e.weightedAverage(chosen, target), nil
+		}
+		return 0, err
+	}
+	tRow := append(e.Space.Normalized(target), 1)
+	return linalg.Dot(tRow, x), nil
+}
+
+// selectVertices returns up to k records by the configured policy,
+// deduplicated by configuration (duplicates add no geometric information
+// and would always make the system singular).
+func (e *Estimator) selectVertices(records []Record, target search.Config, k int) []Record {
+	dedup := make([]Record, 0, len(records))
+	seen := map[string]bool{}
+	for _, r := range records {
+		key := r.Config.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		dedup = append(dedup, r)
+	}
+
+	switch e.Policy {
+	case LatestInTime:
+		sort.SliceStable(dedup, func(i, j int) bool { return dedup[i].Seq > dedup[j].Seq })
+	default: // NearestInSpace
+		tn := e.Space.Normalized(target)
+		sort.SliceStable(dedup, func(i, j int) bool {
+			di := stats.SquaredError(e.Space.Normalized(dedup[i].Config), tn)
+			dj := stats.SquaredError(e.Space.Normalized(dedup[j].Config), tn)
+			return di < dj
+		})
+	}
+	if k > len(dedup) {
+		k = len(dedup)
+	}
+	return dedup[:k]
+}
+
+// weightedAverage is the rank-deficiency fallback: inverse-distance-weighted
+// mean of the vertex performances (an exact match returns its own value).
+func (e *Estimator) weightedAverage(records []Record, target search.Config) float64 {
+	tn := e.Space.Normalized(target)
+	num, den := 0.0, 0.0
+	for _, r := range records {
+		d := stats.SquaredError(e.Space.Normalized(r.Config), tn)
+		if d == 0 {
+			return r.Perf
+		}
+		w := 1 / d
+		num += w * r.Perf
+		den += w
+	}
+	return num / den
+}
+
+// EstimateMany predicts each target in turn, sharing the record set.
+func (e *Estimator) EstimateMany(records []Record, targets []search.Config) ([]float64, error) {
+	out := make([]float64, len(targets))
+	for i, t := range targets {
+		p, err := e.Estimate(records, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"harmony/internal/search"
+)
+
+func space2(t testing.TB) *search.Space {
+	t.Helper()
+	return search.MustSpace(
+		search.Param{Name: "x", Min: 0, Max: 10, Step: 1, Default: 5},
+		search.Param{Name: "y", Min: 0, Max: 10, Step: 1, Default: 5},
+	)
+}
+
+// affine builds records of an affine function perf = a·x' + b·y' + c over
+// normalized coordinates, which triangulation must reproduce exactly.
+func affineRecords(s *search.Space, a, b, c float64, configs []search.Config) []Record {
+	recs := make([]Record, len(configs))
+	for i, cfg := range configs {
+		n := s.Normalized(cfg)
+		recs[i] = Record{Config: cfg, Perf: a*n[0] + b*n[1] + c, Seq: i}
+	}
+	return recs
+}
+
+func TestExactOnAffineInterpolation(t *testing.T) {
+	s := space2(t)
+	recs := affineRecords(s, 3, -2, 10, []search.Config{{0, 0}, {10, 0}, {0, 10}})
+	est := New(s)
+	// Interior target: interpolation.
+	got, err := est.Estimate(recs, search.Config{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*0.4 - 2*0.4 + 10
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Estimate = %v, want %v", got, want)
+	}
+}
+
+func TestExactOnAffineExtrapolation(t *testing.T) {
+	s := space2(t)
+	recs := affineRecords(s, 5, 1, 0, []search.Config{{2, 2}, {4, 2}, {2, 4}})
+	est := New(s)
+	// Target outside the simplex: extrapolation must still be exact.
+	got, err := est.Estimate(recs, search.Config{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 + 1.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Estimate = %v, want %v", got, want)
+	}
+}
+
+func TestOverdeterminedLeastSquares(t *testing.T) {
+	s := space2(t)
+	// Five exact affine records: more rows than unknowns exercises QR.
+	recs := affineRecords(s, 2, 7, -3,
+		[]search.Config{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 5}})
+	est := New(s)
+	est.K = 5
+	got, err := est.Estimate(recs, search.Config{3, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*0.3 + 7*0.8 - 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Estimate = %v, want %v", got, want)
+	}
+}
+
+func TestUnderdeterminedFewRecords(t *testing.T) {
+	s := space2(t)
+	// Two records for three unknowns: the minimum-norm plane through both.
+	recs := affineRecords(s, 1, 1, 0, []search.Config{{0, 0}, {10, 10}})
+	est := New(s)
+	got, err := est.Estimate(recs, search.Config{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plane must pass through the known records exactly.
+	if math.Abs(got-0) > 1e-9 {
+		t.Errorf("Estimate at known record = %v, want 0", got)
+	}
+}
+
+func TestNearestInSpaceSelection(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	est.K = 3
+	// A cluster of three near the target plus a far decoy whose performance
+	// would wreck the plane if selected.
+	recs := []Record{
+		{Config: search.Config{1, 1}, Perf: 10, Seq: 0},
+		{Config: search.Config{2, 1}, Perf: 11, Seq: 1},
+		{Config: search.Config{1, 2}, Perf: 12, Seq: 2},
+		{Config: search.Config{10, 10}, Perf: -1000, Seq: 3},
+	}
+	got, err := est.Estimate(recs, search.Config{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plane through the cluster: perf = 7 + 10*x' + 20*y' → at (0.2, 0.2): 13.
+	if math.Abs(got-13) > 1e-6 {
+		t.Errorf("Estimate = %v, want 13 (decoy must be excluded)", got)
+	}
+}
+
+func TestLatestInTimeSelection(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	est.Policy = LatestInTime
+	est.K = 3
+	// Old records near the target would predict ~0; the three newest
+	// records define perf = 50 everywhere.
+	recs := []Record{
+		{Config: search.Config{2, 2}, Perf: 0, Seq: 0},
+		{Config: search.Config{3, 2}, Perf: 0, Seq: 1},
+		{Config: search.Config{2, 3}, Perf: 0, Seq: 2},
+		{Config: search.Config{8, 8}, Perf: 50, Seq: 10},
+		{Config: search.Config{9, 8}, Perf: 50, Seq: 11},
+		{Config: search.Config{8, 9}, Perf: 50, Seq: 12},
+	}
+	got, err := est.Estimate(recs, search.Config{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-6 {
+		t.Errorf("Estimate = %v, want 50 (latest records only)", got)
+	}
+}
+
+func TestDuplicateRecordsDeduplicated(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	// Many duplicates of two points plus one independent point: after
+	// dedup the fit is a clean plane.
+	recs := []Record{
+		{Config: search.Config{0, 0}, Perf: 0, Seq: 0},
+		{Config: search.Config{0, 0}, Perf: 0, Seq: 1},
+		{Config: search.Config{0, 0}, Perf: 0, Seq: 2},
+		{Config: search.Config{10, 0}, Perf: 10, Seq: 3},
+		{Config: search.Config{10, 0}, Perf: 10, Seq: 4},
+		{Config: search.Config{0, 10}, Perf: 20, Seq: 5},
+	}
+	got, err := est.Estimate(recs, search.Config{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-30) > 1e-6 {
+		t.Errorf("Estimate = %v, want 30", got)
+	}
+}
+
+func TestDegenerateFallsBackToWeightedAverage(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	// Collinear records: the plane is underdetermined in the perpendicular
+	// direction; the x-coordinates are all identical so the normal-equation
+	// system is singular. The fallback must return a sane average.
+	recs := []Record{
+		{Config: search.Config{5, 0}, Perf: 10, Seq: 0},
+		{Config: search.Config{5, 5}, Perf: 20, Seq: 1},
+		{Config: search.Config{5, 10}, Perf: 30, Seq: 2},
+	}
+	got, err := est.Estimate(recs, search.Config{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 10 || got > 30 {
+		t.Errorf("fallback estimate = %v, want within [10, 30]", got)
+	}
+}
+
+func TestExactRecordMatchViaFallback(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	// A single record: under-determined everywhere; an exact-match target
+	// must return the recorded value.
+	recs := []Record{{Config: search.Config{3, 3}, Perf: 42, Seq: 0}}
+	got, err := est.Estimate(recs, search.Config{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-42) > 1e-9 {
+		t.Errorf("Estimate at recorded config = %v, want 42", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	if _, err := est.Estimate(nil, search.Config{1, 1}); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("empty records err = %v, want ErrNoRecords", err)
+	}
+	recs := []Record{{Config: search.Config{1, 1}, Perf: 1}}
+	if _, err := est.Estimate(recs, search.Config{99, 1}); err == nil {
+		t.Error("off-space target accepted")
+	}
+	bad := []Record{{Config: search.Config{1}, Perf: 1}}
+	if _, err := est.Estimate(bad, search.Config{1, 1}); err == nil {
+		t.Error("wrong-dimension record accepted")
+	}
+}
+
+func TestEstimateMany(t *testing.T) {
+	s := space2(t)
+	recs := affineRecords(s, 10, 0, 0, []search.Config{{0, 0}, {10, 0}, {0, 10}})
+	est := New(s)
+	got, err := est.EstimateMany(recs, []search.Config{{0, 0}, {5, 0}, {10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 5, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("EstimateMany[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := est.EstimateMany(recs, []search.Config{{99, 0}}); err == nil {
+		t.Error("EstimateMany with bad target did not error")
+	}
+}
+
+// Property: triangulation reproduces arbitrary affine functions exactly at
+// arbitrary grid targets when given dim+1 affinely independent records.
+func TestAffineExactnessProperty(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	f := func(a8, b8, c8 int8, tx, ty uint8) bool {
+		a, b, c := float64(a8)/4, float64(b8)/4, float64(c8)/4
+		recs := affineRecords(s, a, b, c, []search.Config{{0, 0}, {10, 0}, {0, 10}})
+		target := search.Config{int(tx) % 11, int(ty) % 11}
+		got, err := est.Estimate(recs, target)
+		if err != nil {
+			return false
+		}
+		n := s.Normalized(target)
+		want := a*n[0] + b*n[1] + c
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

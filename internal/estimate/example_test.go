@@ -1,0 +1,31 @@
+package estimate_test
+
+import (
+	"fmt"
+
+	"harmony/internal/estimate"
+	"harmony/internal/search"
+)
+
+// ExampleEstimator_Estimate predicts the performance of a configuration the
+// history never measured, by fitting a plane through the recorded vertices
+// (the paper's Figure 3 triangulation).
+func ExampleEstimator_Estimate() {
+	space := search.MustSpace(
+		search.Param{Name: "x", Min: 0, Max: 10, Step: 1, Default: 5},
+		search.Param{Name: "y", Min: 0, Max: 10, Step: 1, Default: 5},
+	)
+	history := []estimate.Record{
+		{Config: search.Config{0, 0}, Perf: 10, Seq: 0},
+		{Config: search.Config{10, 0}, Perf: 30, Seq: 1},
+		{Config: search.Config{0, 10}, Perf: 50, Seq: 2},
+	}
+	est := estimate.New(space)
+	perf, err := est.Estimate(history, search.Config{5, 5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("estimated performance at (5,5): %.0f\n", perf)
+	// Output: estimated performance at (5,5): 40
+}

@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"fmt"
+
+	"harmony/internal/datagen"
+	"harmony/internal/estimate"
+	"harmony/internal/search"
+	"harmony/internal/sensitivity"
+	"harmony/internal/stats"
+)
+
+func init() {
+	register("ablation-cache", "evaluation cache on vs off under measurement noise", AblationEvalCache)
+	register("ablation-deltav", "sensitivity denominator: span vs literal argmax/argmin under noise", AblationDeltaV)
+	register("ablation-estimate", "estimation neighbours: nearest-in-space vs latest-in-time under drift", AblationEstimateNeighbors)
+	register("ablation-init", "initial simplex strategies across random interior optima", AblationInit)
+}
+
+// AblationEvalCache quantifies the evaluation cache (§4.2's "do not retry
+// configurations"): with the cache, revisits are free; without it, each
+// revisit costs a real (noisy) measurement.
+func AblationEvalCache(cfg Config) (*Table, error) {
+	model, err := datagen.New(datagen.PaperSpec(cfg.Seed + 5))
+	if err != nil {
+		return nil, err
+	}
+	w := model.WorkloadSpace().DefaultConfig()
+	t := &Table{
+		ID:     "ablation-cache",
+		Title:  "evaluation cache ablation (10% noise, budget 150 measurements)",
+		Header: []string{"cache", "measurements", "probes answered free", "best perf (noiseless)"},
+	}
+	for _, disable := range []bool{false, true} {
+		obj := model.Objective(w, 0.10, stats.NewRNG(17+cfg.Seed))
+		ev := search.NewEvaluator(model.TunableSpace(), obj)
+		ev.MaxEvals = 150
+		ev.DisableCache = disable
+		res, err := search.NelderMeadWithEvaluator(model.TunableSpace(), ev, search.NelderMeadOptions{
+			Direction: search.Maximize, MaxEvals: 150, Init: search.DistributedInit{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		clean := 0.0
+		if len(res.BestConfig) > 0 {
+			clean, err = model.Eval(res.BestConfig, w)
+			if err != nil {
+				return nil, err
+			}
+		}
+		label := "on"
+		if disable {
+			label = "off"
+		}
+		t.AddRow(label, fmtI(res.Evals), fmtI(ev.Hits()), fmtF(clean))
+	}
+	t.AddNote("with the cache on, revisited configurations cost nothing — the §4.2 record-keeping")
+	return t, nil
+}
+
+// AblationDeltaV demonstrates why the default sensitivity denominator is
+// the sweep span: the literal argmax/argmin denominator catapults
+// pure-noise parameters up the ranking.
+func AblationDeltaV(cfg Config) (*Table, error) {
+	model, err := datagen.New(datagen.PaperSpec(cfg.Seed + 5))
+	if err != nil {
+		return nil, err
+	}
+	w := model.WorkloadSpace().DefaultConfig()
+	t := &Table{
+		ID:     "ablation-deltav",
+		Title:  "Δv′ mode ablation: rank of the planted irrelevant parameters (H, M) of 15, higher is better",
+		Header: []string{"noise", "span: H", "span: M", "literal: H", "literal: M"},
+	}
+	for _, noise := range []float64{0.05, 0.10} {
+		row := []string{fmt.Sprintf("%.0f%%", noise*100)}
+		for _, mode := range []sensitivity.DeltaVMode{sensitivity.DeltaVSpan, sensitivity.DeltaVArgExtremes} {
+			rep, err := sensitivity.Analyze(model.TunableSpace(),
+				model.Objective(w, noise, stats.NewRNG(23+cfg.Seed)),
+				sensitivity.Options{Repeats: noiseRepeats(noise, cfg.Quick), DeltaV: mode})
+			if err != nil {
+				return nil, err
+			}
+			rank := rep.Ranking()
+			hPos, mPos := 0, 0
+			for pos, idx := range rank {
+				switch model.TunableSpace().Params[idx].Name {
+				case "H":
+					hPos = pos + 1
+				case "M":
+					mPos = pos + 1
+				}
+			}
+			row = append(row, fmtI(hPos), fmtI(mPos))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("irrelevant parameters should rank near 15; small literal ranks show the noise amplification")
+	return t, nil
+}
+
+// AblationEstimateNeighbors compares the two vertex-selection policies of
+// §4.3 on a drifting system: the performance surface shifts over time, so
+// old nearby records mislead while recent ones track the drift.
+func AblationEstimateNeighbors(cfg Config) (*Table, error) {
+	space := search.MustSpace(
+		search.Param{Name: "x", Min: 0, Max: 40, Step: 1, Default: 20},
+		search.Param{Name: "y", Min: 0, Max: 40, Step: 1, Default: 20},
+	)
+	// The surface at epoch e: perf = 100 - (x - 10 - drift*e)^2/8 - (y-20)^2/8.
+	surface := func(cfg search.Config, epoch int) float64 {
+		dx := float64(cfg[0]) - 10 - 2*float64(epoch)
+		dy := float64(cfg[1]) - 20
+		return 100 - dx*dx/8 - dy*dy/8
+	}
+	rng := stats.NewRNG(29 + cfg.Seed)
+	var records []estimate.Record
+	seq := 0
+	for epoch := 0; epoch < 10; epoch++ {
+		for i := 0; i < 6; i++ {
+			c := search.Config{rng.IntRange(0, 40), rng.IntRange(0, 40)}
+			records = append(records, estimate.Record{Config: c, Perf: surface(c, epoch), Seq: seq})
+			seq++
+		}
+	}
+	// Targets are evaluated on the *current* (latest) surface.
+	t := &Table{
+		ID:     "ablation-estimate",
+		Title:  "estimation neighbour policy under drift: mean |error| over 50 targets",
+		Header: []string{"policy", "mean abs error"},
+	}
+	targets := make([]search.Config, 50)
+	for i := range targets {
+		targets[i] = search.Config{rng.IntRange(0, 40), rng.IntRange(0, 40)}
+	}
+	for _, policy := range []estimate.NeighborPolicy{estimate.NearestInSpace, estimate.LatestInTime} {
+		est := estimate.New(space)
+		est.Policy = policy
+		sumErr := 0.0
+		for _, tc := range targets {
+			got, err := est.Estimate(records, tc)
+			if err != nil {
+				return nil, err
+			}
+			want := surface(tc, 9)
+			if d := got - want; d < 0 {
+				sumErr -= d
+			} else {
+				sumErr += d
+			}
+		}
+		name := "nearest-in-space"
+		if policy == estimate.LatestInTime {
+			name = "latest-in-time"
+		}
+		t.AddRow(name, fmtF(sumErr/float64(len(targets))))
+	}
+	t.AddNote("the paper's footnote: use nearest vertices when the environment is static, latest when it drifts")
+	return t, nil
+}
+
+// AblationInit compares the two initial-simplex strategies over many random
+// interior-optimum surfaces, reporting the mean worst-performance seen while
+// tuning (the §4.1 oscillation metric).
+func AblationInit(cfg Config) (*Table, error) {
+	trials := 20
+	if cfg.Quick {
+		trials = 6
+	}
+	space := search.MustSpace(
+		search.Param{Name: "a", Min: 0, Max: 100, Step: 1, Default: 50},
+		search.Param{Name: "b", Min: 0, Max: 100, Step: 1, Default: 50},
+		search.Param{Name: "c", Min: 0, Max: 100, Step: 1, Default: 50},
+	)
+	rng := stats.NewRNG(31 + cfg.Seed)
+	t := &Table{
+		ID:     "ablation-init",
+		Title:  fmt.Sprintf("initial simplex ablation over %d random interior optima", trials),
+		Header: []string{"strategy", "mean best", "mean worst-seen", "mean convergence iters"},
+	}
+	type agg struct{ best, worst, conv float64 }
+	sums := map[string]*agg{"extreme": {}, "distributed": {}}
+	for trial := 0; trial < trials; trial++ {
+		target := []float64{rng.Uniform(20, 80), rng.Uniform(20, 80), rng.Uniform(20, 80)}
+		obj := search.ObjectiveFunc(func(c search.Config) float64 {
+			sum := 0.0
+			for i, v := range c {
+				d := float64(v) - target[i]
+				sum += d * d
+			}
+			return 1000 - sum/10
+		})
+		for _, init := range []search.InitStrategy{search.ExtremeInit{}, search.DistributedInit{}} {
+			res, err := search.NelderMead(space, obj, search.NelderMeadOptions{
+				Direction: search.Maximize, MaxEvals: 150, Init: init,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a := sums[init.Name()]
+			a.best += res.BestPerf
+			a.worst += res.Trace.Worst(search.Maximize).Perf
+			a.conv += float64(res.Trace.ConvergenceIteration(search.Maximize, 0.01))
+		}
+	}
+	for _, name := range []string{"extreme", "distributed"} {
+		a := sums[name]
+		n := float64(trials)
+		t.AddRow(name, fmtF(a.best/n), fmtF(a.worst/n), fmtF(a.conv/n))
+	}
+	return t, nil
+}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"harmony/internal/rsl"
+	"harmony/internal/search"
+)
+
+func init() {
+	register("appB", "parameter restriction: search-space reduction and its tuning effect", AppendixB)
+}
+
+// processAllocRSL is Appendix B's process-allocation example with A = 10
+// total processes split across disk I/O (B), computation (C) and network
+// (D = A - B - C), at least one process each.
+const processAllocRSL = `
+{ harmonyBundle B { int {1 8 1} } }
+{ harmonyBundle C { int {1 9-$B 1} } }
+`
+
+// matrixPartitionRSL is Appendix B's matrix row-partition example: k = 32
+// rows split into n = 4 blocks, each block non-empty; the last block's size
+// is implied.
+const matrixPartitionRSL = `
+{ harmonyBundle P1 { int {1 29 1} } }
+{ harmonyBundle P2 { int {1 30-$P1 1} } }
+{ harmonyBundle P3 { int {1 31-$P1-$P2 1} } }
+`
+
+// AppendixB compares restricted and unrestricted search on the two
+// Appendix B scenarios: feasible-space size, and the iterations plus final
+// quality of a tuning run over each representation. Without restriction the
+// search wastes explorations on infeasible configurations, which the
+// objective must reject with a penalty.
+func AppendixB(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "appB",
+		Title: "parameter restriction: search-space reduction by functional relations",
+		Header: []string{"scenario", "restricted size", "unrestricted size",
+			"restricted iters/best", "unrestricted iters/best"},
+	}
+	maxEvals := 120
+	if cfg.Quick {
+		maxEvals = 80
+	}
+
+	type scenario struct {
+		name      string
+		src       string
+		objective func(search.Config) float64
+		feasible  func(search.Config) bool
+	}
+	scenarios := []scenario{
+		{
+			name: "process allocation (A=10)",
+			src:  processAllocRSL,
+			// Best throughput at the balanced split B=3, C=3 (D=4).
+			objective: func(c search.Config) float64 {
+				db, dc := float64(c[0]-3), float64(c[1]-3)
+				return 100 - 4*db*db - 4*dc*dc
+			},
+			feasible: func(c search.Config) bool { return c[0]+c[1] <= 9 },
+		},
+		{
+			name: "matrix row partition (k=32, n=4)",
+			src:  matrixPartitionRSL,
+			// Load balance: all four blocks near 8 rows.
+			objective: func(c search.Config) float64 {
+				p4 := 32 - c[0] - c[1] - c[2]
+				sum := 0.0
+				for _, p := range []int{c[0], c[1], c[2], p4} {
+					d := float64(p - 8)
+					sum += d * d
+				}
+				return 200 - sum
+			},
+			feasible: func(c search.Config) bool { return c[0]+c[1]+c[2] <= 31 },
+		},
+	}
+
+	for _, sc := range scenarios {
+		spec, err := rsl.Parse(sc.src)
+		if err != nil {
+			return nil, err
+		}
+		restrictedSize, err := spec.Count(0)
+		if err != nil {
+			return nil, err
+		}
+		unrestrictedSize, err := spec.UnrestrictedCount()
+		if err != nil {
+			return nil, err
+		}
+
+		// Restricted search: the adapter guarantees feasibility.
+		space, wrapped, err := spec.SearchAdapter(search.ObjectiveFunc(sc.objective), 64)
+		if err != nil {
+			return nil, err
+		}
+		rres, err := search.NelderMead(space, wrapped, search.NelderMeadOptions{
+			Direction: search.Maximize, MaxEvals: maxEvals, Init: search.DistributedInit{},
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Unrestricted search over the outer box; infeasible probes are
+		// penalized (the system refuses to run, the measurement is wasted).
+		boxes, err := spec.Box()
+		if err != nil {
+			return nil, err
+		}
+		params := make([]search.Param, len(boxes))
+		for i, b := range boxes {
+			params[i] = search.Param{
+				Name: spec.Names()[i], Min: b.Min, Max: b.Max, Step: b.Step,
+				Default: b.Min,
+			}
+		}
+		boxSpace, err := search.NewSpace(params...)
+		if err != nil {
+			return nil, err
+		}
+		// Infeasible probes fail with a graded penalty (the system refuses
+		// the configuration; the gradient still points back to feasibility,
+		// otherwise a fully-infeasible initial simplex would be flat and
+		// the search would stop instantly).
+		sc := sc
+		penalized := search.ObjectiveFunc(func(c search.Config) float64 {
+			if !sc.feasible(c) {
+				excess := 0
+				for _, v := range c {
+					excess += v
+				}
+				return -100 - 10*float64(excess)
+			}
+			return sc.objective(c)
+		})
+		ures, err := search.NelderMead(boxSpace, penalized, search.NelderMeadOptions{
+			Direction: search.Maximize, MaxEvals: maxEvals, Init: search.DistributedInit{},
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		rconv := rres.Trace.ConvergenceIteration(search.Maximize, 0.02)
+		uconv := ures.Trace.ConvergenceIteration(search.Maximize, 0.02)
+		t.AddRow(sc.name,
+			restrictedSize.String(), unrestrictedSize.String(),
+			fmtI(rconv)+" / "+fmtF(rres.BestPerf),
+			fmtI(uconv)+" / "+fmtF(ures.BestPerf))
+		wasted := 0
+		for _, e := range ures.Trace {
+			if !sc.feasible(e.Config) {
+				wasted++
+			}
+		}
+		t.AddNote("%s: unrestricted search wasted %d/%d explorations on infeasible configurations",
+			sc.name, wasted, ures.Evals)
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"harmony/internal/search"
+	"harmony/internal/stats"
+	"harmony/internal/tpcw"
+	"harmony/internal/webservice"
+)
+
+func init() {
+	register("baseline-search", "tuning algorithms head to head: simplex kernels vs Powell vs random search", BaselineSearch)
+}
+
+// BaselineSearch pits the Active Harmony kernels against the related-work
+// baselines the paper discusses (§7): Powell's direction-set method and
+// naive random search, all under the same measurement budget on the
+// simulated web cluster (ordering mix).
+func BaselineSearch(cfg Config) (*Table, error) {
+	budget := 120
+	reps := 3
+	if cfg.Quick {
+		budget, reps = 70, 2
+	}
+	space := webservice.Space()
+
+	type algo struct {
+		name string
+		run  func(obj search.Objective, seed uint64) (*search.Result, error)
+	}
+	algos := []algo{
+		{"simplex/extreme (original)", func(obj search.Objective, _ uint64) (*search.Result, error) {
+			return search.NelderMead(space, obj, search.NelderMeadOptions{
+				Direction: search.Maximize, MaxEvals: budget, Init: search.ExtremeInit{},
+			})
+		}},
+		{"simplex/distributed (improved)", func(obj search.Objective, _ uint64) (*search.Result, error) {
+			return search.NelderMead(space, obj, search.NelderMeadOptions{
+				Direction: search.Maximize, MaxEvals: budget, Init: search.DistributedInit{},
+			})
+		}},
+		{"powell", func(obj search.Objective, _ uint64) (*search.Result, error) {
+			return search.Powell(space, obj, search.PowellOptions{
+				Direction: search.Maximize, MaxEvals: budget,
+			})
+		}},
+		{"random", func(obj search.Objective, seed uint64) (*search.Result, error) {
+			return search.RandomSearch(space, obj, search.Maximize, budget, stats.NewRNG(seed))
+		}},
+	}
+
+	t := &Table{
+		ID:    "baseline-search",
+		Title: "search algorithms on the web cluster (ordering mix, equal budgets)",
+		Header: []string{"algorithm", "mean best WIPS", "mean evals",
+			"mean worst initial WIPS"},
+	}
+	for _, a := range algos {
+		var best, evals, worst float64
+		for r := 0; r < reps; r++ {
+			cluster := webservice.NewCluster(simOpts(cfg, 81+uint64(r)*13))
+			obj := cluster.Objective(tpcw.Ordering, true)
+			res, err := a.run(obj, 900+uint64(r))
+			if err != nil {
+				return nil, err
+			}
+			best += res.BestPerf
+			evals += float64(res.Evals)
+			worst += res.Trace.InitialWindow(15).Worst(search.Maximize).Perf
+		}
+		n := float64(reps)
+		t.AddRow(a.name, fmtF(best/n), fmtF(evals/n), fmtF(worst/n))
+	}
+	t.AddNote("Powell explores one direction at a time (no interaction modelling, §7); random search is the no-knowledge floor")
+	return t, nil
+}

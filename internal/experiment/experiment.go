@@ -1,0 +1,144 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§5 synthetic data, §6 cluster-based web service, Appendix B),
+// plus ablation studies for the design decisions called out in DESIGN.md.
+//
+// Each experiment is a named Runner producing a Table — the same rows or
+// series the paper plots — so `hbench -exp fig6` or the corresponding
+// testing.B benchmark reprints the paper's artifact from scratch. Absolute
+// numbers differ (our substrate is a simulator, not the authors' cluster);
+// the shapes the paper argues from are asserted in experiment_test.go.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment budgets.
+type Config struct {
+	// Quick shrinks budgets for CI and unit tests; the shapes remain, the
+	// resolution drops.
+	Quick bool
+	// Seed offsets every experiment's deterministic randomness.
+	Seed uint64
+}
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form note line (printed under the table).
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Cell returns the cell at (row, col); empty string when out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Runner produces one experiment's table.
+type Runner func(cfg Config) (*Table, error)
+
+// registry maps experiment IDs to runners. Populated by init functions in
+// the per-experiment files.
+var registry = map[string]Runner{}
+
+// descriptions holds one-line summaries for listings.
+var descriptions = map[string]string{}
+
+func register(id, desc string, r Runner) {
+	registry[id] = r
+	descriptions[id] = desc
+}
+
+// Names returns the registered experiment IDs in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line summary of an experiment.
+func Describe(id string) string { return descriptions[id] }
+
+// Run executes the named experiment.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, Names())
+	}
+	return r(cfg)
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// fmtF3 renders a float with three decimals (for sub-unit rates).
+func fmtF3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fmtI renders an int.
+func fmtI(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,38 @@
+package history_test
+
+import (
+	"fmt"
+
+	"harmony/internal/history"
+	"harmony/internal/search"
+)
+
+// ExampleAnalyzer_Match classifies an observed workload against stored
+// experiences by least-squares nearest neighbour (§4.2).
+func ExampleAnalyzer_Match() {
+	db := history.NewDB()
+	shopping := &history.Experience{
+		Label:           "shopping",
+		Characteristics: []float64{0.8, 0.2},
+		Direction:       search.Maximize,
+	}
+	shopping.AddRecord(search.Config{24, 64}, 63.2)
+	db.Add(shopping)
+	ordering := &history.Experience{
+		Label:           "ordering",
+		Characteristics: []float64{0.5, 0.5},
+		Direction:       search.Maximize,
+	}
+	ordering.AddRecord(search.Config{16, 32}, 79.8)
+	db.Add(ordering)
+
+	analyzer := history.NewAnalyzer(db)
+	exp, _, ok := analyzer.Match([]float64{0.52, 0.48})
+	if !ok {
+		fmt.Println("no match")
+		return
+	}
+	best := exp.Best(1)[0]
+	fmt.Printf("matched %s; warm-start from %v\n", exp.Label, best.Config)
+	// Output: matched ordering; warm-start from [16 32]
+}

@@ -1,0 +1,273 @@
+package history
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"harmony/internal/search"
+)
+
+func sampleExperience(label string, chars []float64) *Experience {
+	e := &Experience{Label: label, Characteristics: chars, Direction: search.Maximize}
+	e.AddRecord(search.Config{1, 2}, 10)
+	e.AddRecord(search.Config{3, 4}, 30)
+	e.AddRecord(search.Config{5, 6}, 20)
+	return e
+}
+
+func TestExperienceBest(t *testing.T) {
+	e := sampleExperience("s", []float64{1, 0})
+	best := e.Best(2)
+	if len(best) != 2 {
+		t.Fatalf("Best(2) len = %d", len(best))
+	}
+	if best[0].Perf != 30 || best[1].Perf != 20 {
+		t.Errorf("Best order = %v, %v; want 30, 20", best[0].Perf, best[1].Perf)
+	}
+	if got := e.Best(99); len(got) != 3 {
+		t.Errorf("Best(99) len = %d, want 3", len(got))
+	}
+	if got := e.Best(-1); len(got) != 0 {
+		t.Errorf("Best(-1) len = %d, want 0", len(got))
+	}
+}
+
+func TestExperienceBestMinimize(t *testing.T) {
+	e := &Experience{Direction: search.Minimize}
+	e.AddRecord(search.Config{1}, 10)
+	e.AddRecord(search.Config{2}, 5)
+	if got := e.Best(1)[0].Perf; got != 5 {
+		t.Errorf("Best under Minimize = %v, want 5", got)
+	}
+}
+
+func TestExperienceBestTieBreaksNewest(t *testing.T) {
+	e := &Experience{Direction: search.Maximize}
+	e.AddRecord(search.Config{1}, 10)
+	e.AddRecord(search.Config{2}, 10)
+	if got := e.Best(1)[0].Config; !got.Equal(search.Config{2}) {
+		t.Errorf("tie broken to %v, want newest [2]", got)
+	}
+}
+
+func TestAddRecordSequencing(t *testing.T) {
+	e := &Experience{}
+	e.AddRecord(search.Config{1}, 1)
+	e.AddRecord(search.Config{2}, 2)
+	if e.Records[0].Seq != 0 || e.Records[1].Seq != 1 {
+		t.Errorf("sequence numbers = %d, %d", e.Records[0].Seq, e.Records[1].Seq)
+	}
+	// Records must be deep copies.
+	cfg := search.Config{9}
+	e.AddRecord(cfg, 3)
+	cfg[0] = 100
+	if e.Records[2].Config[0] != 9 {
+		t.Error("AddRecord shares config storage with caller")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	tr := search.Trace{
+		{Index: 0, Config: search.Config{1, 1}, Perf: 5},
+		{Index: 1, Config: search.Config{2, 2}, Perf: 7},
+	}
+	e := FromTrace("w", []float64{0.5, 0.5}, search.Maximize, tr)
+	if e.Label != "w" || len(e.Records) != 2 {
+		t.Fatalf("FromTrace = %+v", e)
+	}
+	if e.Records[1].Perf != 7 || e.Records[1].Seq != 1 {
+		t.Errorf("record 1 = %+v", e.Records[1])
+	}
+}
+
+func TestLeastSquaresClassify(t *testing.T) {
+	classes := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	idx, d, err := LeastSquares{}.Classify([]float64{0.9, 0.1}, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("classified as %d, want 1", idx)
+	}
+	if d <= 0 {
+		t.Errorf("distance = %v, want > 0", d)
+	}
+	// Exact match has zero distance.
+	idx, d, err = LeastSquares{}.Classify([]float64{0, 1}, classes)
+	if err != nil || idx != 2 || d != 0 {
+		t.Errorf("exact match: idx %d d %v err %v", idx, d, err)
+	}
+}
+
+func TestLeastSquaresClassifyErrors(t *testing.T) {
+	if _, _, err := (LeastSquares{}).Classify([]float64{1}, nil); err == nil {
+		t.Error("empty classes accepted")
+	}
+	if _, _, err := (LeastSquares{}).Classify([]float64{1}, [][]float64{{1, 2}}); err == nil {
+		t.Error("mismatched feature lengths accepted")
+	}
+}
+
+func TestDBSaveLoadRoundTrip(t *testing.T) {
+	db := NewDB()
+	db.Add(sampleExperience("shopping", []float64{0.8, 0.2}))
+	db.Add(sampleExperience("ordering", []float64{0.5, 0.5}))
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d experiences, want 2", loaded.Len())
+	}
+	if loaded.Experiences[0].Label != "shopping" {
+		t.Errorf("label = %q", loaded.Experiences[0].Label)
+	}
+	if len(loaded.Experiences[1].Records) != 3 {
+		t.Errorf("records = %d, want 3", len(loaded.Experiences[1].Records))
+	}
+	if got := loaded.Experiences[0].Records[1].Config; !got.Equal(search.Config{3, 4}) {
+		t.Errorf("round-tripped config = %v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.json")
+	db := NewDB()
+	db.Add(sampleExperience("x", []float64{1}))
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Errorf("loaded %d, want 1", loaded.Len())
+	}
+	// The temp file must not linger.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temporary file left behind")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAnalyzerMatch(t *testing.T) {
+	db := NewDB()
+	db.Add(sampleExperience("shopping", []float64{0.8, 0.2}))
+	db.Add(sampleExperience("ordering", []float64{0.5, 0.5}))
+	a := NewAnalyzer(db)
+
+	exp, dist, ok := a.Match([]float64{0.78, 0.22})
+	if !ok || exp.Label != "shopping" {
+		t.Fatalf("Match = %v %v %v", exp, dist, ok)
+	}
+	if dist <= 0 {
+		t.Errorf("distance = %v, want > 0", dist)
+	}
+}
+
+func TestAnalyzerRejectsFarMatches(t *testing.T) {
+	db := NewDB()
+	db.Add(sampleExperience("shopping", []float64{0.8, 0.2}))
+	a := NewAnalyzer(db)
+	a.MaxDistance = 0.01
+	if _, _, ok := a.Match([]float64{0, 1}); ok {
+		t.Error("far characteristics matched despite MaxDistance")
+	}
+	// Near observation still matches.
+	if _, _, ok := a.Match([]float64{0.79, 0.21}); !ok {
+		t.Error("near characteristics rejected")
+	}
+}
+
+func TestAnalyzerEmptyDB(t *testing.T) {
+	a := NewAnalyzer(NewDB())
+	if _, _, ok := a.Match([]float64{1, 2}); ok {
+		t.Error("empty DB produced a match")
+	}
+	var nilA Analyzer
+	if _, _, ok := nilA.Match([]float64{1}); ok {
+		t.Error("nil DB produced a match")
+	}
+}
+
+func TestAnalyzerMismatchedFeatures(t *testing.T) {
+	db := NewDB()
+	db.Add(sampleExperience("x", []float64{1, 2, 3}))
+	a := NewAnalyzer(db)
+	if _, _, ok := a.Match([]float64{1}); ok {
+		t.Error("mismatched feature vector matched")
+	}
+}
+
+func TestCompactMergesCloseClasses(t *testing.T) {
+	db := NewDB()
+	db.Add(sampleExperience("a", []float64{0.80, 0.20}))
+	db.Add(sampleExperience("a2", []float64{0.81, 0.19})) // within merge distance
+	db.Add(sampleExperience("far", []float64{0.20, 0.80}))
+	db.Compact(0.01, 4)
+	if db.Len() != 2 {
+		t.Fatalf("compacted to %d experiences, want 2", db.Len())
+	}
+	// The merged host keeps its label and absorbs the records (3+3 capped at 4).
+	if db.Experiences[0].Label != "a" {
+		t.Errorf("host label = %q", db.Experiences[0].Label)
+	}
+	if got := len(db.Experiences[0].Records); got != 4 {
+		t.Errorf("merged records = %d, want 4 (capped)", got)
+	}
+}
+
+func TestCompactKeepsBestRecords(t *testing.T) {
+	db := NewDB()
+	e := &Experience{Label: "x", Characteristics: []float64{1}, Direction: search.Maximize}
+	for i := 0; i < 10; i++ {
+		e.AddRecord(search.Config{i}, float64(i))
+	}
+	db.Add(e)
+	db.Compact(0, 3)
+	recs := db.Experiences[0].Records
+	if len(recs) != 3 {
+		t.Fatalf("kept %d records, want 3", len(recs))
+	}
+	if recs[0].Perf != 9 || recs[1].Perf != 8 || recs[2].Perf != 7 {
+		t.Errorf("kept records = %v, want the three best", recs)
+	}
+}
+
+func TestCompactDoesNotMutateOriginalSlices(t *testing.T) {
+	db := NewDB()
+	orig := sampleExperience("keep", []float64{0.5})
+	before := len(orig.Records)
+	db.Add(orig)
+	db.Compact(0, 1)
+	if len(orig.Records) != before {
+		t.Errorf("Compact mutated the caller's experience (records %d → %d)", before, len(orig.Records))
+	}
+}
+
+func TestCompactMismatchedFeatureLengths(t *testing.T) {
+	db := NewDB()
+	db.Add(sampleExperience("short", []float64{1}))
+	db.Add(sampleExperience("long", []float64{1, 2}))
+	db.Compact(100, 5) // huge merge distance, but lengths differ: no merge
+	if db.Len() != 2 {
+		t.Errorf("compacted to %d, want 2 (mismatched lengths must not merge)", db.Len())
+	}
+}

@@ -1,0 +1,377 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func vecsAlmostEqual(a, b []float64, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		dims := dims
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatrix(%v) did not panic", dims)
+				}
+			}()
+			NewMatrix(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Errorf("Set/At failed")
+	}
+	if !vecsAlmostEqual(m.Row(1), []float64{4, 5, 6}, 0) {
+		t.Errorf("Row(1) = %v", m.Row(1))
+	}
+	if !vecsAlmostEqual(m.Col(1), []float64{2, 5}, 0) {
+		t.Errorf("Col(1) = %v", m.Col(1))
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromRows with ragged rows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T shape = %dx%d, want 3x2", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	ab, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !vecsAlmostEqual(ab.Data, want.Data, 1e-12) {
+		t.Errorf("Mul = %v, want %v", ab.Data, want.Data)
+	}
+	if _, err := a.Mul(FromRows([][]float64{{1, 2, 3}, {1, 2, 3}, {1, 2, 3}})); !errors.Is(err, ErrShape) {
+		t.Errorf("Mul shape error = %v, want ErrShape", err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{2, -1, 0}, {0, 3, 5}, {7, 1, 1}})
+	id := Identity(3)
+	left, _ := id.Mul(a)
+	right, _ := a.Mul(id)
+	if !vecsAlmostEqual(left.Data, a.Data, 0) || !vecsAlmostEqual(right.Data, a.Data, 0) {
+		t.Error("identity product changed the matrix")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEqual(got, []float64{3, 7}, 1e-12) {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("MulVec shape error = %v, want ErrShape", err)
+	}
+}
+
+func TestNorm2AndDot(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestSolveSquareExact(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEqual(x, []float64{2, 3, -1}, 1e-9) {
+		t.Errorf("x = %v, want [2 3 -1]", x)
+	}
+}
+
+func TestSolveSquareNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveSquare(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEqual(x, []float64{3, 2}, 1e-12) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveSquare(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveSquareShapeErrors(t *testing.T) {
+	rect := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if _, err := SolveSquare(rect, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square err = %v, want ErrShape", err)
+	}
+	sq := Identity(2)
+	if _, err := SolveSquare(sq, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad rhs err = %v, want ErrShape", err)
+	}
+}
+
+func TestQROverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 through exact points; least squares must recover it.
+	a := FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	b := []float64{1, 3, 5, 7}
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := qr.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEqual(x, []float64{2, 1}, 1e-9) {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	// With noisy data the residual must be orthogonal to the column space.
+	a := FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}, {4, 1}})
+	b := []float64{1.1, 2.9, 5.2, 6.8, 9.1}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Residual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < a.Cols; j++ {
+		if d := Dot(a.Col(j), r); math.Abs(d) > 1e-9 {
+			t.Errorf("residual not orthogonal to column %d: dot = %v", j, d)
+		}
+	}
+}
+
+func TestQRShapeAndRankErrors(t *testing.T) {
+	wide := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if _, err := NewQR(wide); !errors.Is(err, ErrShape) {
+		t.Errorf("wide QR err = %v, want ErrShape", err)
+	}
+	rankDef := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	qr, err := NewQR(rankDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.FullRank() {
+		t.Error("rank-deficient matrix reported full rank")
+	}
+	if _, err := qr.Solve([]float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("rank-deficient solve err = %v, want ErrSingular", err)
+	}
+	if _, err := qr.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad rhs err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolveLeastSquaresUnderdetermined(t *testing.T) {
+	// One equation, two unknowns: x + y = 4. Minimum-norm answer is (2, 2).
+	a := FromRows([][]float64{{1, 1}})
+	x, err := SolveLeastSquares(a, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEqual(x, []float64{2, 2}, 1e-9) {
+		t.Errorf("x = %v, want [2 2]", x)
+	}
+	// The solution must satisfy the equation exactly.
+	ax, _ := a.MulVec(x)
+	if math.Abs(ax[0]-4) > 1e-9 {
+		t.Errorf("A·x = %v, want 4", ax[0])
+	}
+}
+
+func TestSolveLeastSquaresSquareDelegates(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 2}})
+	x, err := SolveLeastSquares(a, []float64{6, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEqual(x, []float64{2, 2}, 1e-12) {
+		t.Errorf("x = %v, want [2 2]", x)
+	}
+	sing := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := SolveLeastSquares(sing, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLeastSquaresRhsShape(t *testing.T) {
+	a := Identity(2)
+	if _, err := SolveLeastSquares(a, []float64{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+// Property: for random well-conditioned square systems, SolveSquare returns x
+// with small residual A·x - b.
+func TestSolveSquareResidualProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 3 + int(seed)%4 // 3..6
+		a := NewMatrix(n, n)
+		// Diagonally dominant construction guarantees non-singularity.
+		s := float64(seed) + 1
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := math.Sin(s*float64(i*n+j+1)) * 3
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = math.Cos(s * float64(i+1))
+		}
+		x, err := SolveSquare(a, b)
+		if err != nil {
+			return false
+		}
+		r, err := Residual(a, x, b)
+		if err != nil {
+			return false
+		}
+		return Norm2(r) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QR least-squares never beats itself — perturbing the solution in
+// any coordinate direction cannot reduce the residual norm.
+func TestQRIsLocalMinimumProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		rows, cols := 6, 3
+		a := NewMatrix(rows, cols)
+		s := float64(seed) + 1
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, math.Sin(s*float64(i*cols+j+1)))
+			}
+		}
+		// Make column 0 clearly independent.
+		for i := 0; i < rows; i++ {
+			a.Set(i, 0, a.At(i, 0)+float64(i+1))
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = math.Cos(s * float64(i+1) * 1.7)
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			// Rank-deficiency can legitimately occur; skip.
+			return true
+		}
+		r0, _ := Residual(a, x, b)
+		base := Norm2(r0)
+		for j := 0; j < cols; j++ {
+			for _, d := range []float64{0.01, -0.01} {
+				xp := append([]float64(nil), x...)
+				xp[j] += d
+				rp, _ := Residual(a, xp, b)
+				if Norm2(rp) < base-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResidualShapeError(t *testing.T) {
+	a := Identity(2)
+	if _, err := Residual(a, []float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	if _, err := Residual(a, []float64{1, 2}, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	if got := m.String(); got != "[1 2]\n" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,212 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveSquare solves A·x = b for a square A using Gaussian elimination with
+// partial pivoting. It returns ErrSingular when a pivot falls below a small
+// absolute threshold.
+func SolveSquare(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("%w: SolveSquare on %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d for n=%d", ErrShape, len(b), n)
+	}
+	// Work on copies; callers keep their inputs.
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+
+	const pivotTol = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot: the largest magnitude entry in this column.
+		pivotRow := col
+		pivotVal := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > pivotVal {
+				pivotVal, pivotRow = v, r
+			}
+		}
+		if pivotVal < pivotTol {
+			return nil, ErrSingular
+		}
+		if pivotRow != col {
+			for j := 0; j < n; j++ {
+				vi, vp := m.At(col, j), m.At(pivotRow, j)
+				m.Set(col, j, vp)
+				m.Set(pivotRow, j, vi)
+			}
+			x[col], x[pivotRow] = x[pivotRow], x[col]
+		}
+		// Eliminate below the pivot.
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			m.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= m.At(i, j) * x[j]
+		}
+		x[i] = sum / m.At(i, i)
+	}
+	return x, nil
+}
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+// The packed layout follows the classic JAMA scheme: the upper triangle of
+// qr holds R's strict upper part, the lower trapezoid holds the Householder
+// vectors, and rdiag holds R's diagonal.
+type QR struct {
+	qr    *Matrix
+	rdiag []float64
+}
+
+// NewQR computes the Householder QR factorization of a (m×n, m >= n).
+func NewQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("%w: QR needs rows >= cols, got %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	m := a.Clone()
+	rows, cols := m.Rows, m.Cols
+	rdiag := make([]float64, cols)
+
+	for k := 0; k < cols; k++ {
+		// 2-norm of the k-th column below the diagonal.
+		nrm := 0.0
+		for i := k; i < rows; i++ {
+			nrm = math.Hypot(nrm, m.At(i, k))
+		}
+		if nrm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if m.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < rows; i++ {
+			m.Set(i, k, m.At(i, k)/nrm)
+		}
+		m.Set(k, k, m.At(k, k)+1)
+
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < cols; j++ {
+			s := 0.0
+			for i := k; i < rows; i++ {
+				s += m.At(i, k) * m.At(i, j)
+			}
+			s = -s / m.At(k, k)
+			for i := k; i < rows; i++ {
+				m.Set(i, j, m.At(i, j)+s*m.At(i, k))
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: m, rdiag: rdiag}, nil
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entry.
+func (q *QR) FullRank() bool {
+	const tol = 1e-12
+	for _, d := range q.rdiag {
+		if math.Abs(d) < tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimizing ‖A·x - b‖₂.
+// It returns ErrSingular when A is rank-deficient.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	rows, cols := q.qr.Rows, q.qr.Cols
+	if len(b) != rows {
+		return nil, fmt.Errorf("%w: rhs length %d, rows %d", ErrShape, len(b), rows)
+	}
+	if !q.FullRank() {
+		return nil, ErrSingular
+	}
+	y := append([]float64(nil), b...)
+
+	// Compute Qᵀ·b by applying the stored reflectors in order.
+	for k := 0; k < cols; k++ {
+		head := q.qr.At(k, k)
+		if head == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < rows; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		s = -s / head
+		for i := k; i < rows; i++ {
+			y[i] += s * q.qr.At(i, k)
+		}
+	}
+	// Back substitution against R.
+	x := make([]float64, cols)
+	for i := cols - 1; i >= 0; i-- {
+		sum := y[i]
+		for j := i + 1; j < cols; j++ {
+			sum -= q.qr.At(i, j) * x[j]
+		}
+		x[i] = sum / q.rdiag[i]
+	}
+	return x, nil
+}
+
+// SolveLeastSquares solves A·x = b in the least-squares sense, handling all
+// three shapes the paper's estimation step can produce (§4.3):
+//
+//   - square full-rank systems are solved exactly (Gaussian elimination),
+//   - over-determined systems (rows > cols) via Householder QR,
+//   - under-determined systems (rows < cols) via the minimum-norm solution
+//     x = Aᵀ·(A·Aᵀ)⁻¹·b.
+//
+// It returns ErrSingular when the system is rank-deficient beyond repair.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("%w: rhs length %d, rows %d", ErrShape, len(b), a.Rows)
+	}
+	switch {
+	case a.Rows == a.Cols:
+		x, err := SolveSquare(a, b)
+		if err == nil {
+			return x, nil
+		}
+		// A singular square system may still have a least-squares answer;
+		// fall through to the under-determined path via regularization-free
+		// normal equations is not safe, so report the error.
+		return nil, err
+	case a.Rows > a.Cols:
+		qr, err := NewQR(a)
+		if err != nil {
+			return nil, err
+		}
+		return qr.Solve(b)
+	default: // rows < cols: minimum-norm solution.
+		at := a.T()
+		aat, err := a.Mul(at)
+		if err != nil {
+			return nil, err
+		}
+		y, err := SolveSquare(aat, b)
+		if err != nil {
+			return nil, err
+		}
+		return at.MulVec(y)
+	}
+}

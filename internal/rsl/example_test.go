@@ -1,0 +1,32 @@
+package rsl_test
+
+import (
+	"fmt"
+
+	"harmony/internal/rsl"
+	"harmony/internal/search"
+)
+
+// Example_parameterRestriction reproduces Appendix B: three process groups
+// sharing A = 10 processes, the third implied, and the search space counted
+// with and without the restriction.
+func Example_parameterRestriction() {
+	spec, err := rsl.Parse(`
+{ harmonyBundle B { int {1 8 1} } }
+{ harmonyBundle C { int {1 9-$B 1} } }
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	restricted, _ := spec.Count(0)
+	box, _ := spec.UnrestrictedCount()
+	fmt.Printf("feasible %v of %v box configurations\n", restricted, box)
+
+	// Bounds of C depend on the chosen B.
+	b, _ := spec.BoundsAt(1, search.Config{3})
+	fmt.Printf("with B=3, C ranges [%d, %d]\n", b.Min, b.Max)
+	// Output:
+	// feasible 36 of 64 box configurations
+	// with B=3, C ranges [1, 6]
+}

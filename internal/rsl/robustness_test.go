@@ -1,0 +1,130 @@
+package rsl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// TestParseNeverPanicsOnMutatedInput hammers the parser with corrupted
+// variants of valid sources: whatever happens, it must return an error or a
+// valid spec, never panic.
+func TestParseNeverPanicsOnMutatedInput(t *testing.T) {
+	base := `{ harmonyBundle B { int {1 8 1} } }
+{ harmonyBundle C { int {1 9-$B 1} } }`
+	rng := stats.NewRNG(99)
+	garbage := []byte("{}()$+-*/ \nharmonyBundleint0123456789abcXYZ@#\t\"'\\\x00\xff")
+	for trial := 0; trial < 5000; trial++ {
+		b := []byte(base)
+		// Apply 1-5 random mutations: overwrite, delete or insert bytes.
+		for m := rng.IntRange(1, 5); m > 0; m-- {
+			if len(b) == 0 {
+				break
+			}
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = garbage[rng.Intn(len(garbage))]
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			default:
+				c := garbage[rng.Intn(len(garbage))]
+				b = append(b[:pos], append([]byte{c}, b[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on %q: %v", b, r)
+				}
+			}()
+			spec, err := Parse(string(b))
+			if err == nil && spec != nil {
+				// If it parsed, basic invariants must hold.
+				if spec.Dim() == 0 {
+					t.Fatalf("Parse accepted %q with zero bundles", b)
+				}
+			}
+		}()
+	}
+}
+
+// TestSpecOperationsNeverPanicOnParsedInput checks that anything Parse
+// accepts can be counted, enumerated and sampled without panicking.
+func TestSpecOperationsNeverPanicOnParsedInput(t *testing.T) {
+	f := func(min1, max1, min2 uint8, useRef bool) bool {
+		var b strings.Builder
+		b.WriteString("{ harmonyBundle A { int {")
+		writeInt(&b, int(min1)%20)
+		b.WriteString(" ")
+		writeInt(&b, int(max1)%20)
+		b.WriteString(" 1} } }\n{ harmonyBundle B { int {")
+		writeInt(&b, int(min2)%20)
+		b.WriteString(" ")
+		if useRef {
+			b.WriteString("19-$A")
+		} else {
+			b.WriteString("15")
+		}
+		b.WriteString(" 1} } }\n")
+		spec, err := Parse(b.String())
+		if err != nil {
+			return true // rejected is fine
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				panic(r) // make the panic fail the property
+			}
+		}()
+		spec.Count(100000)
+		spec.Box()
+		spec.UnrestrictedCount()
+		n := 0
+		spec.Enumerate(func(c search.Config) bool { n++; return n < 100 })
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func writeInt(b *strings.Builder, v int) {
+	if v == 0 {
+		b.WriteString("0")
+		return
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	b.Write(digits)
+}
+
+// FuzzParse is a native fuzz target; `go test` exercises the seed corpus,
+// and `go test -fuzz=FuzzParse ./internal/rsl` digs deeper.
+func FuzzParse(f *testing.F) {
+	f.Add("{ harmonyBundle B { int {1 8 1} } }")
+	f.Add("{ harmonyBundle B { int {1 8 1} } } { harmonyBundle C { int {1 9-$B 1} } }")
+	f.Add("{ harmonyBundle X { int {-5 (2+3)*4 1+1} } }")
+	f.Add("")
+	f.Add("{")
+	f.Add("$")
+	f.Add("# just a comment")
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if spec.Dim() == 0 {
+			t.Fatalf("accepted spec with no bundles: %q", src)
+		}
+		// Anything accepted must render and re-parse.
+		if _, err := Parse(spec.Format()); err != nil {
+			t.Fatalf("Format output of %q does not re-parse: %v", src, err)
+		}
+	})
+}

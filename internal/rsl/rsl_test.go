@@ -1,0 +1,380 @@
+package rsl
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// paperExample is Appendix B's process-allocation spec with A = 10:
+// B + C (+ implicit D) = 10, at least one process per task.
+const paperExample = `
+{ harmonyBundle B { int {1 8 1} } }
+{ harmonyBundle C { int {1 9-$B 1} } }
+`
+
+func mustParse(t testing.TB, src string) *Spec {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := tokenize("{ harmonyBundle B { int {1 9-$B 1} } } # comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{}
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{
+		tokLBrace, tokIdent, tokIdent, tokLBrace, tokIdent, tokLBrace,
+		tokNumber, tokNumber, tokMinus, tokRef, tokNumber,
+		tokRBrace, tokRBrace, tokRBrace, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	if _, err := tokenize("@"); err == nil {
+		t.Error("illegal character accepted")
+	}
+	if _, err := tokenize("$ "); err == nil {
+		t.Error("dangling $ accepted")
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	s := mustParse(t, paperExample)
+	if s.Dim() != 2 {
+		t.Fatalf("dim = %d, want 2", s.Dim())
+	}
+	if !s.Restricted() {
+		t.Error("paper example not detected as restricted")
+	}
+	names := s.Names()
+	if names[0] != "B" || names[1] != "C" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"missing keyword":    "{ bundle B { int {1 2 1} } }",
+		"bad type":           "{ harmonyBundle B { float {1 2 1} } }",
+		"unclosed":           "{ harmonyBundle B { int {1 2 1} }",
+		"duplicate":          "{ harmonyBundle B { int {1 2 1} } } { harmonyBundle B { int {1 2 1} } }",
+		"forward reference":  "{ harmonyBundle B { int {1 $C 1} } } { harmonyBundle C { int {1 2 1} } }",
+		"self reference":     "{ harmonyBundle B { int {1 $B 1} } }",
+		"unknown reference":  "{ harmonyBundle B { int {1 $Z 1} } }",
+		"missing expression": "{ harmonyBundle B { int {1 2} } }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestExpressionEvaluation(t *testing.T) {
+	src := `
+{ harmonyBundle A { int {2 6 2} } }
+{ harmonyBundle B { int {1 (2+$A)*3-1 1+0} } }
+`
+	s := mustParse(t, src)
+	b, err := s.BoundsAt(1, search.Config{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 1 || b.Max != 17 || b.Step != 1 {
+		t.Errorf("bounds = %+v, want {1 17 1}", b)
+	}
+}
+
+func TestUnaryMinusAndDivision(t *testing.T) {
+	src := `
+{ harmonyBundle A { int {2 8 2} } }
+{ harmonyBundle B { int {-2 $A/2 1} } }
+`
+	s := mustParse(t, src)
+	b, err := s.BoundsAt(1, search.Config{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != -2 || b.Max != 4 {
+		t.Errorf("bounds = %+v, want min -2 max 4", b)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	src := `
+{ harmonyBundle A { int {0 4 1} } }
+{ harmonyBundle B { int {1 8/$A 1} } }
+`
+	s := mustParse(t, src)
+	if _, err := s.BoundsAt(1, search.Config{0}); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+func TestBoundsAtErrors(t *testing.T) {
+	s := mustParse(t, paperExample)
+	if _, err := s.BoundsAt(5, nil); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := s.BoundsAt(1, nil); err == nil {
+		t.Error("missing prior choices accepted")
+	}
+}
+
+func TestNonPositiveStepRejected(t *testing.T) {
+	src := `
+{ harmonyBundle A { int {1 4 1} } }
+{ harmonyBundle B { int {1 8 $A-1} } }
+`
+	s := mustParse(t, src)
+	if _, err := s.BoundsAt(1, search.Config{1}); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestPaperExampleCount(t *testing.T) {
+	// Σ_{B=1..8} (9-B) = 36 feasible configurations.
+	s := mustParse(t, paperExample)
+	n, err := s.Count(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cmp(big.NewInt(36)) != 0 {
+		t.Errorf("Count = %v, want 36", n)
+	}
+	// The unrestricted box is 8 × 8 = 64 — the Appendix B reduction.
+	u, err := s.UnrestrictedCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cmp(big.NewInt(64)) != 0 {
+		t.Errorf("UnrestrictedCount = %v, want 64", u)
+	}
+}
+
+func TestEnumerateMatchesCount(t *testing.T) {
+	s := mustParse(t, paperExample)
+	seen := 0
+	sum := map[string]bool{}
+	err := s.Enumerate(func(c search.Config) bool {
+		if c[0]+c[1] > 9 {
+			t.Fatalf("infeasible config enumerated: %v", c)
+		}
+		if !s.Contains(c) {
+			t.Fatalf("enumerated config %v not Contains()", c)
+		}
+		key := c.Key()
+		if sum[key] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		sum[key] = true
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 36 {
+		t.Errorf("enumerated %d configs, want 36", seen)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s := mustParse(t, paperExample)
+	n := 0
+	s.Enumerate(func(c search.Config) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("visited %d, want 5", n)
+	}
+}
+
+func TestMatrixPartitionSpec(t *testing.T) {
+	// Appendix B's matrix row partition: k=12 rows into n=3 blocks, each
+	// block at least one row. Feasible (P1, P2) pairs with P3 implicit:
+	// P1 ∈ [1, 10], P2 ∈ [1, 11-P1] → Σ_{p=1..10}(11-p) = 55.
+	src := `
+{ harmonyBundle P1 { int {1 10 1} } }
+{ harmonyBundle P2 { int {1 11-$P1 1} } }
+`
+	s := mustParse(t, src)
+	n, err := s.Count(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cmp(big.NewInt(55)) != 0 {
+		t.Errorf("Count = %v, want 55", n)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := mustParse(t, paperExample)
+	if !s.Contains(search.Config{3, 4}) {
+		t.Error("feasible config rejected")
+	}
+	if s.Contains(search.Config{8, 5}) {
+		t.Error("infeasible config accepted (8+5 > 9)")
+	}
+	if s.Contains(search.Config{3}) {
+		t.Error("wrong-dim config accepted")
+	}
+}
+
+func TestSampleFeasibleProperty(t *testing.T) {
+	s := mustParse(t, paperExample)
+	rng := stats.NewRNG(5)
+	f := func(uint8) bool {
+		cfg, err := s.Sample(rng)
+		return err == nil && s.Contains(cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFeasibleProperty(t *testing.T) {
+	s := mustParse(t, paperExample)
+	f := func(a, b float64) bool {
+		// Map arbitrary floats into [0, 1].
+		u := []float64{fold(a), fold(b)}
+		cfg, err := s.Decode(u)
+		return err == nil && s.Contains(cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fold(x float64) float64 {
+	if x != x || x > 1e18 || x < -1e18 { // NaN or huge
+		return 0.5
+	}
+	if x < 0 {
+		x = -x
+	}
+	return x - float64(int(x))
+}
+
+func TestDecodeEndpoints(t *testing.T) {
+	s := mustParse(t, paperExample)
+	lo, err := s.Decode([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Equal(search.Config{1, 1}) {
+		t.Errorf("Decode(0,0) = %v, want [1 1]", lo)
+	}
+	hi, err := s.Decode([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hi.Equal(search.Config{8, 1}) {
+		t.Errorf("Decode(1,1) = %v, want [8 1] (C's range closes to [1,1] at B=8)", hi)
+	}
+	if _, err := s.Decode([]float64{0.5}); err == nil {
+		t.Error("wrong-length decode accepted")
+	}
+}
+
+func TestSearchAdapterFindsRestrictedOptimum(t *testing.T) {
+	// Objective peaks at B=4, C=5 (feasible: 4+5=9).
+	s := mustParse(t, paperExample)
+	obj := search.ObjectiveFunc(func(c search.Config) float64 {
+		db, dc := float64(c[0]-4), float64(c[1]-5)
+		return 100 - db*db - dc*dc
+	})
+	space, wrapped, err := s.SearchAdapter(obj, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.NelderMead(space, wrapped, search.NelderMeadOptions{
+		Direction: search.Maximize,
+		MaxEvals:  150,
+		Init:      search.DistributedInit{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPerf < 98 {
+		t.Errorf("restricted search best = %v, want >= 98", res.BestPerf)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := mustParse(t, "{ harmonyBundle X { int {2 10 2} } }")
+	space, err := s.Static()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Dim() != 1 || space.Params[0].Min != 2 || space.Params[0].Max != 10 {
+		t.Errorf("static space = %+v", space.Params)
+	}
+	restricted := mustParse(t, paperExample)
+	if _, err := restricted.Static(); err == nil {
+		t.Error("restricted spec converted to static space")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	s := mustParse(t, paperExample)
+	formatted := s.Format()
+	if !strings.Contains(formatted, "harmonyBundle B") || !strings.Contains(formatted, "$B") {
+		t.Errorf("Format output missing pieces:\n%s", formatted)
+	}
+	// Re-parsing the formatted output yields an equivalent spec.
+	s2 := mustParse(t, formatted)
+	n1, _ := s.Count(0)
+	n2, _ := s2.Count(0)
+	if n1.Cmp(n2) != 0 {
+		t.Errorf("round-trip count %v != %v", n2, n1)
+	}
+}
+
+func TestCountScalesWithMemoization(t *testing.T) {
+	// A chain of dependent bundles: counting must not enumerate the full
+	// product space. 8 bundles, each bounded by the previous value.
+	var b strings.Builder
+	b.WriteString("{ harmonyBundle P0 { int {1 20 1} } }\n")
+	for i := 1; i < 8; i++ {
+		prev := i - 1
+		b.WriteString("{ harmonyBundle P")
+		b.WriteByte(byte('0' + i))
+		b.WriteString(" { int {1 $P")
+		b.WriteByte(byte('0' + prev))
+		b.WriteString(" 1} } }\n")
+	}
+	s := mustParse(t, b.String())
+	n, err := s.Count(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count of non-increasing sequences of length 8 over [1, 20]:
+	// C(20+8-1, 8) = C(27, 8) = 2220075.
+	if n.Cmp(big.NewInt(2220075)) != 0 {
+		t.Errorf("chain count = %v, want 2220075", n)
+	}
+}

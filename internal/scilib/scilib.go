@@ -1,0 +1,396 @@
+// Package scilib is the tunable scientific library of the paper's §4.2
+// example: "calling a function with the input matrix as the argument; the
+// function might return the matrix structure (e.g., triangular, sparse …);
+// later Active Harmony can decide which version of a mathematical library
+// to use."
+//
+// The library computes y = A·x with four interchangeable kernel versions —
+// naive dense, cache-blocked dense, compressed-sparse-row, and
+// triangular-aware — all numerically exact, each with a different memory
+// access pattern. Costs are measured by replaying every memory access
+// through the internal cache simulator plus a floating-point-operation
+// count, so the best version (and the blocked kernel's best block size)
+// genuinely depends on the matrix structure:
+//
+//   - sparse matrices favour the CSR kernel (it skips zeros),
+//   - lower-triangular matrices favour the triangular kernel (half the
+//     scan; on a non-triangular matrix it must verify and fall back, which
+//     costs more than naive),
+//   - large dense matrices favour the blocked kernel with a block sized to
+//     the cache (the interior optimum the paper's tuner finds).
+//
+// Characteristics extracts the structure vector the data analyzer keys
+// experiences on: density, the upper-triangle share, and the bandwidth.
+package scilib
+
+import (
+	"fmt"
+
+	"harmony/internal/cachesim"
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// Matrix is a square matrix with structural metadata.
+type Matrix struct {
+	N    int
+	data []float64 // row-major, dense storage (zeros included)
+	nnz  int
+	csr  *csr // built lazily
+}
+
+// csr is the compressed-sparse-row form.
+type csr struct {
+	vals   []float64
+	cols   []int
+	rowPtr []int
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.N+j] }
+
+// NNZ returns the number of structural non-zeros.
+func (m *Matrix) NNZ() int { return m.nnz }
+
+func newMatrix(n int) *Matrix {
+	return &Matrix{N: n, data: make([]float64, n*n)}
+}
+
+func (m *Matrix) set(i, j int, v float64) {
+	if v != 0 && m.data[i*m.N+j] == 0 {
+		m.nnz++
+	}
+	m.data[i*m.N+j] = v
+}
+
+// NewDense returns a fully populated matrix.
+func NewDense(n int, seed uint64) *Matrix {
+	rng := stats.NewRNG(seed)
+	m := newMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.set(i, j, rng.Uniform(-1, 1))
+		}
+	}
+	return m
+}
+
+// NewSparse returns a matrix whose entries are non-zero with the given
+// probability.
+func NewSparse(n int, density float64, seed uint64) *Matrix {
+	rng := stats.NewRNG(seed)
+	m := newMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				m.set(i, j, rng.Uniform(-1, 1))
+			}
+		}
+	}
+	return m
+}
+
+// NewLowerTriangular returns a dense lower-triangular matrix.
+func NewLowerTriangular(n int, seed uint64) *Matrix {
+	rng := stats.NewRNG(seed)
+	m := newMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			m.set(i, j, rng.Uniform(-1, 1))
+		}
+	}
+	return m
+}
+
+// NewBanded returns a banded matrix with the given half-bandwidth.
+func NewBanded(n, halfBand int, seed uint64) *Matrix {
+	rng := stats.NewRNG(seed)
+	m := newMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d <= halfBand {
+				m.set(i, j, rng.Uniform(-1, 1))
+			}
+		}
+	}
+	return m
+}
+
+// CSR returns (building on first use) the compressed-sparse-row form.
+func (m *Matrix) CSR() (vals []float64, cols []int, rowPtr []int) {
+	if m.csr == nil {
+		c := &csr{rowPtr: make([]int, m.N+1)}
+		for i := 0; i < m.N; i++ {
+			c.rowPtr[i] = len(c.vals)
+			for j := 0; j < m.N; j++ {
+				if v := m.At(i, j); v != 0 {
+					c.vals = append(c.vals, v)
+					c.cols = append(c.cols, j)
+				}
+			}
+		}
+		c.rowPtr[m.N] = len(c.vals)
+		m.csr = c
+	}
+	return m.csr.vals, m.csr.cols, m.csr.rowPtr
+}
+
+// IsLowerTriangular reports whether every non-zero sits on or below the
+// diagonal.
+func (m *Matrix) IsLowerTriangular() bool {
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			if m.At(i, j) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Characteristics returns the structure vector the paper's data analyzer
+// stores: [density, upper-triangle share of non-zeros, bandwidth fraction].
+func Characteristics(m *Matrix) []float64 {
+	if m.N == 0 || m.nnz == 0 {
+		return []float64{0, 0, 0}
+	}
+	upper, maxBand := 0, 0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if m.At(i, j) == 0 {
+				continue
+			}
+			if j > i {
+				upper++
+			}
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > maxBand {
+				maxBand = d
+			}
+		}
+	}
+	den := float64(m.nnz) / float64(m.N*m.N)
+	up := float64(upper) / float64(m.nnz)
+	band := 0.0
+	if m.N > 1 {
+		band = float64(maxBand) / float64(m.N-1)
+	}
+	return []float64{den, up, band}
+}
+
+// Version enumerates the library's kernel implementations.
+type Version int
+
+const (
+	VersionNaive Version = iota
+	VersionBlocked
+	VersionCSR
+	VersionTriangular
+	NumVersions
+)
+
+var versionNames = [...]string{"naive", "blocked", "csr", "triangular"}
+
+// String returns the version name.
+func (v Version) String() string {
+	if v < 0 || v >= NumVersions {
+		return fmt.Sprintf("Version(%d)", int(v))
+	}
+	return versionNames[v]
+}
+
+// Tunable parameter indices.
+const (
+	PVersion = iota
+	PBlockCols
+	NumParams
+)
+
+// Space returns the library's tuning space: the kernel version and the
+// blocked kernel's column block size.
+func Space() *search.Space {
+	return search.MustSpace(
+		search.Param{Name: "version", Min: 0, Max: int(NumVersions) - 1, Step: 1, Default: 0},
+		search.Param{Name: "blockCols", Min: 8, Max: 256, Step: 8, Default: 64},
+	)
+}
+
+// Library evaluates kernels against a simulated memory hierarchy.
+type Library struct {
+	// Cache configures the simulated data cache (defaults: 4 KiB,
+	// 64-byte lines, 4-way).
+	Cache cachesim.Config
+}
+
+// NewLibrary returns a library with a 4 KiB default cache — small enough
+// that a few hundred doubles of reused data no longer fit, which is what
+// makes blocking matter at the matrix sizes the tests use.
+func NewLibrary() *Library {
+	return &Library{Cache: cachesim.Config{LineBytes: 64, Sets: 16, Ways: 4, MissPenalty: 20}}
+}
+
+// Simulated address layout (bytes).
+const (
+	elemBytes = 8
+	idxBytes  = 4
+	// blockLoopOverhead is the fixed cost per (row, block) loop iteration of
+	// the blocked kernel — why absurdly small blocks lose.
+	blockLoopOverhead = 6
+	// misdispatchOverhead is the fixed cost of picking a structure-specific
+	// kernel for a matrix without that structure and re-dispatching.
+	misdispatchOverhead = 500
+	flopCost            = 1
+)
+
+// Result is one kernel execution.
+type Result struct {
+	Y     []float64
+	Cost  float64 // cache cost + flops + loop overheads (lower is better)
+	Cache cachesim.Stats
+}
+
+// MatVec computes y = A·x with the requested version, charging every memory
+// access to the simulated cache. All versions return numerically identical
+// results; versions that do not apply to the matrix's structure pay for
+// discovering that (the triangular kernel verifies, then falls back to the
+// naive scan).
+func (l *Library) MatVec(m *Matrix, x []float64, v Version, blockCols int) (Result, error) {
+	if len(x) != m.N {
+		return Result{}, fmt.Errorf("scilib: x has %d entries, want %d", len(x), m.N)
+	}
+	if v < 0 || v >= NumVersions {
+		return Result{}, fmt.Errorf("scilib: unknown version %d", int(v))
+	}
+	if blockCols < 1 {
+		return Result{}, fmt.Errorf("scilib: blockCols %d must be positive", blockCols)
+	}
+	cache, err := cachesim.New(l.Cache)
+	if err != nil {
+		return Result{}, err
+	}
+
+	n := m.N
+	baseA := uint64(0)
+	baseX := uint64(n*n) * elemBytes
+	baseY := baseX + uint64(n)*elemBytes
+	vals, cols, rowPtr := m.CSR()
+	baseV := baseY + uint64(n)*elemBytes
+	baseC := baseV + uint64(len(vals))*elemBytes
+	baseR := baseC + uint64(len(cols))*idxBytes
+
+	accA := func(i, j int) { cache.Access(baseA + uint64(i*n+j)*elemBytes) }
+	accX := func(j int) { cache.Access(baseX + uint64(j)*elemBytes) }
+	accY := func(i int) { cache.Access(baseY + uint64(i)*elemBytes) }
+
+	y := make([]float64, n)
+	flops := 0
+	overhead := 0.0
+
+	naive := func() {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				accA(i, j)
+				accX(j)
+				sum += m.At(i, j) * x[j]
+				flops++
+			}
+			accY(i)
+			y[i] = sum
+		}
+	}
+
+	switch v {
+	case VersionNaive:
+		naive()
+
+	case VersionBlocked:
+		// Column-blocked: the x block is reused across all rows before the
+		// kernel moves to the next block.
+		for jb := 0; jb < n; jb += blockCols {
+			hi := jb + blockCols
+			if hi > n {
+				hi = n
+			}
+			for i := 0; i < n; i++ {
+				overhead += blockLoopOverhead
+				sum := 0.0
+				for j := jb; j < hi; j++ {
+					accA(i, j)
+					accX(j)
+					sum += m.At(i, j) * x[j]
+					flops++
+				}
+				accY(i)
+				y[i] += sum
+			}
+		}
+
+	case VersionCSR:
+		for i := 0; i < n; i++ {
+			cache.Access(baseR + uint64(i)*idxBytes)
+			cache.Access(baseR + uint64(i+1)*idxBytes)
+			sum := 0.0
+			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+				cache.Access(baseC + uint64(k)*idxBytes)
+				cache.Access(baseV + uint64(k)*elemBytes)
+				accX(cols[k])
+				sum += vals[k] * x[cols[k]]
+				flops++
+			}
+			accY(i)
+			y[i] = sum
+		}
+
+	case VersionTriangular:
+		// The structure check consults the matrix's metadata (cheap); a
+		// non-triangular matrix re-dispatches to the naive kernel, paying a
+		// fixed mis-dispatch overhead on top of the full scan.
+		if m.IsLowerTriangular() {
+			for i := 0; i < n; i++ {
+				sum := 0.0
+				for j := 0; j <= i; j++ {
+					accA(i, j)
+					accX(j)
+					sum += m.At(i, j) * x[j]
+					flops++
+				}
+				accY(i)
+				y[i] = sum
+			}
+		} else {
+			overhead += misdispatchOverhead
+			naive()
+		}
+	}
+
+	return Result{
+		Y:     y,
+		Cost:  float64(cache.Cost()) + float64(flops)*flopCost + overhead,
+		Cache: cache.Stats(),
+	}, nil
+}
+
+// Objective adapts the library to the tuner for a fixed matrix: the cost of
+// one y = A·x under the configuration (lower is better — use Minimize).
+func (l *Library) Objective(m *Matrix) search.Objective {
+	x := make([]float64, m.N)
+	rng := stats.NewRNG(uint64(m.N) * 2654435761)
+	for i := range x {
+		x[i] = rng.Uniform(-1, 1)
+	}
+	return search.ObjectiveFunc(func(cfg search.Config) float64 {
+		res, err := l.MatVec(m, x, Version(cfg[PVersion]), cfg[PBlockCols])
+		if err != nil {
+			panic(err) // the space bounds the inputs; anything else is a bug
+		}
+		return res.Cost
+	})
+}

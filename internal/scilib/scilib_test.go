@@ -1,0 +1,255 @@
+package scilib
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+const testN = 96
+
+func testVector(n int) []float64 {
+	rng := stats.NewRNG(321)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Uniform(-1, 1)
+	}
+	return x
+}
+
+// reference computes y = A·x directly.
+func reference(m *Matrix, x []float64) []float64 {
+	y := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			y[i] += m.At(i, j) * x[j]
+		}
+	}
+	return y
+}
+
+func vecClose(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllVersionsNumericallyExact(t *testing.T) {
+	lib := NewLibrary()
+	x := testVector(testN)
+	matrices := map[string]*Matrix{
+		"dense":      NewDense(testN, 1),
+		"sparse":     NewSparse(testN, 0.05, 2),
+		"triangular": NewLowerTriangular(testN, 3),
+		"banded":     NewBanded(testN, 4, 4),
+	}
+	for name, m := range matrices {
+		want := reference(m, x)
+		for v := Version(0); v < NumVersions; v++ {
+			res, err := lib.MatVec(m, x, v, 64)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, v, err)
+			}
+			if !vecClose(res.Y, want) {
+				t.Errorf("%s: version %v produced wrong result", name, v)
+			}
+			if res.Cost <= 0 {
+				t.Errorf("%s/%v: non-positive cost %v", name, v, res.Cost)
+			}
+		}
+	}
+}
+
+func TestMatVecValidation(t *testing.T) {
+	lib := NewLibrary()
+	m := NewDense(8, 1)
+	if _, err := lib.MatVec(m, make([]float64, 7), VersionNaive, 8); err == nil {
+		t.Error("short x accepted")
+	}
+	if _, err := lib.MatVec(m, make([]float64, 8), Version(9), 8); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := lib.MatVec(m, make([]float64, 8), VersionBlocked, 0); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestCSRWinsOnSparseLosesOnDense(t *testing.T) {
+	lib := NewLibrary()
+	x := testVector(testN)
+	cost := func(m *Matrix, v Version) float64 {
+		res, err := lib.MatVec(m, x, v, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	sparse := NewSparse(testN, 0.05, 7)
+	if c, n := cost(sparse, VersionCSR), cost(sparse, VersionNaive); c >= n {
+		t.Errorf("sparse: CSR cost %v >= naive %v", c, n)
+	}
+	dense := NewDense(testN, 8)
+	if c, n := cost(dense, VersionCSR), cost(dense, VersionNaive); c <= n {
+		t.Errorf("dense: CSR cost %v <= naive %v (index overhead should hurt)", c, n)
+	}
+}
+
+func TestTriangularKernel(t *testing.T) {
+	lib := NewLibrary()
+	x := testVector(testN)
+	tri := NewLowerTriangular(testN, 9)
+	res, err := lib.MatVec(tri, x, VersionTriangular, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := lib.MatVec(tri, x, VersionNaive, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost >= naive.Cost {
+		t.Errorf("triangular kernel cost %v >= naive %v on a triangular matrix", res.Cost, naive.Cost)
+	}
+	// On a dense matrix the verification + fallback must cost MORE.
+	dense := NewDense(testN, 10)
+	resD, _ := lib.MatVec(dense, x, VersionTriangular, 64)
+	naiveD, _ := lib.MatVec(dense, x, VersionNaive, 64)
+	if resD.Cost <= naiveD.Cost {
+		t.Errorf("wrong-version cost %v <= naive %v on a dense matrix", resD.Cost, naiveD.Cost)
+	}
+}
+
+func TestBlockedBeatsNaiveOnLargeDense(t *testing.T) {
+	// x (n doubles) exceeds the 4 KiB cache, so the naive kernel re-misses
+	// x on every row; a cache-sized block keeps it resident.
+	lib := NewLibrary()
+	n := 1024
+	m := NewDense(n, 11)
+	x := testVector(n)
+	blocked, err := lib.MatVec(m, x, VersionBlocked, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := lib.MatVec(m, x, VersionNaive, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Cost >= naive.Cost {
+		t.Errorf("blocked cost %v >= naive %v on large dense", blocked.Cost, naive.Cost)
+	}
+	if blocked.Cache.HitRate() <= naive.Cache.HitRate() {
+		t.Errorf("blocked hit rate %v <= naive %v", blocked.Cache.HitRate(), naive.Cache.HitRate())
+	}
+}
+
+func TestBlockSizeInteriorOptimum(t *testing.T) {
+	lib := NewLibrary()
+	n := 1024
+	m := NewDense(n, 13)
+	x := testVector(n)
+	cost := func(bc int) float64 {
+		res, err := lib.MatVec(m, x, VersionBlocked, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	mid := cost(128)
+	if lo := cost(8); lo <= mid {
+		t.Errorf("block=8 cost %v <= block=128 %v (loop overhead should hurt)", lo, mid)
+	}
+	if hi := cost(1024); hi <= mid {
+		t.Errorf("block=1024 cost %v <= block=128 %v (x falls out of cache)", hi, mid)
+	}
+}
+
+func TestCharacteristicsSeparateClasses(t *testing.T) {
+	dense := Characteristics(NewDense(testN, 1))
+	sparse := Characteristics(NewSparse(testN, 0.05, 2))
+	tri := Characteristics(NewLowerTriangular(testN, 3))
+	banded := Characteristics(NewBanded(testN, 4, 4))
+
+	if dense[0] < 0.99 {
+		t.Errorf("dense density = %v", dense[0])
+	}
+	if sparse[0] > 0.1 {
+		t.Errorf("sparse density = %v", sparse[0])
+	}
+	if tri[1] != 0 {
+		t.Errorf("triangular upper share = %v, want 0", tri[1])
+	}
+	if dense[1] < 0.4 {
+		t.Errorf("dense upper share = %v, want ~0.5", dense[1])
+	}
+	if banded[2] > 0.1 {
+		t.Errorf("banded bandwidth fraction = %v, want small", banded[2])
+	}
+	if dense[2] < 0.9 {
+		t.Errorf("dense bandwidth fraction = %v, want ~1", dense[2])
+	}
+	// Pairwise separated (the analyzer must be able to classify).
+	pairs := [][2][]float64{{dense, sparse}, {dense, tri}, {sparse, tri}, {banded, dense}}
+	for _, p := range pairs {
+		if stats.Euclidean(p[0], p[1]) < 0.1 {
+			t.Errorf("characteristics %v and %v too close", p[0], p[1])
+		}
+	}
+	if got := Characteristics(newMatrix(4)); got[0] != 0 {
+		t.Errorf("empty matrix characteristics = %v", got)
+	}
+}
+
+func TestIsLowerTriangular(t *testing.T) {
+	if !NewLowerTriangular(16, 1).IsLowerTriangular() {
+		t.Error("triangular matrix not recognized")
+	}
+	if NewDense(16, 1).IsLowerTriangular() {
+		t.Error("dense matrix recognized as triangular")
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	m := NewSparse(32, 0.2, 5)
+	vals, cols, rowPtr := m.CSR()
+	if len(vals) != m.NNZ() || len(cols) != m.NNZ() || len(rowPtr) != m.N+1 {
+		t.Fatalf("CSR shapes: %d vals, %d cols, %d rowPtr (nnz %d)", len(vals), len(cols), len(rowPtr), m.NNZ())
+	}
+	// Rebuild and compare.
+	for i := 0; i < m.N; i++ {
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			if m.At(i, cols[k]) != vals[k] {
+				t.Fatalf("CSR entry (%d,%d) mismatch", i, cols[k])
+			}
+		}
+	}
+}
+
+func TestTuningPicksTheRightVersion(t *testing.T) {
+	// End to end: the tuner must discover the structurally right kernel for
+	// each matrix class.
+	lib := NewLibrary()
+	cases := []struct {
+		name string
+		m    *Matrix
+		want Version
+	}{
+		{"sparse", NewSparse(testN, 0.05, 21), VersionCSR},
+		{"triangular", NewLowerTriangular(testN, 22), VersionTriangular},
+	}
+	for _, tc := range cases {
+		res, err := search.Exhaustive(Space(), lib.Objective(tc.m), search.Minimize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Version(res.BestConfig[PVersion]); got != tc.want {
+			t.Errorf("%s: tuned version = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

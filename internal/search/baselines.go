@@ -1,0 +1,71 @@
+package search
+
+import (
+	"fmt"
+	"math/big"
+
+	"harmony/internal/stats"
+)
+
+// Exhaustive measures every configuration in the space and returns the full
+// trace. It refuses spaces larger than limit configurations (guarding
+// against the 2^1000 spaces the paper warns about). A limit of 0 means
+// 1,000,000.
+func Exhaustive(space *Space, obj Objective, dir Direction, limit int) (*Result, error) {
+	if limit == 0 {
+		limit = 1_000_000
+	}
+	if space.Size().Cmp(big.NewInt(int64(limit))) > 0 {
+		return nil, fmt.Errorf("search: exhaustive over %v configurations exceeds limit %d", space.Size(), limit)
+	}
+	ev := NewEvaluator(space, obj)
+	space.EachConfig(func(cfg Config) bool {
+		_, _, err := ev.EvalConfig(cfg)
+		return err == nil
+	})
+	tr := ev.Trace()
+	best := tr.Best(dir)
+	return &Result{
+		BestConfig: best.Config.Clone(),
+		BestPerf:   best.Perf,
+		Trace:      tr,
+		Evals:      ev.Count(),
+		Converged:  true,
+	}, nil
+}
+
+// RandomSearch measures n uniformly random configurations — the naive
+// baseline a tuning system must beat.
+func RandomSearch(space *Space, obj Objective, dir Direction, n int, rng *stats.RNG) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("search: RandomSearch with non-positive n")
+	}
+	ev := NewEvaluator(space, obj)
+	ev.MaxEvals = n
+	// Bound attempts so a space smaller than n cannot loop forever on
+	// cache hits.
+	for tries := 0; ev.Count() < n && tries < 50*n; tries++ {
+		cfg := make(Config, space.Dim())
+		for i, p := range space.Params {
+			steps := p.NumValues()
+			cfg[i] = p.Min + rng.Intn(steps)*p.Step
+		}
+		if _, _, err := ev.EvalConfig(cfg); err == ErrBudget {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+	}
+	tr := ev.Trace()
+	if len(tr) == 0 {
+		return &Result{Trace: tr}, nil
+	}
+	best := tr.Best(dir)
+	return &Result{
+		BestConfig: best.Config.Clone(),
+		BestPerf:   best.Perf,
+		Trace:      tr,
+		Evals:      ev.Count(),
+		Converged:  true,
+	}, nil
+}

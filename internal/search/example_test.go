@@ -1,0 +1,71 @@
+package search_test
+
+import (
+	"fmt"
+
+	"harmony/internal/search"
+)
+
+// ExampleNelderMead tunes a two-parameter system with the improved
+// (evenly-distributed) initial exploration.
+func ExampleNelderMead() {
+	space := search.MustSpace(
+		search.Param{Name: "bufferKB", Min: 1, Max: 64, Step: 1, Default: 8},
+		search.Param{Name: "threads", Min: 1, Max: 32, Step: 1, Default: 4},
+	)
+	objective := search.ObjectiveFunc(func(cfg search.Config) float64 {
+		db, dt := float64(cfg[0]-48), float64(cfg[1]-12)
+		return 100 - db*db/16 - dt*dt
+	})
+	res, err := search.NelderMead(space, objective, search.NelderMeadOptions{
+		Direction: search.Maximize,
+		MaxEvals:  120,
+		Init:      search.DistributedInit{},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("best %v -> %.0f\n", res.BestConfig, res.BestPerf)
+	// Output: best [48 12] -> 100
+}
+
+// ExamplePowell minimizes with the direction-set baseline.
+func ExamplePowell() {
+	space := search.MustSpace(
+		search.Param{Name: "x", Min: -20, Max: 20, Step: 1, Default: 15},
+	)
+	objective := search.ObjectiveFunc(func(cfg search.Config) float64 {
+		d := float64(cfg[0] + 3)
+		return d * d
+	})
+	res, err := search.Powell(space, objective, search.PowellOptions{
+		Direction: search.Minimize,
+		MaxEvals:  100,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("minimum at x=%d\n", res.BestConfig[0])
+	// Output: minimum at x=-3
+}
+
+// ExampleSpace_Subspace restricts tuning to a prioritized parameter subset.
+func ExampleSpace_Subspace() {
+	space := search.MustSpace(
+		search.Param{Name: "a", Min: 0, Max: 9, Step: 1, Default: 1},
+		search.Param{Name: "b", Min: 0, Max: 9, Step: 1, Default: 2},
+		search.Param{Name: "c", Min: 0, Max: 9, Step: 1, Default: 3},
+	)
+	sub, embed, err := space.Subspace([]int{2, 0}, space.DefaultConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(sub.Names())
+	fmt.Println(embed(search.Config{7, 8}))
+	// Output:
+	// [c a]
+	// [8 2 7]
+}

@@ -1,0 +1,337 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NelderMeadOptions configures the simplex search.
+type NelderMeadOptions struct {
+	// Init selects the initial simplex strategy. Defaults to ExtremeInit
+	// (the original Active Harmony behaviour) when nil.
+	Init InitStrategy
+	// Direction states whether the objective is maximized or minimized.
+	Direction Direction
+	// MaxEvals bounds the number of distinct configuration measurements.
+	// Defaults to 200 when zero.
+	MaxEvals int
+	// RelTol terminates the search when the relative performance spread of
+	// the simplex falls below it. Defaults to 1e-3 when zero.
+	RelTol float64
+	// MaxStall terminates after this many consecutive iterations without
+	// improvement of the best vertex. Defaults to 4*dim when zero.
+	MaxStall int
+	// Parallel, when > 1, measures the embarrassingly parallel phases (the
+	// initial simplex and shrink steps) with this many concurrent
+	// objective calls. The objective must then be safe for concurrent use
+	// (see Synchronized). Results are deterministic for deterministic
+	// objectives.
+	Parallel int
+	// Restarts re-runs the search this many additional times after it
+	// converges, each restart building a fresh distributed simplex centred
+	// on the best point found so far at half the previous scale. Restarts
+	// share the evaluation budget and cache; they help escape a prematurely
+	// collapsed simplex at no cost when the first run already used the
+	// budget.
+	Restarts int
+
+	// Standard Nelder–Mead coefficients; zero values take the textbook
+	// defaults (reflection 1, expansion 2, contraction 0.5, shrink 0.5).
+	Reflection  float64
+	Expansion   float64
+	Contraction float64
+	Shrink      float64
+}
+
+func (o *NelderMeadOptions) fill(dim int) {
+	if o.Init == nil {
+		o.Init = ExtremeInit{}
+	}
+	if o.MaxEvals == 0 {
+		o.MaxEvals = 200
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-3
+	}
+	if o.MaxStall == 0 {
+		o.MaxStall = 4 * dim
+	}
+	if o.Reflection == 0 {
+		o.Reflection = 1
+	}
+	if o.Expansion == 0 {
+		o.Expansion = 2
+	}
+	if o.Contraction == 0 {
+		o.Contraction = 0.5
+	}
+	if o.Shrink == 0 {
+		o.Shrink = 0.5
+	}
+}
+
+// Result summarizes a tuning session.
+type Result struct {
+	BestConfig Config
+	BestPerf   float64
+	Trace      Trace
+	Evals      int // number of real measurements (explorations)
+	Converged  bool
+}
+
+// vertex pairs a continuous simplex point with its measured performance.
+type vertex struct {
+	pt   []float64
+	perf float64
+}
+
+// NelderMead runs the adapted simplex search over the space.
+//
+// The algorithm is Nelder & Mead (1965) with the paper's discrete
+// adaptation: every probe point is evaluated at the nearest integer grid
+// configuration (§2). Because the space is bounded, probe points are clamped
+// into the box before snapping.
+func NelderMead(space *Space, obj Objective, opts NelderMeadOptions) (*Result, error) {
+	dim := space.Dim()
+	opts.fill(dim)
+	ev := NewEvaluator(space, obj)
+	ev.MaxEvals = opts.MaxEvals
+	return nelderMeadWithRestarts(space, ev, opts)
+}
+
+// NelderMeadWithEvaluator runs the search against a caller-managed
+// evaluator, letting callers pre-seed historical measurements (§4.2) or
+// share a budget across stages.
+func NelderMeadWithEvaluator(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, error) {
+	opts.fill(space.Dim())
+	return nelderMeadWithRestarts(space, ev, opts)
+}
+
+// nelderMeadWithRestarts runs the kernel, then optionally restarts from the
+// best point found with progressively tighter fresh simplexes, sharing the
+// evaluator (budget, cache and trace accumulate across restarts).
+func nelderMeadWithRestarts(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, error) {
+	res, err := nelderMead(space, ev, opts)
+	if err != nil {
+		return nil, err
+	}
+	scale := 0.5
+	for r := 0; r < opts.Restarts; r++ {
+		if !res.Converged || len(res.BestConfig) == 0 {
+			break // out of budget (or nothing measured): restarting is futile
+		}
+		restartOpts := opts
+		restartOpts.Init = scaledInit{
+			center: space.Continuous(res.BestConfig),
+			frac:   scale,
+		}
+		next, err := nelderMead(space, ev, restartOpts)
+		if err != nil {
+			return nil, err
+		}
+		res = next // the shared trace already spans all restarts
+		scale /= 2
+	}
+	return res, nil
+}
+
+// scaledInit builds a distributed simplex spanning frac of each parameter's
+// range, centred on a given point (used by restarts).
+type scaledInit struct {
+	center []float64
+	frac   float64
+}
+
+// Name implements InitStrategy.
+func (s scaledInit) Name() string { return "scaled-distributed" }
+
+// Initial implements InitStrategy.
+func (s scaledInit) Initial(space *Space) [][]float64 {
+	dim := space.Dim()
+	n := dim + 1
+	pts := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		for j, p := range space.Params {
+			span := float64(p.Max-p.Min) * s.frac
+			offset := (float64((i+j)%n)+0.5)/float64(n) - 0.5
+			v[j] = s.center[j] + span*offset
+		}
+		pts[i] = clampPoint(space, v)
+	}
+	return pts
+}
+
+func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, error) {
+	dim := space.Dim()
+	dir := opts.Direction
+
+	initPts := opts.Init.Initial(space)
+	if len(initPts) != dim+1 {
+		return nil, fmt.Errorf("search: init strategy %q produced %d vertices, want %d",
+			opts.Init.Name(), len(initPts), dim+1)
+	}
+
+	clamped := make([][]float64, len(initPts))
+	for i, pt := range initPts {
+		clamped[i] = clampPoint(space, pt)
+	}
+	_, initPerfs, err := ev.EvalBatch(clamped, opts.Parallel)
+	budgetHit := err == ErrBudget
+	if err != nil && !budgetHit {
+		return nil, err
+	}
+	verts := make([]vertex, 0, dim+1)
+	for i, perf := range initPerfs {
+		verts = append(verts, vertex{pt: clamped[i], perf: perf})
+	}
+
+	result := func(converged bool) *Result {
+		tr := ev.Trace()
+		if len(tr) == 0 {
+			return &Result{Trace: tr, Evals: 0, Converged: converged}
+		}
+		best := tr.Best(dir)
+		return &Result{
+			BestConfig: best.Config.Clone(),
+			BestPerf:   best.Perf,
+			Trace:      tr,
+			Evals:      ev.Count(),
+			Converged:  converged,
+		}
+	}
+	if budgetHit || len(verts) < dim+1 {
+		return result(false), nil
+	}
+
+	// worse(a, b) orders vertices from best to worst under dir.
+	better := func(a, b float64) bool { return dir.Better(a, b) }
+	sortVerts := func() {
+		sort.SliceStable(verts, func(i, j int) bool { return better(verts[i].perf, verts[j].perf) })
+	}
+	sortVerts()
+
+	probe := func(pt []float64) (float64, bool) {
+		pt = clampPoint(space, pt)
+		_, perf, err := ev.Eval(pt)
+		if err != nil {
+			return 0, false
+		}
+		return perf, true
+	}
+
+	stall := 0
+	prevBest := verts[0].perf
+	for iter := 0; ; iter++ {
+		// Convergence: relative spread between best and worst vertex.
+		bestV, worstV := verts[0].perf, verts[len(verts)-1].perf
+		spread := abs(bestV - worstV)
+		scale := abs(bestV) + abs(worstV)
+		if scale > 0 && spread/scale < opts.RelTol {
+			return result(true), nil
+		}
+		if stall >= opts.MaxStall {
+			return result(true), nil
+		}
+
+		// Centroid of all but the worst vertex.
+		centroid := make([]float64, dim)
+		for _, v := range verts[:len(verts)-1] {
+			for j := range centroid {
+				centroid[j] += v.pt[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(len(verts) - 1)
+		}
+		worst := verts[len(verts)-1]
+
+		move := func(coef float64) []float64 {
+			pt := make([]float64, dim)
+			for j := range pt {
+				pt[j] = centroid[j] + coef*(centroid[j]-worst.pt[j])
+			}
+			return pt
+		}
+
+		// Reflection.
+		refl := move(opts.Reflection)
+		rPerf, ok := probe(refl)
+		if !ok {
+			return result(false), nil
+		}
+		switch {
+		case better(rPerf, verts[0].perf):
+			// Expansion.
+			exp := move(opts.Reflection * opts.Expansion)
+			ePerf, ok := probe(exp)
+			if !ok {
+				return result(false), nil
+			}
+			if better(ePerf, rPerf) {
+				verts[len(verts)-1] = vertex{pt: clampPoint(space, exp), perf: ePerf}
+			} else {
+				verts[len(verts)-1] = vertex{pt: clampPoint(space, refl), perf: rPerf}
+			}
+		case better(rPerf, verts[len(verts)-2].perf):
+			// Better than the second-worst: accept the reflection.
+			verts[len(verts)-1] = vertex{pt: clampPoint(space, refl), perf: rPerf}
+		default:
+			// Contraction (outside if the reflection improved on the worst,
+			// inside otherwise).
+			var contr []float64
+			if better(rPerf, worst.perf) {
+				contr = move(opts.Reflection * opts.Contraction)
+			} else {
+				contr = move(-opts.Contraction)
+			}
+			cPerf, ok := probe(contr)
+			if !ok {
+				return result(false), nil
+			}
+			if better(cPerf, worst.perf) {
+				verts[len(verts)-1] = vertex{pt: clampPoint(space, contr), perf: cPerf}
+			} else {
+				// Shrink every vertex toward the best — an embarrassingly
+				// parallel batch.
+				bestPt := verts[0].pt
+				shrunk := make([][]float64, 0, len(verts)-1)
+				for i := 1; i < len(verts); i++ {
+					for j := range verts[i].pt {
+						verts[i].pt[j] = bestPt[j] + opts.Shrink*(verts[i].pt[j]-bestPt[j])
+					}
+					shrunk = append(shrunk, verts[i].pt)
+				}
+				_, perfs, err := ev.EvalBatch(shrunk, opts.Parallel)
+				if err != nil || len(perfs) < len(shrunk) {
+					return result(false), nil
+				}
+				for i := 1; i < len(verts); i++ {
+					verts[i].perf = perfs[i-1]
+				}
+			}
+		}
+		sortVerts()
+		if better(verts[0].perf, prevBest) {
+			prevBest = verts[0].perf
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+}
+
+func clampPoint(space *Space, pt []float64) []float64 {
+	out := make([]float64, len(pt))
+	for i, p := range space.Params {
+		v := pt[i]
+		if v < float64(p.Min) {
+			v = float64(p.Min)
+		}
+		if v > float64(p.Max) {
+			v = float64(p.Max)
+		}
+		out[i] = v
+	}
+	return out
+}

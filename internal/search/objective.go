@@ -1,0 +1,283 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Direction states whether larger or smaller objective values are better.
+// The paper's web-service metric (WIPS) is maximized; generic optimization
+// literature minimizes. The kernel supports both.
+type Direction int
+
+const (
+	// Maximize means higher performance values are better (e.g. WIPS).
+	Maximize Direction = iota
+	// Minimize means lower values are better (e.g. latency, runtime).
+	Minimize
+)
+
+// Better reports whether a is strictly better than b under the direction.
+func (d Direction) Better(a, b float64) bool {
+	if d == Maximize {
+		return a > b
+	}
+	return a < b
+}
+
+// Objective measures the performance of one configuration. Measurements may
+// be noisy and expensive; the kernel treats each call as one configuration
+// exploration (the paper's unit of tuning time).
+type Objective interface {
+	Measure(cfg Config) float64
+}
+
+// ObjectiveFunc adapts a plain function to the Objective interface.
+type ObjectiveFunc func(cfg Config) float64
+
+// Measure calls f.
+func (f ObjectiveFunc) Measure(cfg Config) float64 { return f(cfg) }
+
+// Evaluation records one configuration exploration.
+type Evaluation struct {
+	Index  int     // 0-based exploration order
+	Config Config  // the (snapped) configuration measured
+	Perf   float64 // observed performance
+}
+
+// Trace is the ordered history of explorations in one tuning session.
+type Trace []Evaluation
+
+// Best returns the best evaluation under dir. It panics on an empty trace.
+func (t Trace) Best(dir Direction) Evaluation {
+	if len(t) == 0 {
+		panic("search: Best of empty trace")
+	}
+	best := t[0]
+	for _, e := range t[1:] {
+		if dir.Better(e.Perf, best.Perf) {
+			best = e
+		}
+	}
+	return best
+}
+
+// Worst returns the worst performance observed, the paper's Table 1
+// "worst performance" column (how rough the tuning ride was).
+func (t Trace) Worst(dir Direction) Evaluation {
+	if len(t) == 0 {
+		panic("search: Worst of empty trace")
+	}
+	worst := t[0]
+	for _, e := range t[1:] {
+		if dir.Better(worst.Perf, e.Perf) {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Perfs returns the raw performance series.
+func (t Trace) Perfs() []float64 {
+	out := make([]float64, len(t))
+	for i, e := range t {
+		out[i] = e.Perf
+	}
+	return out
+}
+
+// ConvergenceIteration returns the 1-based exploration index after which the
+// best-so-far value never again improves by more than relTol (relative to
+// the final best). This matches the paper's "convergence time (iterations)":
+// the point where tuning has effectively finished even if the search keeps
+// probing. Returns 0 for an empty trace.
+func (t Trace) ConvergenceIteration(dir Direction, relTol float64) int {
+	if len(t) == 0 {
+		return 0
+	}
+	final := t.Best(dir).Perf
+	tol := relTol * abs(final)
+	// Find the earliest index where best-so-far is within tol of the final.
+	best := t[0].Perf
+	for i, e := range t {
+		if dir.Better(e.Perf, best) {
+			best = e.Perf
+		}
+		if !dir.Better(final, best) || abs(final-best) <= tol {
+			return i + 1
+		}
+	}
+	return len(t)
+}
+
+// BadIterations counts explorations whose performance falls below (for
+// Maximize; above for Minimize) the given fraction of the final best. The
+// paper reports "bad performance iterations" when comparing tuning with and
+// without prior histories (§6.4).
+func (t Trace) BadIterations(dir Direction, frac float64) int {
+	if len(t) == 0 {
+		return 0
+	}
+	best := t.Best(dir).Perf
+	count := 0
+	for _, e := range t {
+		if dir == Maximize {
+			if e.Perf < frac*best {
+				count++
+			}
+		} else {
+			if e.Perf > best/frac {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// InitialWindow returns the first k evaluations (or the whole trace when it
+// is shorter). The paper's Table 2 reports the mean and standard deviation of
+// performance in the initial oscillation stage.
+func (t Trace) InitialWindow(k int) Trace {
+	if k > len(t) {
+		k = len(t)
+	}
+	return t[:k]
+}
+
+// Evaluator wraps an Objective with exploration counting, a snap-to-grid
+// step, a deduplication cache and trace recording. The cache mirrors the
+// tuning server's record of "all the parameter values together with the
+// associated performance results" (§4.2): re-visiting a configuration does
+// not cost another measurement.
+type Evaluator struct {
+	Space     *Space
+	Objective Objective
+	// MaxEvals, when > 0, bounds the number of distinct measurements; further
+	// measurements return the cached value when available or an error.
+	MaxEvals int
+	// DisableCache forces re-measurement of repeated configurations (used by
+	// the ablation bench to quantify the cache's value under noise).
+	DisableCache bool
+
+	cache map[string]float64
+	trace Trace
+	hits  int
+}
+
+// NewEvaluator returns an Evaluator over the space and objective.
+func NewEvaluator(space *Space, obj Objective) *Evaluator {
+	return &Evaluator{Space: space, Objective: obj, cache: map[string]float64{}}
+}
+
+// ErrBudget is returned by Eval when the exploration budget is exhausted.
+var ErrBudget = fmt.Errorf("search: evaluation budget exhausted")
+
+// Eval measures the configuration nearest to the continuous point pt.
+// Cached configurations are free; fresh measurements append to the trace.
+func (e *Evaluator) Eval(pt []float64) (Config, float64, error) {
+	cfg := e.Space.Snap(pt)
+	return e.EvalConfig(cfg)
+}
+
+// EvalConfig measures an exact grid configuration.
+func (e *Evaluator) EvalConfig(cfg Config) (Config, float64, error) {
+	if !e.Space.Contains(cfg) {
+		return nil, 0, fmt.Errorf("search: configuration %v not in space", cfg)
+	}
+	key := cfg.Key()
+	if !e.DisableCache {
+		if perf, ok := e.cache[key]; ok {
+			e.hits++
+			return cfg, perf, nil
+		}
+	}
+	if e.MaxEvals > 0 && len(e.trace) >= e.MaxEvals {
+		return nil, 0, ErrBudget
+	}
+	perf := e.Objective.Measure(cfg)
+	e.cache[key] = perf
+	e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: perf})
+	return cfg, perf, nil
+}
+
+// Seed injects an already-known (configuration, performance) pair without
+// consuming budget — the "training stage" replay of historical data (§4.2).
+func (e *Evaluator) Seed(cfg Config, perf float64) error {
+	if !e.Space.Contains(cfg) {
+		return fmt.Errorf("search: seed configuration %v not in space", cfg)
+	}
+	e.cache[cfg.Key()] = perf
+	return nil
+}
+
+// Count returns the number of real measurements performed.
+func (e *Evaluator) Count() int { return len(e.trace) }
+
+// Hits returns the number of probe requests answered from the cache
+// (measurements the §4.2 record-keeping saved).
+func (e *Evaluator) Hits() int { return e.hits }
+
+// Trace returns a copy of the exploration history.
+func (e *Evaluator) Trace() Trace {
+	return append(Trace(nil), e.trace...)
+}
+
+// Known returns the cached performance for cfg, if present.
+func (e *Evaluator) Known(cfg Config) (float64, bool) {
+	perf, ok := e.cache[cfg.Key()]
+	return perf, ok
+}
+
+// KnownConfigs returns all cached configurations in deterministic order.
+func (e *Evaluator) KnownConfigs() []Config {
+	keys := make([]string, 0, len(e.cache))
+	for k := range e.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Config, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, parseKey(k))
+	}
+	return out
+}
+
+func parseKey(key string) Config {
+	parts := splitComma(key)
+	cfg := make(Config, len(parts))
+	for i, p := range parts {
+		v := 0
+		neg := false
+		for j := 0; j < len(p); j++ {
+			if p[j] == '-' {
+				neg = true
+				continue
+			}
+			v = v*10 + int(p[j]-'0')
+		}
+		if neg {
+			v = -v
+		}
+		cfg[i] = v
+	}
+	return cfg
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

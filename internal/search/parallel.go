@@ -1,0 +1,118 @@
+package search
+
+import (
+	"sync"
+)
+
+// Synchronized wraps an Objective with a mutex so it can be handed to the
+// parallel evaluation paths even when the underlying measurement function
+// is not safe for concurrent use (for example because it draws from a
+// shared noise source). The wrapper serializes measurements, so it protects
+// correctness, not speed — measurement functions that are naturally
+// concurrent-safe should be passed directly.
+func Synchronized(obj Objective) Objective {
+	var mu sync.Mutex
+	return ObjectiveFunc(func(cfg Config) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return obj.Measure(cfg)
+	})
+}
+
+// EvalBatch measures the configurations nearest to the given points, running
+// up to workers measurements concurrently (sequentially when workers <= 1).
+// The returned slices follow the input order for the longest prefix the
+// evaluation budget allows; when the budget truncates the batch, err is
+// ErrBudget and the slices cover the measured prefix.
+//
+// Cache and trace bookkeeping is deterministic: results are committed in
+// input order regardless of measurement completion order, and duplicate
+// configurations within the batch are measured once. The Objective must be
+// safe for concurrent use when workers > 1 (wrap with Synchronized if not).
+// EvalBatch itself must not be called concurrently with other Evaluator
+// methods.
+func (e *Evaluator) EvalBatch(pts [][]float64, workers int) ([]Config, []float64, error) {
+	if workers <= 1 || e.DisableCache {
+		// Sequential path (the cache-off mode re-measures duplicates, which
+		// has no deterministic parallel equivalent).
+		cfgs := make([]Config, 0, len(pts))
+		perfs := make([]float64, 0, len(pts))
+		for _, pt := range pts {
+			cfg, perf, err := e.Eval(pt)
+			if err != nil {
+				return cfgs, perfs, err
+			}
+			cfgs = append(cfgs, cfg)
+			perfs = append(perfs, perf)
+		}
+		return cfgs, perfs, nil
+	}
+
+	// Snap everything and find the configurations that need measuring, in
+	// first-occurrence order.
+	cfgs := make([]Config, len(pts))
+	need := make([]Config, 0, len(pts))
+	seen := map[string]bool{}
+	for i, pt := range pts {
+		cfgs[i] = e.Space.Snap(pt)
+		key := cfgs[i].Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := e.cache[key]; !ok {
+			need = append(need, cfgs[i])
+		} else {
+			e.hits++
+		}
+	}
+
+	// Budget: only the first `allowed` missing configurations get measured.
+	allowed := len(need)
+	truncated := false
+	if e.MaxEvals > 0 {
+		remaining := e.MaxEvals - len(e.trace)
+		if remaining < allowed {
+			allowed, truncated = remaining, true
+		}
+		if allowed < 0 {
+			allowed = 0
+		}
+	}
+	measured := make([]float64, allowed)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < allowed; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			measured[i] = e.Objective.Measure(need[i])
+		}(i)
+	}
+	wg.Wait()
+
+	// Commit in input order.
+	for i := 0; i < allowed; i++ {
+		cfg := need[i]
+		e.cache[cfg.Key()] = measured[i]
+		e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: measured[i]})
+	}
+
+	// Assemble results for the longest answerable prefix.
+	outC := make([]Config, 0, len(pts))
+	outP := make([]float64, 0, len(pts))
+	for _, cfg := range cfgs {
+		perf, ok := e.cache[cfg.Key()]
+		if !ok {
+			return outC, outP, ErrBudget
+		}
+		outC = append(outC, cfg)
+		outP = append(outP, perf)
+	}
+	if truncated {
+		return outC, outP, ErrBudget
+	}
+	return outC, outP, nil
+}

@@ -1,0 +1,227 @@
+package search
+
+import "fmt"
+
+// Powell implements the direction-set method the paper's related work
+// contrasts with the Active Harmony kernel (§7): break the N-dimensional
+// minimization into N one-dimensional searches, and on subsequent rounds
+// replace the direction of largest improvement with the aggregate move so
+// the search can follow valleys not aligned with the axes.
+//
+// The one-dimensional searches use golden-section reduction over the
+// parameter's (continuous) range, with every probe snapped to the grid —
+// the same discrete adaptation the simplex kernel uses. Like the paper
+// notes, the method explores one direction at a time and cannot model
+// parameter interactions within a round.
+type PowellOptions struct {
+	Direction Direction
+	// MaxEvals bounds real measurements (default 200).
+	MaxEvals int
+	// MaxRounds bounds full passes over the direction set (default 8).
+	MaxRounds int
+	// RelTol stops when a full round improves the best value by less than
+	// this relative amount (default 1e-3).
+	RelTol float64
+}
+
+func (o *PowellOptions) fill() {
+	if o.MaxEvals == 0 {
+		o.MaxEvals = 200
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 8
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-3
+	}
+}
+
+// Powell runs the direction-set search starting from the space's default
+// configuration.
+func Powell(space *Space, obj Objective, opts PowellOptions) (*Result, error) {
+	opts.fill()
+	ev := NewEvaluator(space, obj)
+	ev.MaxEvals = opts.MaxEvals
+	return PowellWithEvaluator(space, ev, opts)
+}
+
+// PowellWithEvaluator runs the search against a caller-managed evaluator.
+func PowellWithEvaluator(space *Space, ev *Evaluator, opts PowellOptions) (*Result, error) {
+	opts.fill()
+	dim := space.Dim()
+	dir := opts.Direction
+
+	// Direction set starts as the coordinate axes (scaled to each range).
+	dirs := make([][]float64, dim)
+	for i := range dirs {
+		d := make([]float64, dim)
+		d[i] = float64(space.Params[i].Max-space.Params[i].Min) / 2
+		if d[i] == 0 {
+			d[i] = 1
+		}
+		dirs[i] = d
+	}
+
+	cur := space.Continuous(space.DefaultConfig())
+	_, curPerf, err := ev.Eval(cur)
+	if err != nil {
+		return nil, fmt.Errorf("search: Powell initial evaluation: %w", err)
+	}
+
+	result := func(converged bool) *Result {
+		tr := ev.Trace()
+		if len(tr) == 0 {
+			return &Result{Trace: tr, Converged: converged}
+		}
+		best := tr.Best(dir)
+		return &Result{
+			BestConfig: best.Config.Clone(),
+			BestPerf:   best.Perf,
+			Trace:      tr,
+			Evals:      ev.Count(),
+			Converged:  converged,
+		}
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		roundStart := append([]float64(nil), cur...)
+		roundStartPerf := curPerf
+		bestGain, bestDir := 0.0, -1
+
+		for di, d := range dirs {
+			newPt, newPerf, ok := lineSearch(space, ev, cur, d, curPerf, dir)
+			if !ok {
+				return result(false), nil // budget exhausted
+			}
+			gain := newPerf - curPerf
+			if dir == Minimize {
+				gain = -gain
+			}
+			if gain > bestGain {
+				bestGain, bestDir = gain, di
+			}
+			cur, curPerf = newPt, newPerf
+		}
+
+		// Replace the most productive direction with the aggregate move.
+		aggregate := make([]float64, dim)
+		moved := false
+		for j := range aggregate {
+			aggregate[j] = cur[j] - roundStart[j]
+			if aggregate[j] != 0 {
+				moved = true
+			}
+		}
+		if bestDir >= 0 && moved {
+			dirs[bestDir] = aggregate
+		}
+
+		improvement := curPerf - roundStartPerf
+		if dir == Minimize {
+			improvement = -improvement
+		}
+		scale := abs(roundStartPerf) + abs(curPerf)
+		if scale == 0 || improvement/scale < opts.RelTol {
+			return result(true), nil
+		}
+	}
+	return result(true), nil
+}
+
+// lineSearch performs a golden-section search from pt along direction d,
+// bounded by the box. Returns the best point found (possibly pt itself).
+// ok is false when the evaluation budget ran out.
+func lineSearch(space *Space, ev *Evaluator, pt []float64, d []float64, ptPerf float64, dir Direction) ([]float64, float64, bool) {
+	// Find the admissible parameter interval [tLo, tHi] keeping pt + t·d in
+	// the box.
+	tLo, tHi := -1e18, 1e18
+	for i, p := range space.Params {
+		if d[i] == 0 {
+			continue
+		}
+		lo := (float64(p.Min) - pt[i]) / d[i]
+		hi := (float64(p.Max) - pt[i]) / d[i]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo > tLo {
+			tLo = lo
+		}
+		if hi < tHi {
+			tHi = hi
+		}
+	}
+	if tLo > tHi {
+		return pt, ptPerf, true // no admissible move
+	}
+
+	at := func(t float64) []float64 {
+		out := make([]float64, len(pt))
+		for i := range pt {
+			out[i] = pt[i] + t*d[i]
+		}
+		return clampPoint(space, out)
+	}
+	probe := func(t float64) (float64, bool) {
+		_, perf, err := ev.Eval(at(t))
+		if err != nil {
+			return 0, false
+		}
+		return perf, true
+	}
+
+	const phi = 0.6180339887498949
+	a, b := tLo, tHi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, ok := probe(x1)
+	if !ok {
+		return pt, ptPerf, false
+	}
+	f2, ok := probe(x2)
+	if !ok {
+		return pt, ptPerf, false
+	}
+	// Shrink until the interval is below one grid step in every moving dim.
+	for iter := 0; iter < 40 && !intervalResolved(space, d, a, b); iter++ {
+		if dir.Better(f1, f2) {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			if f1, ok = probe(x1); !ok {
+				return pt, ptPerf, false
+			}
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			if f2, ok = probe(x2); !ok {
+				return pt, ptPerf, false
+			}
+		}
+	}
+	bestT, bestF := x1, f1
+	if dir.Better(f2, f1) {
+		bestT, bestF = x2, f2
+	}
+	if dir.Better(bestF, ptPerf) {
+		return at(bestT), bestF, true
+	}
+	return pt, ptPerf, true
+}
+
+// intervalResolved reports whether [a, b] along direction d spans less than
+// one grid step in every dimension that d moves.
+func intervalResolved(space *Space, d []float64, a, b float64) bool {
+	for i, p := range space.Params {
+		if d[i] == 0 {
+			continue
+		}
+		span := (b - a) * d[i]
+		if span < 0 {
+			span = -span
+		}
+		if span >= float64(p.Step) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package search
+
+import (
+	"testing"
+)
+
+func TestPowellFindsInteriorOptimum(t *testing.T) {
+	s, obj := quadSpace()
+	res, err := Powell(s, obj, PowellOptions{Direction: Maximize, MaxEvals: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPerf < 985 {
+		t.Errorf("Powell best = %v at %v, want >= 985", res.BestPerf, res.BestConfig)
+	}
+	if res.Evals != len(res.Trace) {
+		t.Errorf("Evals %d != trace length %d", res.Evals, len(res.Trace))
+	}
+}
+
+func TestPowellMinimize(t *testing.T) {
+	s := MustSpace(
+		Param{Name: "x", Min: -50, Max: 50, Step: 1, Default: 40},
+		Param{Name: "y", Min: -50, Max: 50, Step: 1, Default: -40},
+	)
+	obj := ObjectiveFunc(func(c Config) float64 {
+		dx, dy := float64(c[0]-12), float64(c[1]+7)
+		return dx*dx + dy*dy
+	})
+	res, err := Powell(s, obj, PowellOptions{Direction: Minimize, MaxEvals: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPerf > 5 {
+		t.Errorf("Powell minimize best = %v at %v, want near 0", res.BestPerf, res.BestConfig)
+	}
+}
+
+func TestPowellFollowsRotatedValley(t *testing.T) {
+	// A narrow valley at 45° to the axes — the direction-update step is
+	// what lets Powell make progress here.
+	s := MustSpace(
+		Param{Name: "x", Min: 0, Max: 200, Step: 1, Default: 10},
+		Param{Name: "y", Min: 0, Max: 200, Step: 1, Default: 190},
+	)
+	obj := ObjectiveFunc(func(c Config) float64 {
+		u := float64(c[0]+c[1]) - 200 // along the valley
+		v := float64(c[0] - c[1])     // across the valley (steep)
+		return -(u*u + 25*v*v)
+	})
+	res, err := Powell(s, obj, PowellOptions{Direction: Maximize, MaxEvals: 400, MaxRounds: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPerf < -2000 {
+		t.Errorf("Powell valley best = %v at %v", res.BestPerf, res.BestConfig)
+	}
+}
+
+func TestPowellRespectsBudget(t *testing.T) {
+	s, obj := quadSpace()
+	res, err := Powell(s, obj, PowellOptions{Direction: Maximize, MaxEvals: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals > 15 {
+		t.Errorf("Evals = %d, want <= 15", res.Evals)
+	}
+	if len(res.BestConfig) == 0 {
+		t.Error("no best config despite measurements")
+	}
+}
+
+func TestPowellAllConfigsOnGrid(t *testing.T) {
+	s, obj := quadSpace()
+	res, err := Powell(s, obj, PowellOptions{Direction: Maximize, MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Trace {
+		if !s.Contains(e.Config) {
+			t.Fatalf("off-grid config %v in trace", e.Config)
+		}
+	}
+}
+
+func TestPowellSingleValueDimension(t *testing.T) {
+	// A frozen dimension must not break the line searches.
+	s := MustSpace(
+		Param{Name: "x", Min: 0, Max: 100, Step: 1, Default: 50},
+		Param{Name: "frozen", Min: 7, Max: 7, Step: 1, Default: 7},
+	)
+	obj := ObjectiveFunc(func(c Config) float64 {
+		d := float64(c[0] - 33)
+		return -d * d
+	})
+	res, err := Powell(s, obj, PowellOptions{Direction: Maximize, MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestConfig[0] != 33 || res.BestConfig[1] != 7 {
+		t.Errorf("best = %v, want [33 7]", res.BestConfig)
+	}
+}
+
+func TestPowellConstantObjective(t *testing.T) {
+	s, _ := quadSpace()
+	res, err := Powell(s, ObjectiveFunc(func(Config) float64 { return 5 }), PowellOptions{
+		Direction: Maximize, MaxEvals: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("constant objective did not converge")
+	}
+	if res.BestPerf != 5 {
+		t.Errorf("best = %v, want 5", res.BestPerf)
+	}
+}
+
+func TestPowellWithEvaluatorSharesBudget(t *testing.T) {
+	s, obj := quadSpace()
+	ev := NewEvaluator(s, obj)
+	ev.MaxEvals = 50
+	if _, _, err := ev.EvalConfig(Config{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := PowellWithEvaluator(s, ev, PowellOptions{Direction: Maximize, MaxEvals: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals > 50 {
+		t.Errorf("shared budget exceeded: %d", res.Evals)
+	}
+}

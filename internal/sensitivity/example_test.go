@@ -1,0 +1,49 @@
+package sensitivity_test
+
+import (
+	"fmt"
+
+	"harmony/internal/search"
+	"harmony/internal/sensitivity"
+)
+
+// ExampleAnalyze runs the §3 prioritizing tool and tunes only what matters.
+func ExampleAnalyze() {
+	space := search.MustSpace(
+		search.Param{Name: "important", Min: 0, Max: 10, Step: 1, Default: 5},
+		search.Param{Name: "irrelevant", Min: 0, Max: 10, Step: 1, Default: 5},
+	)
+	objective := search.ObjectiveFunc(func(cfg search.Config) float64 {
+		return float64(10 * cfg[0]) // only the first parameter matters
+	})
+	report, err := sensitivity.Analyze(space, objective, sensitivity.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	top := report.TopN(1)
+	fmt.Println(space.Params[top[0]].Name, report.Results[top[0]].Sensitivity)
+	fmt.Println("irrelevant sensitivity:", report.Results[1].Sensitivity)
+	// Output:
+	// important 100
+	// irrelevant sensitivity: 0
+}
+
+// ExamplePlackettBurman screens parameters whose effect only shows when
+// they move together — invisible to one-at-a-time sweeps.
+func ExamplePlackettBurman() {
+	space := search.MustSpace(
+		search.Param{Name: "x", Min: 0, Max: 4, Step: 1, Default: 0},
+		search.Param{Name: "y", Min: 0, Max: 4, Step: 1, Default: 0},
+	)
+	objective := search.ObjectiveFunc(func(cfg search.Config) float64 {
+		return float64(cfg[0] * cfg[1]) // pure interaction
+	})
+	s, err := sensitivity.PlackettBurman(space, objective, sensitivity.ScreeningOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("effects: x=%.0f y=%.0f in %d runs\n", s.Effects[0], s.Effects[1], s.Runs)
+	// Output: effects: x=8 y=8 in 8 runs
+}

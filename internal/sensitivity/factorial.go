@@ -1,0 +1,170 @@
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"harmony/internal/search"
+)
+
+// The paper's prioritizing tool assumes parameter interactions are small,
+// and §3 points users at full or fractional factorial experiment designs
+// (citing Plackett & Burman 1946) when that assumption fails. This file
+// implements Plackett–Burman two-level screening: N runs screen up to N−1
+// parameters with every main effect estimated from *jointly varied*
+// parameters, so a parameter whose influence only shows when others move is
+// still detected.
+
+// pbGenerators holds the classic cyclic first rows of the Plackett–Burman
+// designs (+ = high level, − = low level). Design N has N−1 columns: rows
+// 0..N−2 are cyclic shifts of the generator, row N−1 is all low.
+var pbGenerators = map[int][]int{
+	8:  {+1, +1, +1, -1, +1, -1, -1},
+	12: {+1, +1, -1, +1, +1, +1, -1, -1, -1, +1, -1},
+	16: {+1, +1, +1, +1, -1, +1, -1, +1, +1, -1, -1, +1, -1, -1, -1},
+	20: {+1, +1, -1, -1, +1, +1, +1, +1, -1, +1, -1, +1, -1, -1, -1, -1, +1, +1, -1},
+	24: {+1, +1, +1, +1, +1, -1, +1, -1, +1, +1, -1, -1, +1, +1, -1, -1, +1, -1, +1, -1, -1, -1, -1},
+}
+
+// pbDesign returns the N×(N−1) sign matrix of the Plackett–Burman design.
+func pbDesign(n int) ([][]int, error) {
+	gen, ok := pbGenerators[n]
+	if !ok {
+		return nil, fmt.Errorf("sensitivity: no Plackett–Burman design with %d runs", n)
+	}
+	k := len(gen)
+	rows := make([][]int, n)
+	for r := 0; r < n-1; r++ {
+		row := make([]int, k)
+		for c := 0; c < k; c++ {
+			row[c] = gen[(c+r)%k]
+		}
+		rows[r] = row
+	}
+	last := make([]int, k)
+	for c := range last {
+		last[c] = -1
+	}
+	rows[n-1] = last
+	return rows, nil
+}
+
+// pbRuns returns the smallest available design size screening k factors.
+func pbRuns(k int) (int, error) {
+	for _, n := range []int{8, 12, 16, 20, 24} {
+		if k <= n-1 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("sensitivity: Plackett–Burman screening supports at most 23 parameters, got %d", k)
+}
+
+// ScreeningOptions configures a factorial screening run.
+type ScreeningOptions struct {
+	// Direction of the objective (default Maximize).
+	Direction search.Direction
+	// Repeats averages this many replications of the whole design
+	// (default 1).
+	Repeats int
+	// LevelFraction places the low/high levels at this fraction inside the
+	// parameter range from each end (default 0: the extremes Min and Max;
+	// 0.25 uses the quartile values).
+	LevelFraction float64
+}
+
+// Screening is the outcome of a Plackett–Burman run: the absolute main
+// effect of each parameter on the performance.
+type Screening struct {
+	Space   *search.Space
+	Effects []float64 // |main effect| per parameter, space order
+	Runs    int       // design size N
+	Evals   int       // objective measurements spent
+}
+
+// PlackettBurman screens every parameter of the space with the smallest
+// design that fits. Measurement cost is Runs × Repeats — far below the
+// per-parameter sweeps of Analyze, and robust to pairwise interactions.
+func PlackettBurman(space *search.Space, obj search.Objective, opts ScreeningOptions) (*Screening, error) {
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	if opts.LevelFraction < 0 || opts.LevelFraction >= 0.5 {
+		return nil, fmt.Errorf("sensitivity: LevelFraction %v outside [0, 0.5)", opts.LevelFraction)
+	}
+	k := space.Dim()
+	n, err := pbRuns(k)
+	if err != nil {
+		return nil, err
+	}
+	design, err := pbDesign(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Level values per parameter.
+	lows := make([]int, k)
+	highs := make([]int, k)
+	for i, p := range space.Params {
+		span := float64(p.Max - p.Min)
+		lows[i] = p.Snap(float64(p.Min) + opts.LevelFraction*span)
+		highs[i] = p.Snap(float64(p.Max) - opts.LevelFraction*span)
+	}
+
+	s := &Screening{Space: space, Effects: make([]float64, k), Runs: n}
+	perfs := make([]float64, n)
+	for rep := 0; rep < opts.Repeats; rep++ {
+		for r, row := range design {
+			cfg := make(search.Config, k)
+			for c := 0; c < k; c++ {
+				if row[c] > 0 {
+					cfg[c] = highs[c]
+				} else {
+					cfg[c] = lows[c]
+				}
+			}
+			perfs[r] += obj.Measure(cfg)
+			s.Evals++
+		}
+	}
+	for r := range perfs {
+		perfs[r] /= float64(opts.Repeats)
+	}
+
+	// Main effect of factor c: mean(high runs) − mean(low runs)
+	// = Σ sign·perf / (N/2).
+	for c := 0; c < k; c++ {
+		sum := 0.0
+		for r, row := range design {
+			sum += float64(row[c]) * perfs[r]
+		}
+		eff := sum / float64(n/2)
+		if eff < 0 {
+			eff = -eff
+		}
+		s.Effects[c] = eff
+	}
+	return s, nil
+}
+
+// Ranking returns parameter indices from largest to smallest absolute
+// effect, ties broken by space order.
+func (s *Screening) Ranking() []int {
+	idx := make([]int, len(s.Effects))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.Effects[idx[a]] > s.Effects[idx[b]] })
+	return idx
+}
+
+// TopN returns the indices of the n largest-effect parameters.
+func (s *Screening) TopN(n int) []int {
+	r := s.Ranking()
+	if n > len(r) {
+		n = len(r)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return r[:n]
+}

@@ -1,0 +1,185 @@
+package sensitivity
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/search"
+)
+
+func TestPBDesignProperties(t *testing.T) {
+	for _, n := range []int{8, 12, 16, 20, 24} {
+		design, err := pbDesign(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(design) != n || len(design[0]) != n-1 {
+			t.Fatalf("N=%d design shape %dx%d", n, len(design), len(design[0]))
+		}
+		// Every column is balanced: N/2 highs, N/2 lows.
+		for c := 0; c < n-1; c++ {
+			sum := 0
+			for r := 0; r < n; r++ {
+				sum += design[r][c]
+			}
+			if sum != 0 {
+				t.Errorf("N=%d column %d unbalanced (sum %d)", n, c, sum)
+			}
+		}
+		// Distinct columns are orthogonal (zero dot product over the runs),
+		// which is what makes the main-effect estimates independent.
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n-1; j++ {
+				dot := 0
+				for r := 0; r < n; r++ {
+					dot += design[r][i] * design[r][j]
+				}
+				if dot != 0 {
+					t.Errorf("N=%d columns %d,%d dot = %d, want 0", n, i, j, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestPBRunsSelection(t *testing.T) {
+	tests := []struct{ k, want int }{
+		{1, 8}, {7, 8}, {8, 12}, {11, 12}, {15, 16}, {19, 20}, {23, 24},
+	}
+	for _, tt := range tests {
+		n, err := pbRuns(tt.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != tt.want {
+			t.Errorf("pbRuns(%d) = %d, want %d", tt.k, n, tt.want)
+		}
+	}
+	if _, err := pbRuns(24); err == nil {
+		t.Error("24 factors accepted")
+	}
+}
+
+func TestPlackettBurmanRecoversLinearEffects(t *testing.T) {
+	space := linSpace(t, 5)
+	weights := []float64{4, 0, 9, 1, 2}
+	obj := weightedObjective(space, weights)
+	s, err := PlackettBurman(space, obj, ScreeningOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For an additive objective, the main effect of parameter i equals
+	// weights[i] (levels at the extremes, normalized range 1).
+	for i, w := range weights {
+		if math.Abs(s.Effects[i]-w) > 1e-9 {
+			t.Errorf("effect[%d] = %v, want %v", i, s.Effects[i], w)
+		}
+	}
+	want := []int{2, 0, 4, 3, 1}
+	got := s.Ranking()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranking = %v, want %v", got, want)
+		}
+	}
+	if s.Runs != 8 || s.Evals != 8 {
+		t.Errorf("runs/evals = %d/%d, want 8/8", s.Runs, s.Evals)
+	}
+}
+
+func TestPlackettBurmanDetectsInteractionHiddenFromSweeps(t *testing.T) {
+	// perf = x0 * x1 (normalized). With defaults at 0, the one-at-a-time
+	// sweep of x0 sees nothing (x1 = 0 kills the product) and vice versa;
+	// Plackett–Burman varies them jointly and sees both.
+	space := search.MustSpace(
+		search.Param{Name: "x0", Min: 0, Max: 10, Step: 1, Default: 0},
+		search.Param{Name: "x1", Min: 0, Max: 10, Step: 1, Default: 0},
+		search.Param{Name: "dead", Min: 0, Max: 10, Step: 1, Default: 0},
+	)
+	obj := search.ObjectiveFunc(func(c search.Config) float64 {
+		return float64(c[0]) * float64(c[1])
+	})
+
+	sweep, err := Analyze(space, obj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Results[0].Sensitivity != 0 || sweep.Results[1].Sensitivity != 0 {
+		t.Fatalf("expected the sweep to be blind to the interaction, got %v",
+			sweep.Sensitivities())
+	}
+
+	pb, err := PlackettBurman(space, obj, ScreeningOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Effects[0] <= 0 || pb.Effects[1] <= 0 {
+		t.Errorf("screening effects = %v, want x0 and x1 > 0", pb.Effects)
+	}
+	if pb.Effects[2] >= pb.Effects[0] {
+		t.Errorf("dead parameter effect %v not below live %v", pb.Effects[2], pb.Effects[0])
+	}
+}
+
+func TestPlackettBurmanLevelFraction(t *testing.T) {
+	space := search.MustSpace(
+		search.Param{Name: "x", Min: 0, Max: 100, Step: 1, Default: 50},
+	)
+	seen := map[int]bool{}
+	obj := search.ObjectiveFunc(func(c search.Config) float64 {
+		seen[c[0]] = true
+		return 0
+	})
+	if _, err := PlackettBurman(space, obj, ScreeningOptions{LevelFraction: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if !seen[25] || !seen[75] {
+		t.Errorf("quartile levels not probed: %v", seen)
+	}
+	if seen[0] || seen[100] {
+		t.Errorf("extremes probed despite LevelFraction: %v", seen)
+	}
+	if _, err := PlackettBurman(space, obj, ScreeningOptions{LevelFraction: 0.6}); err == nil {
+		t.Error("LevelFraction 0.6 accepted")
+	}
+}
+
+func TestPlackettBurmanRepeatsAverage(t *testing.T) {
+	space := linSpace(t, 3)
+	calls := 0
+	obj := search.ObjectiveFunc(func(c search.Config) float64 {
+		calls++
+		return float64(c[0])
+	})
+	s, err := PlackettBurman(space, obj, ScreeningOptions{Repeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Evals != 24 || calls != 24 {
+		t.Errorf("evals = %d calls = %d, want 24", s.Evals, calls)
+	}
+}
+
+func TestPlackettBurmanTooManyParams(t *testing.T) {
+	params := make([]search.Param, 24)
+	for i := range params {
+		params[i] = search.Param{Name: string(rune('a' + i)), Min: 0, Max: 1, Step: 1, Default: 0}
+	}
+	space := search.MustSpace(params...)
+	if _, err := PlackettBurman(space, search.ObjectiveFunc(func(search.Config) float64 { return 0 }), ScreeningOptions{}); err == nil {
+		t.Error("24 parameters accepted")
+	}
+}
+
+func TestScreeningTopN(t *testing.T) {
+	s := &Screening{Effects: []float64{1, 5, 3}}
+	if got := s.TopN(2); got[0] != 1 || got[1] != 2 {
+		t.Errorf("TopN(2) = %v, want [1 2]", got)
+	}
+	if got := s.TopN(99); len(got) != 3 {
+		t.Errorf("TopN(99) len = %d", len(got))
+	}
+	if got := s.TopN(-1); len(got) != 0 {
+		t.Errorf("TopN(-1) len = %d", len(got))
+	}
+}

@@ -1,0 +1,298 @@
+// Package sensitivity implements the paper's standalone parameter
+// prioritizing tool (§3).
+//
+// For each tunable parameter the tool sweeps the parameter's values
+// v_1 … v_n (as spaced by the parameter's Step) while holding every other
+// parameter at its default, records the performance results P_1 … P_n, and
+// computes the sensitivity
+//
+//	ΔP / Δv′  with  ΔP = P_a − P_b,  Δv′ = |v′_a − v′_b|,
+//
+// where P_a = max P_i, P_b = min P_i and v′ is the parameter value
+// normalized to [0, 1] so wide-range parameters get no excess weight.
+//
+// Parameters with large sensitivity should be tuned first; parameters with
+// (near-)zero sensitivity can be left at their defaults. The tool assumes
+// parameter interactions are small; the package documents but does not
+// implement fractional factorial designs (the paper defers those to the
+// user).
+package sensitivity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// DeltaVMode selects how the Δv′ denominator of the sensitivity is computed.
+type DeltaVMode int
+
+const (
+	// DeltaVSpan uses the normalized span of the swept values (1 when the
+	// whole range is swept), so the sensitivity equals the performance
+	// swing ΔP. This is the default: under measurement noise the literal
+	// argmax/argmin denominator is pathological (see DeltaVArgExtremes).
+	DeltaVSpan DeltaVMode = iota
+	// DeltaVArgExtremes is the paper's literal formula: Δv′ is the
+	// normalized distance between the value achieving the best performance
+	// and the value achieving the worst. For a noisy parameter with no real
+	// effect those two positions are random and can be adjacent, dividing
+	// the noise floor by a near-zero Δv′ and catapulting an irrelevant
+	// parameter to the top of the ranking. The ablation bench quantifies
+	// this failure mode.
+	DeltaVArgExtremes
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Repeats is the number of full sweeps to average, defending the
+	// ranking against measurement noise (the paper perturbs outputs by up
+	// to ±25 %). Defaults to 1.
+	Repeats int
+	// Direction of the objective (default Maximize, the paper's WIPS).
+	Direction search.Direction
+	// Base overrides the configuration the non-swept parameters are held
+	// at; defaults to the space's default configuration.
+	Base search.Config
+	// DeltaV selects the sensitivity denominator (default DeltaVSpan).
+	DeltaV DeltaVMode
+}
+
+// ParamResult is the outcome of one parameter's sweep.
+type ParamResult struct {
+	Index       int     // parameter position in the space
+	Name        string  // parameter name
+	Sensitivity float64 // the paper's ΔP/Δv′
+	BestValue   int     // swept value achieving the best performance
+	WorstValue  int     // swept value achieving the worst performance
+	MeanPerfs   []float64
+	Values      []int
+}
+
+// Report is a full prioritization: one ParamResult per parameter plus the
+// measurement cost.
+type Report struct {
+	Space   *search.Space
+	Results []ParamResult // in space order
+	Evals   int           // objective measurements spent
+}
+
+// Analyze runs the prioritizing tool over every parameter in the space.
+func Analyze(space *search.Space, obj search.Objective, opts Options) (*Report, error) {
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	base := opts.Base
+	if base == nil {
+		base = space.DefaultConfig()
+	}
+	if !space.Contains(base) {
+		return nil, fmt.Errorf("sensitivity: base configuration %v not in space", base)
+	}
+
+	rep := &Report{Space: space}
+	for i, p := range space.Params {
+		values := p.Values()
+		sums := make([]float64, len(values))
+		for r := 0; r < opts.Repeats; r++ {
+			for vi, v := range values {
+				cfg := base.Clone()
+				cfg[i] = v
+				sums[vi] += obj.Measure(cfg)
+				rep.Evals++
+			}
+		}
+		means := make([]float64, len(values))
+		for vi := range sums {
+			means[vi] = sums[vi] / float64(opts.Repeats)
+		}
+		rep.Results = append(rep.Results, sweepResult(i, p, values, means, opts.Direction, opts.DeltaV))
+	}
+	return rep, nil
+}
+
+// sweepResult computes the sensitivity from one parameter's sweep means.
+func sweepResult(idx int, p search.Param, values []int, means []float64, dir search.Direction, mode DeltaVMode) ParamResult {
+	res := ParamResult{Index: idx, Name: p.Name, MeanPerfs: means, Values: values}
+	if len(values) == 0 {
+		return res
+	}
+	bestI, worstI := 0, 0
+	for i := range means {
+		if dir.Better(means[i], means[bestI]) {
+			bestI = i
+		}
+		if dir.Better(means[worstI], means[i]) {
+			worstI = i
+		}
+	}
+	res.BestValue = values[bestI]
+	res.WorstValue = values[worstI]
+	deltaP := means[bestI] - means[worstI]
+	if deltaP < 0 {
+		deltaP = -deltaP
+	}
+	var deltaV float64
+	switch mode {
+	case DeltaVArgExtremes:
+		deltaV = p.Normalize(values[bestI]) - p.Normalize(values[worstI])
+		if deltaV < 0 {
+			deltaV = -deltaV
+		}
+	default: // DeltaVSpan
+		deltaV = p.Normalize(values[len(values)-1]) - p.Normalize(values[0])
+	}
+	switch {
+	case deltaP == 0:
+		res.Sensitivity = 0
+	case deltaV == 0:
+		// All performances equal (caught above) or a single-value sweep;
+		// either way there is no usable slope.
+		res.Sensitivity = 0
+	default:
+		res.Sensitivity = deltaP / deltaV
+	}
+	return res
+}
+
+// Ranking returns parameter indices ordered from most to least sensitive,
+// breaking ties by space order so the ranking is deterministic.
+func (r *Report) Ranking() []int {
+	idx := make([]int, len(r.Results))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return r.Results[idx[a]].Sensitivity > r.Results[idx[b]].Sensitivity
+	})
+	return idx
+}
+
+// TopN returns the indices of the n most sensitive parameters (all of them
+// when n exceeds the parameter count).
+func (r *Report) TopN(n int) []int {
+	rank := r.Ranking()
+	if n > len(rank) {
+		n = len(rank)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return rank[:n]
+}
+
+// Irrelevant returns the indices of parameters whose sensitivity falls below
+// frac times the maximum sensitivity — the paper's "less relevant to the
+// performance" parameters (H and M in Figure 5).
+func (r *Report) Irrelevant(frac float64) []int {
+	maxS := 0.0
+	for _, res := range r.Results {
+		if res.Sensitivity > maxS {
+			maxS = res.Sensitivity
+		}
+	}
+	var out []int
+	for i, res := range r.Results {
+		if res.Sensitivity <= frac*maxS {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sensitivities returns the sensitivity values in space order.
+func (r *Report) Sensitivities() []float64 {
+	out := make([]float64, len(r.Results))
+	for i, res := range r.Results {
+		out[i] = res.Sensitivity
+	}
+	return out
+}
+
+// String renders the report as the bar-per-parameter table of Figure 5/8.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s  %s\n", "parameter", "sensitivity", "")
+	maxS := 0.0
+	for _, res := range r.Results {
+		if res.Sensitivity > maxS {
+			maxS = res.Sensitivity
+		}
+	}
+	for _, res := range r.Results {
+		bar := ""
+		if maxS > 0 {
+			bar = strings.Repeat("#", int(40*res.Sensitivity/maxS+0.5))
+		}
+		fmt.Fprintf(&b, "%-28s %12.2f  %s\n", res.Name, res.Sensitivity, bar)
+	}
+	fmt.Fprintf(&b, "(%d measurements)\n", r.Evals)
+	return b.String()
+}
+
+// Spearman returns the Spearman rank correlation between the sensitivities
+// of two reports over the same space — used to show the ranking is robust to
+// measurement noise.
+func Spearman(a, b *Report) (float64, error) {
+	if len(a.Results) != len(b.Results) {
+		return 0, fmt.Errorf("sensitivity: reports cover %d and %d parameters", len(a.Results), len(b.Results))
+	}
+	n := len(a.Results)
+	if n < 2 {
+		return 1, nil
+	}
+	ra := ranks(a.Sensitivities())
+	rb := ranks(b.Sensitivities())
+	// Pearson correlation of the rank vectors (robust to ties).
+	return pearson(ra, rb), nil
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for r, i := range idx {
+		out[i] = float64(r)
+	}
+	// Average ranks of exact ties.
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		if j > i {
+			avg := 0.0
+			for k := i; k <= j; k++ {
+				avg += out[idx[k]]
+			}
+			avg /= float64(j - i + 1)
+			for k := i; k <= j; k++ {
+				out[idx[k]] = avg
+			}
+		}
+		i = j + 1
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	num, da, db := 0.0, 0.0, 0.0
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / (math.Sqrt(da) * math.Sqrt(db))
+}

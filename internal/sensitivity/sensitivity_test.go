@@ -1,0 +1,325 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"harmony/internal/datagen"
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// weightedObjective builds an objective with known per-parameter importance:
+// perf = sum_i weight[i] * normalized(v_i). Sensitivity must recover the
+// weights exactly (each parameter's sweep range of the normalized value is 1,
+// so ΔP/Δv' = weight).
+func weightedObjective(space *search.Space, weights []float64) search.Objective {
+	return search.ObjectiveFunc(func(c search.Config) float64 {
+		sum := 0.0
+		for i, p := range space.Params {
+			sum += weights[i] * p.Normalize(c[i])
+		}
+		return sum
+	})
+}
+
+func linSpace(t testing.TB, n int) *search.Space {
+	t.Helper()
+	params := make([]search.Param, n)
+	for i := range params {
+		params[i] = search.Param{
+			Name: string(rune('A' + i)), Min: 0, Max: 10, Step: 1, Default: 5,
+		}
+	}
+	return search.MustSpace(params...)
+}
+
+func TestAnalyzeRecoversKnownWeights(t *testing.T) {
+	space := linSpace(t, 4)
+	weights := []float64{3, 0, 7, 1}
+	rep, err := Analyze(space, weightedObjective(space, weights), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Sensitivities()
+	for i, w := range weights {
+		if d := got[i] - w; d > 1e-9 || d < -1e-9 {
+			t.Errorf("param %d sensitivity = %v, want %v", i, got[i], w)
+		}
+	}
+	ranking := rep.Ranking()
+	want := []int{2, 0, 3, 1}
+	for i := range want {
+		if ranking[i] != want[i] {
+			t.Fatalf("ranking = %v, want %v", ranking, want)
+		}
+	}
+}
+
+func TestAnalyzeEvalCount(t *testing.T) {
+	space := linSpace(t, 3)
+	rep, err := Analyze(space, weightedObjective(space, []float64{1, 1, 1}), Options{Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 params × 11 values × 2 repeats.
+	if rep.Evals != 66 {
+		t.Errorf("Evals = %d, want 66", rep.Evals)
+	}
+}
+
+func TestAnalyzeBaseValidation(t *testing.T) {
+	space := linSpace(t, 2)
+	obj := weightedObjective(space, []float64{1, 1})
+	if _, err := Analyze(space, obj, Options{Base: search.Config{99, 5}}); err == nil {
+		t.Error("out-of-space base accepted")
+	}
+}
+
+func TestAnalyzeCustomBase(t *testing.T) {
+	space := linSpace(t, 2)
+	// Performance depends on parameter A only when B is held at 0.
+	obj := search.ObjectiveFunc(func(c search.Config) float64 {
+		if c[1] == 0 {
+			return float64(c[0])
+		}
+		return 0
+	})
+	repDefault, err := Analyze(space, obj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repZero, err := Analyze(space, obj, Options{Base: search.Config{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the default base (B=5), A looks irrelevant; with B=0 it matters.
+	if repDefault.Results[0].Sensitivity != 0 {
+		t.Errorf("default-base sensitivity of A = %v, want 0", repDefault.Results[0].Sensitivity)
+	}
+	if repZero.Results[0].Sensitivity == 0 {
+		t.Error("zero-base sensitivity of A = 0, want > 0")
+	}
+}
+
+func TestTopNAndIrrelevant(t *testing.T) {
+	space := linSpace(t, 5)
+	weights := []float64{5, 0, 9, 0.01, 2}
+	rep, err := Analyze(space, weightedObjective(space, weights), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top2 := rep.TopN(2)
+	if len(top2) != 2 || top2[0] != 2 || top2[1] != 0 {
+		t.Errorf("TopN(2) = %v, want [2 0]", top2)
+	}
+	if got := rep.TopN(99); len(got) != 5 {
+		t.Errorf("TopN(99) len = %d, want 5", len(got))
+	}
+	if got := rep.TopN(-1); len(got) != 0 {
+		t.Errorf("TopN(-1) len = %d, want 0", len(got))
+	}
+	irr := rep.Irrelevant(0.01)
+	// Zero-weight params 1 and 3 (0.01*9 = 0.09 > 0.01 sensitivity of param 3).
+	if len(irr) != 2 || irr[0] != 1 || irr[1] != 3 {
+		t.Errorf("Irrelevant = %v, want [1 3]", irr)
+	}
+}
+
+func TestBestValueHint(t *testing.T) {
+	space := search.MustSpace(search.Param{Name: "x", Min: 0, Max: 10, Step: 1, Default: 0})
+	// Peak at x = 7.
+	obj := search.ObjectiveFunc(func(c search.Config) float64 {
+		d := float64(c[0] - 7)
+		return 100 - d*d
+	})
+	rep, err := Analyze(space, obj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].BestValue != 7 {
+		t.Errorf("BestValue = %d, want 7", rep.Results[0].BestValue)
+	}
+}
+
+func TestMinimizeDirection(t *testing.T) {
+	space := search.MustSpace(search.Param{Name: "x", Min: 0, Max: 10, Step: 1, Default: 0})
+	obj := search.ObjectiveFunc(func(c search.Config) float64 { return float64(c[0]) })
+	rep, err := Analyze(space, obj, Options{Direction: search.Minimize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].BestValue != 0 || rep.Results[0].WorstValue != 10 {
+		t.Errorf("best/worst = %d/%d, want 0/10", rep.Results[0].BestValue, rep.Results[0].WorstValue)
+	}
+	if rep.Results[0].Sensitivity != 10 {
+		t.Errorf("sensitivity = %v, want 10", rep.Results[0].Sensitivity)
+	}
+}
+
+func TestDeltaVModes(t *testing.T) {
+	space := search.MustSpace(search.Param{Name: "x", Min: 0, Max: 10, Step: 1, Default: 0})
+	// Perf is 1 only at x = 5; the argmin lands on x = 0 (first scanned).
+	obj := search.ObjectiveFunc(func(c search.Config) float64 {
+		if c[0] == 5 {
+			return 1
+		}
+		return 0
+	})
+	span, err := Analyze(space, obj, Options{DeltaV: DeltaVSpan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := span.Results[0].Sensitivity; got != 1 {
+		t.Errorf("span sensitivity = %v, want 1 (ΔP / full range)", got)
+	}
+	lit, err := Analyze(space, obj, Options{DeltaV: DeltaVArgExtremes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lit.Results[0].Sensitivity; got != 2 {
+		t.Errorf("literal sensitivity = %v, want 2 (ΔP / 0.5)", got)
+	}
+}
+
+func TestLiteralDeltaVAmplifiesNoise(t *testing.T) {
+	// The documented failure mode: pure noise with best/worst at adjacent
+	// values yields an enormous literal sensitivity.
+	space := search.MustSpace(search.Param{Name: "x", Min: 0, Max: 20, Step: 1, Default: 0})
+	vals := map[int]float64{7: 10, 8: -10} // adjacent spike and dip
+	obj := search.ObjectiveFunc(func(c search.Config) float64 { return vals[c[0]] })
+	lit, err := Analyze(space, obj, Options{DeltaV: DeltaVArgExtremes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := Analyze(space, obj, Options{DeltaV: DeltaVSpan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit.Results[0].Sensitivity <= span.Results[0].Sensitivity*10 {
+		t.Errorf("literal = %v, span = %v: expected ~20x amplification",
+			lit.Results[0].Sensitivity, span.Results[0].Sensitivity)
+	}
+}
+
+func TestConstantObjectiveZeroSensitivity(t *testing.T) {
+	space := linSpace(t, 2)
+	rep, err := Analyze(space, search.ObjectiveFunc(func(search.Config) float64 { return 42 }), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if res.Sensitivity != 0 {
+			t.Errorf("constant objective sensitivity = %v, want 0", res.Sensitivity)
+		}
+	}
+}
+
+func TestIdentifiesPlantedIrrelevantParamsOnSyntheticData(t *testing.T) {
+	// The Figure 5 claim: H and M come out with (near-)zero sensitivity at
+	// every perturbation level.
+	model, err := datagen.New(datagen.PaperSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := model.WorkloadSpace().DefaultConfig()
+	// More noise needs more sweep averaging to hold the ranking steady
+	// (the noise floor of a sweep's ΔP shrinks as 1/√repeats).
+	repeats := map[float64]int{0: 1, 0.05: 9, 0.10: 25, 0.25: 81}
+	for _, noise := range []float64{0, 0.05, 0.10, 0.25} {
+		var rng *stats.RNG
+		if noise > 0 {
+			rng = stats.NewRNG(123)
+		}
+		obj := model.Objective(w, noise, rng)
+		rep, err := Analyze(model.TunableSpace(), obj, Options{Repeats: repeats[noise]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranking := rep.Ranking()
+		// The two planted irrelevant parameters must rank in the bottom
+		// third at every noise level.
+		hIdx := model.TunableSpace().Index("H")
+		mIdx := model.TunableSpace().Index("M")
+		for pos, idx := range ranking {
+			if (idx == hIdx || idx == mIdx) && pos < 10 {
+				t.Errorf("noise %.0f%%: irrelevant param %s ranked %d of 15",
+					noise*100, model.TunableSpace().Params[idx].Name, pos+1)
+			}
+		}
+	}
+}
+
+func TestRankingRobustToNoiseSpearman(t *testing.T) {
+	model, err := datagen.New(datagen.PaperSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := model.WorkloadSpace().DefaultConfig()
+	clean, err := Analyze(model.TunableSpace(), model.Objective(w, 0, nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Analyze(model.TunableSpace(),
+		model.Objective(w, 0.10, stats.NewRNG(7)), Options{Repeats: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := Spearman(clean, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.6 {
+		t.Errorf("Spearman(clean, 10%% noise) = %v, want >= 0.6", rho)
+	}
+}
+
+func TestSpearmanMismatch(t *testing.T) {
+	a := &Report{Results: make([]ParamResult, 2)}
+	b := &Report{Results: make([]ParamResult, 3)}
+	if _, err := Spearman(a, b); err == nil {
+		t.Error("mismatched reports accepted")
+	}
+}
+
+func TestSpearmanPerfectAndInverse(t *testing.T) {
+	mk := func(s []float64) *Report {
+		rep := &Report{}
+		for i, v := range s {
+			rep.Results = append(rep.Results, ParamResult{Index: i, Sensitivity: v})
+		}
+		return rep
+	}
+	a := mk([]float64{1, 2, 3, 4})
+	if rho, _ := Spearman(a, mk([]float64{10, 20, 30, 40})); rho < 0.999 {
+		t.Errorf("identical ranking rho = %v, want 1", rho)
+	}
+	if rho, _ := Spearman(a, mk([]float64{4, 3, 2, 1})); rho > -0.999 {
+		t.Errorf("inverse ranking rho = %v, want -1", rho)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	space := linSpace(t, 2)
+	rep, err := Analyze(space, weightedObjective(space, []float64{1, 2}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if s == "" {
+		t.Fatal("empty report string")
+	}
+	for _, want := range []string{"A", "B", "measurements"} {
+		if !contains(s, want) {
+			t.Errorf("report string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

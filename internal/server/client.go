@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"harmony/internal/search"
+)
+
+// Client is the application-side library: register tunable parameters, then
+// alternate Fetch and Report until Fetch signals completion.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+
+	names []string
+	best  *Best
+	warm  bool
+}
+
+// Best is the final answer of a tuning session.
+type Best struct {
+	Values search.Config
+	Perf   float64
+	Evals  int
+}
+
+// RegisterOptions tune a session.
+type RegisterOptions struct {
+	// Minimize flips the objective direction (default: maximize).
+	Minimize bool
+	// MaxEvals bounds the number of configurations the server will ask the
+	// application to measure (0 = server default).
+	MaxEvals int
+	// Improved selects the evenly-distributed initial exploration (§4.1).
+	Improved bool
+	// App names the application. Sessions with the same App and parameter
+	// specification share the server's experience database.
+	App string
+	// Characteristics describes the workload currently served (e.g. the
+	// interaction frequency distribution). When set, the server's data
+	// analyzer warm-starts this session from the closest prior session.
+	Characteristics []float64
+}
+
+// Dial connects to a harmony server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.send(message{Op: "quit"}) // best effort; the read may already be gone
+	return c.conn.Close()
+}
+
+func (c *Client) send(m message) error {
+	b, err := encode(m)
+	if err != nil {
+		return err
+	}
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Client) recv() (message, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return message{}, err
+		}
+		return message{}, errors.New("server closed the connection")
+	}
+	m, err := decode(c.r.Bytes())
+	if err != nil {
+		return message{}, err
+	}
+	if m.Op == "error" {
+		return message{}, fmt.Errorf("harmony server: %s", m.Msg)
+	}
+	return m, nil
+}
+
+// Register declares the application's tunable parameters in RSL and starts
+// the session. It returns the parameter names in configuration order.
+func (c *Client) Register(rslText string, opts RegisterOptions) ([]string, error) {
+	dir := "max"
+	if opts.Minimize {
+		dir = "min"
+	}
+	err := c.send(message{
+		Op: "register", RSL: rslText, Direction: dir,
+		MaxEvals: opts.MaxEvals, Improved: opts.Improved,
+		App: opts.App, Characteristics: opts.Characteristics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Op != "registered" {
+		return nil, fmt.Errorf("unexpected reply %q to register", m.Op)
+	}
+	c.names = m.Names
+	c.warm = m.Warm
+	return m.Names, nil
+}
+
+// WarmStarted reports whether the server seeded this session from a prior
+// session's experience (only meaningful after Register).
+func (c *Client) WarmStarted() bool { return c.warm }
+
+// Names returns the registered parameter names.
+func (c *Client) Names() []string { return c.names }
+
+// Fetch asks the server for the next configuration to measure. done is true
+// when tuning has finished; the final answer is then available from BestResult.
+func (c *Client) Fetch() (cfg search.Config, done bool, err error) {
+	if err := c.send(message{Op: "fetch"}); err != nil {
+		return nil, false, err
+	}
+	m, err := c.recv()
+	if err != nil {
+		return nil, false, err
+	}
+	switch m.Op {
+	case "config":
+		return search.Config(m.Values), false, nil
+	case "best":
+		c.best = &Best{Values: search.Config(m.Values), Perf: m.Perf, Evals: m.Evals}
+		return nil, true, nil
+	}
+	return nil, false, fmt.Errorf("unexpected reply %q to fetch", m.Op)
+}
+
+// Report sends the measured performance of the last fetched configuration.
+func (c *Client) Report(perf float64) error {
+	if err := c.send(message{Op: "report", Perf: perf}); err != nil {
+		return err
+	}
+	m, err := c.recv()
+	if err != nil {
+		return err
+	}
+	if m.Op != "ok" {
+		return fmt.Errorf("unexpected reply %q to report", m.Op)
+	}
+	return nil
+}
+
+// BestResult returns the session's final answer once Fetch reported done.
+func (c *Client) BestResult() (*Best, bool) {
+	return c.best, c.best != nil
+}
+
+// Tune runs the whole fetch/measure/report loop against the given measure
+// function and returns the final answer.
+func (c *Client) Tune(measure func(search.Config) float64) (*Best, error) {
+	for {
+		cfg, done, err := c.Fetch()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			best, _ := c.BestResult()
+			return best, nil
+		}
+		if err := c.Report(measure(cfg)); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"harmony/internal/history"
+	"harmony/internal/rsl"
+	"harmony/internal/search"
+)
+
+// experienceStore is the server-side data characteristics database (§4.2):
+// completed sessions deposit their traces keyed by application, parameter
+// specification and workload characteristics; new sessions that declare
+// characteristics are warm-started from the closest prior experience.
+//
+// Experiences are stored in the coordinates of the space the kernel
+// actually searched (the normalized adapter space for restricted
+// specifications), so seeding needs no translation.
+type experienceStore struct {
+	mu  sync.Mutex
+	dbs map[string]*history.DB // key: app + spec signature
+}
+
+func newExperienceStore() *experienceStore {
+	return &experienceStore{dbs: map[string]*history.DB{}}
+}
+
+// specKey derives the database key from the application name and the
+// canonical form of the parameter specification, so only compatible
+// sessions share experience.
+func specKey(app string, spec *rsl.Spec) string {
+	sum := sha256.Sum256([]byte(spec.Format()))
+	return app + "/" + hex.EncodeToString(sum[:8])
+}
+
+// record deposits a completed session's trace.
+func (s *experienceStore) record(key string, chars []float64, dir search.Direction, tr search.Trace) {
+	if len(chars) == 0 || len(tr) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.dbs[key]
+	if !ok {
+		db = history.NewDB()
+		s.dbs[key] = db
+	}
+	db.Add(history.FromTrace(key, chars, dir, tr))
+	// Bound the database on a long-lived server: near-identical workloads
+	// merge, and each class keeps only its best measurements.
+	if db.Len() > 32 {
+		db.Compact(1e-4, 256)
+	}
+}
+
+// match returns the best configurations of the experience closest to the
+// observed characteristics, as continuous seed points, or nil when no
+// usable experience exists.
+func (s *experienceStore) match(key string, chars []float64, space *search.Space) [][]float64 {
+	if len(chars) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	db := s.dbs[key]
+	s.mu.Unlock()
+	if db == nil {
+		return nil
+	}
+	analyzer := history.NewAnalyzer(db)
+	exp, _, ok := analyzer.Match(chars)
+	if !ok {
+		return nil
+	}
+	var seeds [][]float64
+	for _, rec := range exp.Best(space.Dim() + 1) {
+		if len(rec.Config) != space.Dim() || !space.Contains(rec.Config) {
+			continue
+		}
+		seeds = append(seeds, space.Continuous(rec.Config))
+	}
+	return seeds
+}

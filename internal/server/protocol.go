@@ -1,0 +1,81 @@
+// Package server implements the Active Harmony tuning server and its client
+// library (§2 of the paper: applications "become tunable by applying minimal
+// changes to the application and library source code" — they register their
+// tunable parameters with a tuning server, repeatedly fetch candidate
+// configurations, and report observed performance).
+//
+// The wire protocol is line-delimited JSON over TCP. One connection hosts
+// one tuning session:
+//
+//	C→S  {"op":"register","rsl":"{ harmonyBundle ... }","direction":"max"}
+//	S→C  {"op":"registered","names":["B","C"]}
+//	C→S  {"op":"fetch"}
+//	S→C  {"op":"config","values":[3,4]}          (measure this)
+//	C→S  {"op":"report","perf":63.2}
+//	S→C  {"op":"ok"}
+//	... fetch/report repeats ...
+//	C→S  {"op":"fetch"}
+//	S→C  {"op":"best","values":[4,5],"perf":80.1,"evals":57}
+//
+// Parameter restriction (Appendix B) is handled server-side: for a
+// restricted specification the server searches normalized coordinates and
+// always sends feasible decoded configurations to the client.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// message is the single wire envelope for both directions.
+type message struct {
+	Op string `json:"op"`
+
+	// register
+	RSL       string `json:"rsl,omitempty"`
+	Direction string `json:"direction,omitempty"` // "max" (default) or "min"
+	MaxEvals  int    `json:"maxEvals,omitempty"`
+	Improved  bool   `json:"improved,omitempty"`
+	// App names the application; sessions of the same App with the same
+	// parameter specification share the server's experience database.
+	App string `json:"app,omitempty"`
+	// Characteristics describes the workload the application is currently
+	// serving (e.g. interaction frequencies). When present, the server's
+	// data analyzer matches it against prior sessions and warm-starts the
+	// kernel from the closest experience (§4.2).
+	Characteristics []float64 `json:"characteristics,omitempty"`
+
+	// registered
+	Names []string `json:"names,omitempty"`
+	// Warm reports whether a prior experience seeded this session.
+	Warm bool `json:"warm,omitempty"`
+
+	// config / best
+	Values []int   `json:"values,omitempty"`
+	Perf   float64 `json:"perf,omitempty"`
+	Evals  int     `json:"evals,omitempty"`
+
+	// error
+	Msg string `json:"msg,omitempty"`
+}
+
+// encode renders a message as one JSON line.
+func encode(m message) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// decode parses one JSON line.
+func decode(line []byte) (message, error) {
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return message{}, fmt.Errorf("server: malformed message: %w", err)
+	}
+	if m.Op == "" {
+		return message{}, fmt.Errorf("server: message missing op")
+	}
+	return m, nil
+}

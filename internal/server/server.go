@@ -1,0 +1,349 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"harmony/internal/rsl"
+	"harmony/internal/search"
+)
+
+// Server hosts tuning sessions, one per client connection.
+type Server struct {
+	// MaxEvalsCap bounds per-session budgets regardless of what clients
+	// request (default 10,000).
+	MaxEvalsCap int
+	// IdleTimeout disconnects clients that send nothing for this long
+	// (0 = no limit). Measuring one configuration must fit inside it.
+	IdleTimeout time.Duration
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...interface{})
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+
+	// experience is the cross-session data characteristics database:
+	// sessions that declare workload characteristics deposit their tuning
+	// traces and warm-start from the closest prior session (§4.2).
+	experience *experienceStore
+}
+
+// NewServer returns a server with defaults.
+func NewServer() *Server {
+	return &Server{MaxEvalsCap: 10_000, experience: newExperienceStore()}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("server: already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				if err := s.handle(conn); err != nil && s.Logf != nil {
+					s.Logf("session ended: %v", err)
+				}
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops accepting connections and waits for in-flight sessions.
+// Sessions blocked on a client that never returns are abandoned by closing
+// their connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// session is the bridge between the blocking search kernel and the
+// fetch/report message loop.
+type session struct {
+	space *search.Space
+	names []string
+	// bestToWire maps the kernel's best configuration (which lives in the
+	// searched space — normalized coordinates for restricted specs) to the
+	// client-facing parameter values. Configurations flowing through cfgCh
+	// are already client-facing.
+	bestToWire func(search.Config) []int
+	cfgCh      chan search.Config
+	perfCh     chan float64
+	resultCh   chan *search.Result
+	errCh      chan error
+	abort      chan struct{}
+	warm       bool // a prior experience seeded this session
+}
+
+// errAborted signals the kernel goroutine that the client went away.
+var errAborted = errors.New("server: session aborted")
+
+// handle runs one connection's session.
+func (s *Server) handle(conn net.Conn) error {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	scan := func() bool {
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		return r.Scan()
+	}
+
+	send := func(m message) error {
+		b, err := encode(m)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	fail := func(msg string) error {
+		send(message{Op: "error", Msg: msg})
+		return errors.New(msg)
+	}
+
+	// First message must register.
+	if !scan() {
+		return fmt.Errorf("server: client closed before registering")
+	}
+	reg, err := decode(r.Bytes())
+	if err != nil {
+		return fail(err.Error())
+	}
+	if reg.Op != "register" {
+		return fail("first message must be register")
+	}
+	sess, err := s.startSession(reg)
+	if err != nil {
+		return fail(err.Error())
+	}
+	defer close(sess.abort)
+
+	if err := send(message{Op: "registered", Names: sess.names, Warm: sess.warm}); err != nil {
+		return err
+	}
+
+	awaitingReport := false
+	for scan() {
+		m, err := decode(r.Bytes())
+		if err != nil {
+			return fail(err.Error())
+		}
+		switch m.Op {
+		case "fetch":
+			if awaitingReport {
+				return fail("fetch while a report is pending")
+			}
+			select {
+			case cfg := <-sess.cfgCh:
+				awaitingReport = true
+				if err := send(message{Op: "config", Values: cfg}); err != nil {
+					return err
+				}
+			case res := <-sess.resultCh:
+				return s.sendBest(send, sess, res)
+			case err := <-sess.errCh:
+				return fail(err.Error())
+			}
+		case "report":
+			if !awaitingReport {
+				return fail("report without a pending configuration")
+			}
+			awaitingReport = false
+			select {
+			case sess.perfCh <- m.Perf:
+			case err := <-sess.errCh:
+				return fail(err.Error())
+			}
+			if err := send(message{Op: "ok"}); err != nil {
+				return err
+			}
+		case "quit":
+			send(message{Op: "ok"})
+			return nil
+		default:
+			return fail(fmt.Sprintf("unknown op %q", m.Op))
+		}
+	}
+	return r.Err()
+}
+
+func (s *Server) sendBest(send func(message) error, sess *session, res *search.Result) error {
+	m := message{Op: "best", Evals: res.Evals, Perf: res.BestPerf}
+	if len(res.BestConfig) > 0 {
+		m.Values = sess.bestToWire(res.BestConfig)
+	}
+	return send(m)
+}
+
+// startSession parses the registration, builds the search space (using the
+// Appendix B adapter for restricted specs) and launches the kernel
+// goroutine.
+func (s *Server) startSession(reg message) (*session, error) {
+	spec, err := rsl.Parse(reg.RSL)
+	if err != nil {
+		return nil, err
+	}
+	dir := search.Maximize
+	switch reg.Direction {
+	case "", "max":
+	case "min":
+		dir = search.Minimize
+	default:
+		return nil, fmt.Errorf("server: unknown direction %q", reg.Direction)
+	}
+	maxEvals := reg.MaxEvals
+	if maxEvals <= 0 || maxEvals > s.MaxEvalsCap {
+		maxEvals = s.MaxEvalsCap
+	}
+
+	sess := &session{
+		names:    spec.Names(),
+		cfgCh:    make(chan search.Config),
+		perfCh:   make(chan float64),
+		resultCh: make(chan *search.Result, 1),
+		errCh:    make(chan error, 1),
+		abort:    make(chan struct{}),
+	}
+
+	// The inversion objective: hand the configuration to the message loop
+	// and block until the client reports its performance.
+	blockMeasure := func(cfg search.Config) float64 {
+		select {
+		case sess.cfgCh <- cfg:
+		case <-sess.abort:
+			panic(errAborted)
+		}
+		select {
+		case perf := <-sess.perfCh:
+			return perf
+		case <-sess.abort:
+			panic(errAborted)
+		}
+	}
+
+	var space *search.Space
+	var obj search.Objective
+	if spec.Restricted() {
+		// Search normalized coordinates; decode before the client sees them.
+		adapterSpace, _, err := spec.SearchAdapter(nil, 64)
+		if err != nil {
+			return nil, err
+		}
+		space = adapterSpace
+		g := float64(adapterSpace.Params[0].Max)
+		decodeCfg := func(cfg search.Config) search.Config {
+			u := make([]float64, len(cfg))
+			for i, v := range cfg {
+				u[i] = float64(v) / g
+			}
+			dec, err := spec.Decode(u)
+			if err != nil {
+				panic(fmt.Sprintf("server: decode failed: %v", err))
+			}
+			return dec
+		}
+		sess.bestToWire = func(cfg search.Config) []int { return decodeCfg(cfg) }
+		obj = search.ObjectiveFunc(func(cfg search.Config) float64 {
+			return blockMeasure(decodeCfg(cfg))
+		})
+	} else {
+		space, err = spec.Static()
+		if err != nil {
+			return nil, err
+		}
+		sess.bestToWire = func(cfg search.Config) []int { return cfg }
+		obj = search.ObjectiveFunc(blockMeasure)
+	}
+	sess.space = space
+
+	var init search.InitStrategy = search.ExtremeInit{}
+	if reg.Improved {
+		init = search.DistributedInit{}
+	}
+	// Warm-start from the closest prior session of the same application and
+	// specification, when the client told us what workload it is serving.
+	key := specKey(reg.App, spec)
+	if seeds := s.experience.match(key, reg.Characteristics, space); len(seeds) > 0 {
+		init = search.SeededInit{Seeds: seeds, Fallback: init}
+		sess.warm = true
+	}
+
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if err, ok := rec.(error); ok && errors.Is(err, errAborted) {
+					return // client went away; nothing to report
+				}
+				sess.errCh <- fmt.Errorf("server: kernel panic: %v", rec)
+			}
+		}()
+		res, err := search.NelderMead(space, obj, search.NelderMeadOptions{
+			Init:      init,
+			Direction: dir,
+			MaxEvals:  maxEvals,
+		})
+		if err != nil {
+			sess.errCh <- err
+			return
+		}
+		// Deposit the session's tuning experience for future sessions.
+		s.experience.record(key, reg.Characteristics, dir, res.Trace)
+		sess.resultCh <- res
+	}()
+	return sess, nil
+}
+
+// ListenAndServe is a convenience for main functions: listen and block until
+// the process dies.
+func (s *Server) ListenAndServe(addr string) error {
+	a, err := s.Listen(addr)
+	if err != nil {
+		return err
+	}
+	if s.Logf == nil {
+		s.Logf = log.Printf
+	}
+	s.Logf("harmony server listening on %s", a)
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,94 @@
+package stats
+
+import "math"
+
+// RNG is a small deterministic pseudo-random number generator
+// (SplitMix64-based) used throughout the reproduction.
+//
+// We implement our own instead of math/rand for two reasons: the stream is
+// stable across Go releases (so recorded experiment outputs stay
+// reproducible), and independent sub-streams can be forked cheaply with
+// Fork, which the discrete-event simulator uses to give every request source
+// its own stream without cross-talk.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same seed
+// produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// next advances the SplitMix64 state and returns the next 64 random bits.
+func (r *RNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.next() }
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed value in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// IntRange returns a uniformly distributed value in [lo, hi] inclusive.
+// It panics when hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("stats: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Uniform returns a uniformly distributed value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Perturb multiplies x by a uniform factor in [1-p, 1+p], the noise model the
+// paper applies to synthetic performance outputs (0 % to ±25 %).
+func (r *RNG) Perturb(x, p float64) float64 {
+	if p <= 0 {
+		return x
+	}
+	return x * r.Uniform(1-p, 1+p)
+}
+
+// Exp returns an exponentially distributed value with the given mean, used by
+// the web-service simulator for service and inter-arrival times.
+func (r *RNG) Exp(mean float64) float64 {
+	// Inverse-CDF sampling; guard the log argument away from zero.
+	u := r.Float64()
+	if u >= 1 {
+		u = 0.9999999999999999
+	}
+	return -mean * math.Log1p(-u)
+}
+
+// Fork returns a new RNG whose stream is statistically independent of the
+// parent's continued stream.
+func (r *RNG) Fork() *RNG {
+	return &RNG{state: r.next() ^ 0xa5a5a5a5a5a5a5a5}
+}
+
+// Shuffle permutes xs in place using Fisher–Yates.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

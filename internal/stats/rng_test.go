@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values in 64 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64RoughlyUniform(t *testing.T) {
+	r := NewRNG(11)
+	h := NewHistogram(0, 1, 10)
+	n := 100000
+	for i := 0; i < n; i++ {
+		h.Add(r.Float64())
+	}
+	for i, f := range h.Fractions() {
+		if f < 0.08 || f > 0.12 {
+			t.Errorf("bucket %d fraction = %v, want ~0.1", i, f)
+		}
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := NewRNG(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntRange(3,5) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange never produced %d", v)
+		}
+	}
+	// Degenerate single-value range must work.
+	if v := r.IntRange(9, 9); v != 9 {
+		t.Errorf("IntRange(9,9) = %d, want 9", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntRange(5,3) did not panic")
+		}
+	}()
+	r.IntRange(5, 3)
+}
+
+func TestUniform(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	r := NewRNG(17)
+	// p <= 0 is the identity.
+	if got := r.Perturb(10, 0); got != 10 {
+		t.Errorf("Perturb(10, 0) = %v, want 10", got)
+	}
+	if got := r.Perturb(10, -1); got != 10 {
+		t.Errorf("Perturb(10, -1) = %v, want 10", got)
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.Perturb(100, 0.25)
+		if v < 75 || v > 125 {
+			t.Fatalf("Perturb(100, 0.25) = %v outside [75,125]", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(19)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(2.0)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Errorf("Exp(2) sample mean = %v, want ~2", mean)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(23)
+	child := parent.Fork()
+	// The child stream should not be a shifted copy of the parent stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("fork produced %d identical draws of 64", same)
+	}
+}
+
+func TestForkDeterminism(t *testing.T) {
+	a := NewRNG(29).Fork()
+	b := NewRNG(29).Fork()
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("forked streams from equal seeds diverged")
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(31)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, x := range xs {
+		if x < 0 || x >= len(xs) || seen[x] {
+			t.Fatalf("shuffle broke permutation: %v", xs)
+		}
+		seen[x] = true
+	}
+}

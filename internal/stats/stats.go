@@ -1,0 +1,234 @@
+// Package stats provides the small statistical toolkit the rest of the
+// Active Harmony reproduction builds on: summary statistics, histograms,
+// value normalization, and deterministic random-number helpers.
+//
+// Everything is deliberately simple, allocation-light and deterministic so
+// that experiment drivers can reproduce the paper's tables bit-for-bit given
+// the same seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+// It returns 0 for slices with fewer than two elements.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice, because asking
+// for the minimum of nothing is a programming error in every caller we have.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (the mean of the two central elements for
+// even lengths). It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Normalize maps x from [min, max] to [0, 1]. When min == max it returns 0,
+// mirroring the paper's v' = (v - v_min) / (v_max - v_min) normalization used
+// by the sensitivity tool so that wide-range parameters get no extra weight.
+func Normalize(x, min, max float64) float64 {
+	if max == min {
+		return 0
+	}
+	return (x - min) / (max - min)
+}
+
+// Rescale maps x from [fromMin, fromMax] onto [toMin, toMax] linearly.
+// When the source interval is degenerate it returns toMin.
+func Rescale(x, fromMin, fromMax, toMin, toMax float64) float64 {
+	if fromMax == fromMin {
+		return toMin
+	}
+	return toMin + (x-fromMin)/(fromMax-fromMin)*(toMax-toMin)
+}
+
+// Histogram is a fixed-bucket histogram over a closed value range.
+// The paper's Figure 4 buckets normalized performance 1..50 into ten
+// five-wide buckets; NewHistogram(1, 50, 10) reproduces that binning.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	total   int
+	samples []float64
+}
+
+// NewHistogram returns a histogram with n equal-width buckets spanning
+// [lo, hi]. It panics when n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: NewHistogram needs a positive bucket count")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one observation. Values outside [Lo, Hi] are clamped into the
+// first or last bucket so that totals always match the number of Add calls.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	idx := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.total++
+	h.samples = append(h.samples, x)
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns each bucket's share of the total (all zeros when empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BucketLabel returns a human-readable label such as "1-5" for bucket i,
+// matching the x-axis labels of the paper's Figure 4.
+func (h *Histogram) BucketLabel(i int) string {
+	n := len(h.Counts)
+	w := (h.Hi - h.Lo) / float64(n)
+	lo := h.Lo + float64(i)*w
+	hi := lo + w
+	return fmt.Sprintf("%g-%g", lo, hi)
+}
+
+// Distance returns the total-variation distance between the bucket fraction
+// vectors of h and other: 0 means identical shape, 1 means disjoint.
+// Histograms must have the same bucket count.
+func (h *Histogram) Distance(other *Histogram) float64 {
+	if len(h.Counts) != len(other.Counts) {
+		panic("stats: Distance between histograms with different bucket counts")
+	}
+	a, b := h.Fractions(), other.Fractions()
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / 2
+}
+
+// Euclidean returns the Euclidean distance between two equal-length vectors.
+// This is the workload-characteristic distance of the paper's Figure 7.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Euclidean distance between vectors of different lengths")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// SquaredError returns the sum of squared component differences, the
+// least-squares classification metric of the paper's data analyzer (§4.2).
+func SquaredError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: SquaredError between vectors of different lengths")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"pair", []float64{2, 6}, 4},
+		{"negative", []float64{-3, 3}, 0},
+		{"fractional", []float64{1, 2, 4}, 7.0 / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v, want 0", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev(single) = %v, want 0", got)
+	}
+	// Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev(%v) = %v, want 2", xs, got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"Min": Min, "Max": Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{1}, 1},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tt := range tests {
+		if got := Median(tt.in); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {12.5, 15},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(5, 0, 10); got != 0.5 {
+		t.Errorf("Normalize = %v, want 0.5", got)
+	}
+	if got := Normalize(7, 7, 7); got != 0 {
+		t.Errorf("Normalize degenerate = %v, want 0", got)
+	}
+	if got := Normalize(0, 0, 10); got != 0 {
+		t.Errorf("Normalize lo = %v, want 0", got)
+	}
+	if got := Normalize(10, 0, 10); got != 1 {
+		t.Errorf("Normalize hi = %v, want 1", got)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	if got := Rescale(5, 0, 10, 1, 50); !almostEqual(got, 25.5, 1e-12) {
+		t.Errorf("Rescale = %v, want 25.5", got)
+	}
+	if got := Rescale(3, 3, 3, 1, 50); got != 1 {
+		t.Errorf("Rescale degenerate = %v, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 50, 10)
+	// One value per bucket center.
+	for i := 0; i < 10; i++ {
+		h.Add(1 + 49*(float64(i)+0.5)/10)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bucket %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(1000)
+	h.Add(10) // exactly Hi goes into the last bucket
+	if h.Counts[0] != 1 {
+		t.Errorf("low outlier not clamped into first bucket: %v", h.Counts)
+	}
+	if h.Counts[4] != 2 {
+		t.Errorf("high values not clamped into last bucket: %v", h.Counts)
+	}
+}
+
+func TestHistogramFractionsAndDistance(t *testing.T) {
+	a := NewHistogram(0, 10, 2)
+	b := NewHistogram(0, 10, 2)
+	a.Add(1)
+	a.Add(2)
+	b.Add(8)
+	b.Add(9)
+	if d := a.Distance(b); !almostEqual(d, 1, 1e-12) {
+		t.Errorf("disjoint histograms distance = %v, want 1", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+	fr := a.Fractions()
+	if fr[0] != 1 || fr[1] != 0 {
+		t.Errorf("Fractions = %v, want [1 0]", fr)
+	}
+	empty := NewHistogram(0, 10, 2)
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Errorf("empty histogram fraction = %v, want 0", f)
+		}
+	}
+}
+
+func TestHistogramBucketLabel(t *testing.T) {
+	h := NewHistogram(0, 50, 10)
+	if got := h.BucketLabel(0); got != "0-5" {
+		t.Errorf("BucketLabel(0) = %q, want 0-5", got)
+	}
+	if got := h.BucketLabel(9); got != "45-50" {
+		t.Errorf("BucketLabel(9) = %q, want 45-50", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero buckets", func() { NewHistogram(0, 1, 0) })
+	mustPanic("inverted range", func() { NewHistogram(5, 1, 3) })
+	mustPanic("mismatched distance", func() {
+		NewHistogram(0, 1, 2).Distance(NewHistogram(0, 1, 3))
+	})
+}
+
+func TestEuclideanAndSquaredError(t *testing.T) {
+	a := []float64{0, 3}
+	b := []float64{4, 0}
+	if got := Euclidean(a, b); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+	if got := SquaredError(a, b); !almostEqual(got, 25, 1e-12) {
+		t.Errorf("SquaredError = %v, want 25", got)
+	}
+}
+
+func TestEuclideanPropertyMetric(t *testing.T) {
+	// Euclidean is symmetric, non-negative, and zero on identical vectors.
+	f := func(a, b [4]float64) bool {
+		// Skip inputs whose squared differences overflow to Inf.
+		for i := range a {
+			if math.Abs(a[i]) > 1e150 || math.Abs(b[i]) > 1e150 {
+				return true
+			}
+		}
+		av, bv := a[:], b[:]
+		d1 := Euclidean(av, bv)
+		d2 := Euclidean(bv, av)
+		return d1 >= 0 && almostEqual(d1, d2, 1e-9) && Euclidean(av, av) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquaredErrorIsEuclideanSquared(t *testing.T) {
+	f := func(a, b [3]float64) bool {
+		// Skip pathological float inputs that overflow to Inf.
+		for i := range a {
+			if math.Abs(a[i]) > 1e100 || math.Abs(b[i]) > 1e100 {
+				return true
+			}
+		}
+		e := Euclidean(a[:], b[:])
+		return almostEqual(e*e, SquaredError(a[:], b[:]), 1e-6*(1+e*e))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package tpcw models the TPC-W transactional web benchmark workload the
+// paper tunes against (§6.1 and Appendix A).
+//
+// TPC-W emulates an online bookstore. Its workload is a set of fourteen web
+// interactions, each classified as Browse or Order, and three standard
+// interaction mixes: Browsing (WIPSb), Shopping (the primary WIPS metric)
+// and Ordering (WIPSo). Different mixes put different relative weights on
+// each interaction, which is exactly the property the paper's data analyzer
+// exploits: the frequency distribution of interactions characterizes the
+// workload.
+//
+// The package provides the interaction catalogue with per-interaction
+// resource profiles (used by the cluster simulator), the three standard
+// mixes, a seeded request-stream generator, and characteristic-vector
+// extraction.
+package tpcw
+
+import (
+	"fmt"
+
+	"harmony/internal/stats"
+)
+
+// Interaction enumerates the fourteen TPC-W web interactions.
+type Interaction int
+
+const (
+	Home Interaction = iota
+	NewProducts
+	BestSellers
+	ProductDetail
+	SearchRequest
+	SearchResults
+	ShoppingCart
+	CustomerRegistration
+	BuyRequest
+	BuyConfirm
+	OrderInquiry
+	OrderDisplay
+	AdminRequest
+	AdminConfirm
+	numInteractions
+)
+
+// NumInteractions is the number of TPC-W web interactions.
+const NumInteractions = int(numInteractions)
+
+var interactionNames = [...]string{
+	"Home", "NewProducts", "BestSellers", "ProductDetail",
+	"SearchRequest", "SearchResults", "ShoppingCart", "CustomerRegistration",
+	"BuyRequest", "BuyConfirm", "OrderInquiry", "OrderDisplay",
+	"AdminRequest", "AdminConfirm",
+}
+
+// String returns the interaction's TPC-W name.
+func (i Interaction) String() string {
+	if i < 0 || int(i) >= NumInteractions {
+		return fmt.Sprintf("Interaction(%d)", int(i))
+	}
+	return interactionNames[i]
+}
+
+// IsOrder reports whether the interaction plays an explicit role in the
+// ordering process (the TPC-W "Order" class); the rest are "Browse".
+func (i Interaction) IsOrder() bool {
+	switch i {
+	case ShoppingCart, CustomerRegistration, BuyRequest, BuyConfirm,
+		OrderInquiry, OrderDisplay, AdminRequest, AdminConfirm:
+		return true
+	}
+	return false
+}
+
+// Profile is the resource demand of one interaction as the cluster
+// simulator consumes it. Units are abstract multipliers of the simulator's
+// base costs.
+type Profile struct {
+	CPU        float64 // application-server compute demand
+	DBRead     float64 // database read/query demand
+	DBWrite    float64 // database write demand
+	ResultKB   float64 // response size transferred back through the tiers
+	Cacheable  float64 // fraction of responses a front cache may serve
+	StaticOnly bool    // true when the page never touches the database
+}
+
+// profiles assigns each interaction a demand profile consistent with the
+// TPC-W page descriptions: best-seller and search pages are query-heavy,
+// buy-confirm writes orders, home and product-detail pages are largely
+// cacheable static content.
+var profiles = [...]Profile{
+	Home:                 {CPU: 0.8, DBRead: 0.5, DBWrite: 0, ResultKB: 10, Cacheable: 0.90},
+	NewProducts:          {CPU: 1.0, DBRead: 1.6, DBWrite: 0, ResultKB: 12, Cacheable: 0.70},
+	BestSellers:          {CPU: 1.1, DBRead: 2.6, DBWrite: 0, ResultKB: 12, Cacheable: 0.70},
+	ProductDetail:        {CPU: 0.7, DBRead: 0.7, DBWrite: 0, ResultKB: 14, Cacheable: 0.85},
+	SearchRequest:        {CPU: 0.5, DBRead: 0, DBWrite: 0, ResultKB: 6, Cacheable: 0.95, StaticOnly: true},
+	SearchResults:        {CPU: 1.2, DBRead: 1.9, DBWrite: 0, ResultKB: 12, Cacheable: 0.30},
+	ShoppingCart:         {CPU: 1.0, DBRead: 0.9, DBWrite: 0.5, ResultKB: 10, Cacheable: 0},
+	CustomerRegistration: {CPU: 0.6, DBRead: 0.3, DBWrite: 0.4, ResultKB: 6, Cacheable: 0},
+	BuyRequest:           {CPU: 1.1, DBRead: 1.0, DBWrite: 0.8, ResultKB: 8, Cacheable: 0},
+	BuyConfirm:           {CPU: 1.3, DBRead: 1.1, DBWrite: 2.2, ResultKB: 8, Cacheable: 0},
+	OrderInquiry:         {CPU: 0.5, DBRead: 0.4, DBWrite: 0, ResultKB: 6, Cacheable: 0},
+	OrderDisplay:         {CPU: 0.8, DBRead: 1.2, DBWrite: 0, ResultKB: 10, Cacheable: 0},
+	AdminRequest:         {CPU: 0.7, DBRead: 0.8, DBWrite: 0, ResultKB: 8, Cacheable: 0},
+	AdminConfirm:         {CPU: 1.0, DBRead: 0.9, DBWrite: 1.2, ResultKB: 8, Cacheable: 0},
+}
+
+// ProfileOf returns the resource profile of an interaction.
+func ProfileOf(i Interaction) Profile { return profiles[i] }
+
+// Mix is a named relative weighting over the fourteen interactions.
+type Mix struct {
+	Name    string
+	Weights [NumInteractions]float64
+}
+
+// The three standard TPC-W mixes. Weights follow the TPC-W specification's
+// mix tables: Browsing is ~95 % browse interactions, Shopping ~80 %, and
+// Ordering ~50 %.
+var (
+	Browsing = Mix{Name: "browsing", Weights: [NumInteractions]float64{
+		Home: 29.00, NewProducts: 11.00, BestSellers: 11.00, ProductDetail: 21.00,
+		SearchRequest: 12.00, SearchResults: 11.00, ShoppingCart: 2.00,
+		CustomerRegistration: 0.82, BuyRequest: 0.75, BuyConfirm: 0.69,
+		OrderInquiry: 0.30, OrderDisplay: 0.25, AdminRequest: 0.10, AdminConfirm: 0.09,
+	}}
+	Shopping = Mix{Name: "shopping", Weights: [NumInteractions]float64{
+		Home: 16.00, NewProducts: 5.00, BestSellers: 5.00, ProductDetail: 17.00,
+		SearchRequest: 20.00, SearchResults: 17.00, ShoppingCart: 11.60,
+		CustomerRegistration: 3.00, BuyRequest: 2.60, BuyConfirm: 1.20,
+		OrderInquiry: 0.75, OrderDisplay: 0.66, AdminRequest: 0.10, AdminConfirm: 0.09,
+	}}
+	Ordering = Mix{Name: "ordering", Weights: [NumInteractions]float64{
+		Home: 9.12, NewProducts: 0.46, BestSellers: 0.46, ProductDetail: 12.35,
+		SearchRequest: 14.53, SearchResults: 13.08, ShoppingCart: 13.53,
+		CustomerRegistration: 12.86, BuyRequest: 12.73, BuyConfirm: 10.18,
+		OrderInquiry: 0.25, OrderDisplay: 0.22, AdminRequest: 0.12, AdminConfirm: 0.11,
+	}}
+)
+
+// StandardMixes returns the three specification mixes.
+func StandardMixes() []Mix { return []Mix{Browsing, Shopping, Ordering} }
+
+// OrderFraction returns the fraction of the mix's weight on Order-class
+// interactions.
+func (m Mix) OrderFraction() float64 {
+	order, total := 0.0, 0.0
+	for i := 0; i < NumInteractions; i++ {
+		total += m.Weights[i]
+		if Interaction(i).IsOrder() {
+			order += m.Weights[i]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return order / total
+}
+
+// Normalized returns the mix weights as a probability vector.
+func (m Mix) Normalized() []float64 {
+	out := make([]float64, NumInteractions)
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	if total == 0 {
+		return out
+	}
+	for i, w := range m.Weights {
+		out[i] = w / total
+	}
+	return out
+}
+
+// Sample draws one interaction from the mix.
+func (m Mix) Sample(rng *stats.RNG) Interaction {
+	probs := m.Normalized()
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u <= acc {
+			return Interaction(i)
+		}
+	}
+	return Interaction(NumInteractions - 1)
+}
+
+// Interpolate blends two mixes: weight t of b and (1-t) of m, clamped to
+// [0, 1]. Experiments use this to construct workloads at controlled
+// characteristic distances from the standard mixes (Figure 7).
+func (m Mix) Interpolate(b Mix, t float64) Mix {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	out := Mix{Name: fmt.Sprintf("%s~%s@%.2f", m.Name, b.Name, t)}
+	for i := range out.Weights {
+		out.Weights[i] = (1-t)*m.Weights[i] + t*b.Weights[i]
+	}
+	return out
+}
+
+// Request is one web interaction instance in a generated stream.
+type Request struct {
+	Interaction Interaction
+	// ThinkTime is the emulated browser's pause before the *next* request,
+	// in seconds.
+	ThinkTime float64
+}
+
+// GenerateStream draws n requests from the mix with exponentially
+// distributed think times of the given mean. Generation is deterministic in
+// the RNG's state.
+func GenerateStream(mix Mix, n int, meanThink float64, rng *stats.RNG) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{
+			Interaction: mix.Sample(rng),
+			ThinkTime:   rng.Exp(meanThink),
+		}
+	}
+	return out
+}
+
+// Characteristics returns the observed frequency distribution over the
+// fourteen interactions — the workload characteristic vector the paper's
+// data analyzer stores and classifies on (§4.2, §6.4).
+func Characteristics(reqs []Request) []float64 {
+	out := make([]float64, NumInteractions)
+	if len(reqs) == 0 {
+		return out
+	}
+	for _, r := range reqs {
+		out[r.Interaction]++
+	}
+	for i := range out {
+		out[i] /= float64(len(reqs))
+	}
+	return out
+}
+
+// MixCharacteristics returns the exact characteristic vector of a mix (the
+// infinite-sample limit of Characteristics).
+func MixCharacteristics(m Mix) []float64 { return m.Normalized() }

@@ -1,0 +1,223 @@
+package tpcw
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/stats"
+)
+
+func TestInteractionNames(t *testing.T) {
+	if Home.String() != "Home" || AdminConfirm.String() != "AdminConfirm" {
+		t.Error("interaction names wrong")
+	}
+	if got := Interaction(99).String(); got != "Interaction(99)" {
+		t.Errorf("out-of-range name = %q", got)
+	}
+	if NumInteractions != 14 {
+		t.Errorf("NumInteractions = %d, want 14", NumInteractions)
+	}
+}
+
+func TestBrowseOrderClassification(t *testing.T) {
+	// TPC-W: exactly 8 Order-class and 6 Browse-class interactions.
+	orders := 0
+	for i := 0; i < NumInteractions; i++ {
+		if Interaction(i).IsOrder() {
+			orders++
+		}
+	}
+	if orders != 8 {
+		t.Errorf("order-class count = %d, want 8", orders)
+	}
+	if Home.IsOrder() || BestSellers.IsOrder() {
+		t.Error("browse interactions misclassified as order")
+	}
+	if !BuyConfirm.IsOrder() || !ShoppingCart.IsOrder() {
+		t.Error("order interactions misclassified as browse")
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	for i := 0; i < NumInteractions; i++ {
+		p := ProfileOf(Interaction(i))
+		if p.CPU <= 0 {
+			t.Errorf("%v has non-positive CPU demand", Interaction(i))
+		}
+		if p.ResultKB <= 0 {
+			t.Errorf("%v has non-positive result size", Interaction(i))
+		}
+		if p.Cacheable < 0 || p.Cacheable > 1 {
+			t.Errorf("%v cacheable fraction %v outside [0,1]", Interaction(i), p.Cacheable)
+		}
+		if p.StaticOnly && (p.DBRead != 0 || p.DBWrite != 0) {
+			t.Errorf("%v static-only but has DB demand", Interaction(i))
+		}
+	}
+	// Order-process pages must not be cacheable.
+	for _, i := range []Interaction{BuyRequest, BuyConfirm, ShoppingCart} {
+		if ProfileOf(i).Cacheable != 0 {
+			t.Errorf("%v must not be cacheable", i)
+		}
+	}
+	if ProfileOf(BuyConfirm).DBWrite <= ProfileOf(Home).DBWrite {
+		t.Error("BuyConfirm must write more than Home")
+	}
+}
+
+func TestMixOrderFractions(t *testing.T) {
+	// The spec mixes: ~5 %, ~20 %, ~50 % order-class weight.
+	tests := []struct {
+		mix    Mix
+		lo, hi float64
+	}{
+		{Browsing, 0.03, 0.07},
+		{Shopping, 0.17, 0.23},
+		{Ordering, 0.45, 0.55},
+	}
+	for _, tt := range tests {
+		if f := tt.mix.OrderFraction(); f < tt.lo || f > tt.hi {
+			t.Errorf("%s order fraction = %v, want in [%v, %v]", tt.mix.Name, f, tt.lo, tt.hi)
+		}
+	}
+}
+
+func TestNormalizedSumsToOne(t *testing.T) {
+	for _, m := range StandardMixes() {
+		sum := 0.0
+		for _, p := range m.Normalized() {
+			if p < 0 {
+				t.Fatalf("%s has negative probability", m.Name)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s normalized sum = %v, want 1", m.Name, sum)
+		}
+	}
+	var empty Mix
+	for _, p := range empty.Normalized() {
+		if p != 0 {
+			t.Error("empty mix must normalize to zeros")
+		}
+	}
+	if empty.OrderFraction() != 0 {
+		t.Error("empty mix order fraction must be 0")
+	}
+}
+
+func TestSampleMatchesMix(t *testing.T) {
+	rng := stats.NewRNG(42)
+	n := 200000
+	counts := make([]float64, NumInteractions)
+	for i := 0; i < n; i++ {
+		counts[Shopping.Sample(rng)]++
+	}
+	probs := Shopping.Normalized()
+	for i := range counts {
+		got := counts[i] / float64(n)
+		if math.Abs(got-probs[i]) > 0.01 {
+			t.Errorf("%v frequency = %v, want ~%v", Interaction(i), got, probs[i])
+		}
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	half := Shopping.Interpolate(Ordering, 0.5)
+	for i := range half.Weights {
+		want := (Shopping.Weights[i] + Ordering.Weights[i]) / 2
+		if math.Abs(half.Weights[i]-want) > 1e-12 {
+			t.Fatalf("interpolated weight %d = %v, want %v", i, half.Weights[i], want)
+		}
+	}
+	// Clamping.
+	same := Shopping.Interpolate(Ordering, -1)
+	for i := range same.Weights {
+		if same.Weights[i] != Shopping.Weights[i] {
+			t.Fatal("t < 0 must clamp to the base mix")
+		}
+	}
+	full := Shopping.Interpolate(Ordering, 2)
+	for i := range full.Weights {
+		if full.Weights[i] != Ordering.Weights[i] {
+			t.Fatal("t > 1 must clamp to the other mix")
+		}
+	}
+}
+
+func TestInterpolateMovesOrderFractionMonotonically(t *testing.T) {
+	prev := Shopping.OrderFraction()
+	for _, tt := range []float64{0.25, 0.5, 0.75, 1} {
+		f := Shopping.Interpolate(Ordering, tt).OrderFraction()
+		if f < prev-1e-12 {
+			t.Fatalf("order fraction not monotone at t=%v: %v < %v", tt, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestGenerateStream(t *testing.T) {
+	rng := stats.NewRNG(7)
+	reqs := GenerateStream(Ordering, 5000, 0.7, rng)
+	if len(reqs) != 5000 {
+		t.Fatalf("stream length = %d", len(reqs))
+	}
+	sumThink := 0.0
+	for _, r := range reqs {
+		if r.ThinkTime < 0 {
+			t.Fatal("negative think time")
+		}
+		sumThink += r.ThinkTime
+	}
+	mean := sumThink / float64(len(reqs))
+	if math.Abs(mean-0.7) > 0.05 {
+		t.Errorf("mean think = %v, want ~0.7", mean)
+	}
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	a := GenerateStream(Shopping, 100, 1, stats.NewRNG(3))
+	b := GenerateStream(Shopping, 100, 1, stats.NewRNG(3))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestCharacteristics(t *testing.T) {
+	reqs := []Request{
+		{Interaction: Home}, {Interaction: Home}, {Interaction: BuyConfirm},
+	}
+	ch := Characteristics(reqs)
+	if math.Abs(ch[Home]-2.0/3) > 1e-12 || math.Abs(ch[BuyConfirm]-1.0/3) > 1e-12 {
+		t.Errorf("Characteristics = %v", ch)
+	}
+	if got := Characteristics(nil); len(got) != NumInteractions {
+		t.Error("empty characteristics wrong length")
+	}
+}
+
+func TestCharacteristicsConvergeToMix(t *testing.T) {
+	rng := stats.NewRNG(11)
+	reqs := GenerateStream(Ordering, 100000, 1, rng)
+	ch := Characteristics(reqs)
+	exact := MixCharacteristics(Ordering)
+	if d := stats.Euclidean(ch, exact); d > 0.01 {
+		t.Errorf("sampled characteristics %v away from mix, want < 0.01", d)
+	}
+}
+
+func TestMixesAreDistinguishable(t *testing.T) {
+	// The data analyzer depends on the three mixes having well-separated
+	// characteristic vectors.
+	mixes := StandardMixes()
+	for i := 0; i < len(mixes); i++ {
+		for j := i + 1; j < len(mixes); j++ {
+			d := stats.Euclidean(MixCharacteristics(mixes[i]), MixCharacteristics(mixes[j]))
+			if d < 0.05 {
+				t.Errorf("mixes %s and %s only %v apart", mixes[i].Name, mixes[j].Name, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package webservice simulates the paper's cluster-based web service system
+// (§6, Appendix A): a three-tier pipeline of proxy cache (Squid), HTTP and
+// application server (Tomcat), and database server (MySQL), driven by
+// TPC-W emulated browsers and measured in Web Interactions Per Second.
+//
+// The paper ran the real stack on a ten-machine cluster; we substitute a
+// deterministic discrete-event queueing simulation exposing the same ten
+// tunable parameters the paper's Figure 8 prioritizes. The simulator
+// reproduces the qualitative response surface the paper describes:
+//
+//   - interior optima ("allowing only one process will make the system
+//     inefficient; allowing too many processes will cause thrashing", §4.1),
+//   - workload-dependent parameter importance (database parameters dominate
+//     under the ordering mix, proxy-cache parameters under shopping, §6.2),
+//   - run-to-run measurement noise from the stochastic request stream.
+//
+// The file engine.go holds the generic discrete-event machinery: an event
+// heap and bounded-queue multi-server stations.
+package webservice
+
+import "container/heap"
+
+// eventKind discriminates simulation events.
+type eventKind int
+
+const (
+	evIssue   eventKind = iota // an emulated browser issues its next request
+	evDone                     // a station finished serving a request
+	evDrain                    // the database delayed-write queue drains one slot
+	evTimeout                  // a dropped request's browser gives up waiting
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at   float64
+	kind eventKind
+	req  *request
+	st   *station
+	seq  int // tie-breaker for deterministic ordering
+}
+
+// eventHeap is a min-heap over (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// scheduler owns the clock and event heap.
+type scheduler struct {
+	now  float64
+	heap eventHeap
+	seq  int
+}
+
+func (s *scheduler) schedule(delay float64, kind eventKind, req *request, st *station) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.heap, &event{at: s.now + delay, kind: kind, req: req, st: st, seq: s.seq})
+}
+
+func (s *scheduler) next() (*event, bool) {
+	if len(s.heap) == 0 {
+		return nil, false
+	}
+	e := heap.Pop(&s.heap).(*event)
+	s.now = e.at
+	return e, true
+}
+
+// station is a multi-server queueing station with a bounded FIFO queue.
+// Service times are chosen by the caller at dispatch time, so they can
+// depend on instantaneous load (thrashing, lock contention).
+type station struct {
+	name     string
+	servers  int
+	queueCap int
+	busy     int
+	queue    []*request
+	// Drops counts arrivals rejected because the queue was full.
+	drops int
+	// busyTime accumulates server-seconds for utilization reporting.
+	busyTime  float64
+	lastStamp float64
+}
+
+// newStation builds a station; servers is clamped to at least 1 and a
+// negative queueCap means unbounded.
+func newStation(name string, servers, queueCap int) *station {
+	if servers < 1 {
+		servers = 1
+	}
+	return &station{name: name, servers: servers, queueCap: queueCap}
+}
+
+// stamp updates the utilization integral up to time now.
+func (st *station) stamp(now float64) {
+	st.busyTime += float64(st.busy) * (now - st.lastStamp)
+	st.lastStamp = now
+}
+
+// offer presents a request to the station. It returns:
+//
+//	admitted == true, started == true  — a server was free, serve now
+//	admitted == true, started == false — queued
+//	admitted == false                  — queue full, dropped
+func (st *station) offer(now float64, r *request) (admitted, started bool) {
+	st.stamp(now)
+	if st.busy < st.servers {
+		st.busy++
+		return true, true
+	}
+	if st.queueCap >= 0 && len(st.queue) >= st.queueCap {
+		st.drops++
+		return false, false
+	}
+	st.queue = append(st.queue, r)
+	return true, false
+}
+
+// release frees a server and pops the next queued request, if any.
+func (st *station) release(now float64) (*request, bool) {
+	st.stamp(now)
+	st.busy--
+	if len(st.queue) == 0 {
+		return nil, false
+	}
+	r := st.queue[0]
+	st.queue = st.queue[1:]
+	st.busy++
+	return r, true
+}
+
+// utilization returns mean busy servers over the horizon.
+func (st *station) utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return st.busyTime / horizon / float64(st.servers)
+}

@@ -1,0 +1,110 @@
+package webservice
+
+import "testing"
+
+func TestSchedulerOrdersEvents(t *testing.T) {
+	var s scheduler
+	s.schedule(3, evIssue, &request{browser: 3}, nil)
+	s.schedule(1, evIssue, &request{browser: 1}, nil)
+	s.schedule(2, evIssue, &request{browser: 2}, nil)
+	var order []int
+	for {
+		ev, ok := s.next()
+		if !ok {
+			break
+		}
+		order = append(order, ev.req.browser)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("event order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSchedulerTieBreaksBySequence(t *testing.T) {
+	var s scheduler
+	s.schedule(1, evIssue, &request{browser: 10}, nil)
+	s.schedule(1, evIssue, &request{browser: 20}, nil)
+	e1, _ := s.next()
+	e2, _ := s.next()
+	if e1.req.browser != 10 || e2.req.browser != 20 {
+		t.Error("simultaneous events not delivered in schedule order")
+	}
+}
+
+func TestSchedulerClampsNegativeDelay(t *testing.T) {
+	var s scheduler
+	s.schedule(5, evIssue, &request{}, nil)
+	s.next() // now = 5
+	s.schedule(-3, evIssue, &request{}, nil)
+	ev, _ := s.next()
+	if ev.at != 5 {
+		t.Errorf("negative delay scheduled at %v, want clamped to now (5)", ev.at)
+	}
+}
+
+func TestStationServiceAndQueueing(t *testing.T) {
+	st := newStation("s", 2, 1)
+	r1, r2, r3, r4 := &request{}, &request{}, &request{}, &request{}
+
+	adm, started := st.offer(0, r1)
+	if !adm || !started {
+		t.Fatal("first offer should start immediately")
+	}
+	adm, started = st.offer(0, r2)
+	if !adm || !started {
+		t.Fatal("second offer should start immediately (2 servers)")
+	}
+	adm, started = st.offer(0, r3)
+	if !adm || started {
+		t.Fatal("third offer should queue")
+	}
+	adm, _ = st.offer(0, r4)
+	if adm {
+		t.Fatal("fourth offer should be dropped (queue cap 1)")
+	}
+	if st.drops != 1 {
+		t.Errorf("drops = %d, want 1", st.drops)
+	}
+
+	next, ok := st.release(1)
+	if !ok || next != r3 {
+		t.Fatal("release should hand the queued request to the freed server")
+	}
+	if _, ok := st.release(2); ok {
+		t.Fatal("release with empty queue should return no request")
+	}
+}
+
+func TestStationUnboundedQueue(t *testing.T) {
+	st := newStation("s", 1, -1)
+	st.offer(0, &request{})
+	for i := 0; i < 1000; i++ {
+		adm, _ := st.offer(0, &request{})
+		if !adm {
+			t.Fatal("unbounded queue rejected an arrival")
+		}
+	}
+	if st.drops != 0 {
+		t.Errorf("drops = %d, want 0", st.drops)
+	}
+}
+
+func TestStationClampsServers(t *testing.T) {
+	st := newStation("s", 0, 0)
+	if st.servers != 1 {
+		t.Errorf("servers = %d, want clamped to 1", st.servers)
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	st := newStation("s", 1, 0)
+	st.offer(0, &request{}) // busy from t=0
+	st.release(10)          // idle from t=10
+	st.stamp(20)            // horizon 20
+	if got := st.utilization(20); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	if got := st.utilization(0); got != 0 {
+		t.Errorf("utilization over zero horizon = %v, want 0", got)
+	}
+}
