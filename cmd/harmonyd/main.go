@@ -5,14 +5,27 @@
 // restriction), then alternate fetching configurations and reporting
 // measured performance; the server drives the Nelder–Mead tuning kernel.
 //
+// The daemon is built to stay up: per-connection read and write deadlines,
+// a per-session failure budget for garbage and non-finite reports, and a
+// graceful shutdown on SIGINT/SIGTERM that drains in-flight tuning sessions
+// before a hard cutoff. Sessions cut off mid-tuning still deposit their
+// partial traces into the experience store, so prior-run knowledge survives
+// restarts of the clients (§4.2).
+//
 // Usage:
 //
-//	harmonyd -addr :7854
+//	harmonyd -addr :7854 -idle-timeout 5m -write-timeout 10s \
+//	         -failure-budget 3 -drain-timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"harmony/internal/server"
 )
@@ -20,12 +33,38 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7854", "listen address")
 	maxEvals := flag.Int("max-evals", 10000, "hard cap on per-session exploration budgets")
+	idleTimeout := flag.Duration("idle-timeout", 0, "disconnect clients idle for this long (0 = no limit); one measurement must fit inside it")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-reply write deadline (0 = no limit)")
+	failureBudget := flag.Int("failure-budget", 3, "tolerated per-session faults (garbage lines, non-finite reports); negative = zero tolerance")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions before the hard cutoff")
 	flag.Parse()
 
 	s := server.NewServer()
 	s.MaxEvalsCap = *maxEvals
+	s.IdleTimeout = *idleTimeout
+	s.WriteTimeout = *writeTimeout
+	s.FailureBudget = *failureBudget
 	s.Logf = log.Printf
-	if err := s.ListenAndServe(*addr); err != nil {
+
+	bound, err := s.Listen(*addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("harmony server listening on %s", bound)
+
+	// Graceful shutdown: the first signal drains in-flight sessions with a
+	// hard cutoff after -drain-timeout; a second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default handling: a second signal terminates immediately
+	log.Printf("shutting down: draining sessions (cutoff %s)", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		log.Printf("shutdown cutoff hit: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("shutdown complete: all sessions drained")
 }

@@ -1,0 +1,286 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic,
+// seed-driven fault injection for testing the robustness of network code.
+//
+// The tuning server is meant to be long-lived: the whole value of the
+// cross-run experience database (§4.2 of the paper) depends on the server
+// surviving the messy reality of client crashes, stalled connections,
+// truncated writes and garbage bytes without corrupting sessions. This
+// package makes those realities reproducible: a Plan describes which faults
+// fire at which message, a seed makes the injected bytes and latencies
+// deterministic, and the wrapped connection behaves exactly like a faulty
+// peer would.
+//
+// Fault positions are counted in Write (respectively Read) calls on the
+// wrapped connection, 1-based. The tuning protocol is line-delimited with
+// one flush per message, so for protocol code "the Nth write" is "the Nth
+// message".
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan describes the faults one connection will inject. The zero Plan
+// injects nothing and is fully transparent.
+type Plan struct {
+	// Seed drives the injected garbage bytes and the truncation point so a
+	// failing test reproduces byte-for-byte. Seed 0 is a valid seed.
+	Seed int64
+
+	// DropAfterWrites abruptly closes the connection immediately after the
+	// Nth Write call completes (1-based; 0 = never). It simulates a peer
+	// that crashes right after sending a message.
+	DropAfterWrites int
+
+	// TruncateWriteAt sends only a seed-chosen prefix of the Nth Write and
+	// then closes the connection (0 = never): a partial/short write, the
+	// classic mid-message crash.
+	TruncateWriteAt int
+
+	// GarbageBeforeWrite injects one line of seeded random junk bytes
+	// immediately before the Nth Write (0 = never). The real message still
+	// follows, so a robust peer can skip the junk and keep the session.
+	GarbageBeforeWrite int
+
+	// StallAfterWrites silently swallows every Write after the Nth, blocking
+	// the caller until the connection is closed (0 = never). The remote side
+	// observes a read stall: the peer is alive but has gone silent.
+	StallAfterWrites int
+
+	// ChunkWrites splits every Write into underlying writes of at most this
+	// many bytes (0 = no chunking), exercising message reassembly in the
+	// peer's reader.
+	ChunkWrites int
+
+	// WriteLatency delays each underlying write; ReadLatency each read.
+	// Delays are interrupted by Close so tests never hang on them.
+	WriteLatency time.Duration
+	ReadLatency  time.Duration
+}
+
+// Conn is a net.Conn that injects the faults described by its Plan.
+type Conn struct {
+	inner net.Conn
+	plan  Plan
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int
+	reads  int
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Wrap returns conn with the plan's faults layered on top.
+func Wrap(conn net.Conn, plan Plan) *Conn {
+	return &Conn{
+		inner:  conn,
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+// errInjected is the error surfaced to the caller when a fault killed the
+// connection mid-operation.
+type errInjected struct{ what string }
+
+func (e errInjected) Error() string { return "faultnet: injected " + e.what }
+
+// Timeout and Temporary make errInjected a net.Error, like the real
+// connection failures it stands in for.
+func (errInjected) Timeout() bool   { return false }
+func (errInjected) Temporary() bool { return false }
+
+// sleep waits for d or until the connection is closed.
+func (c *Conn) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+// Write implements net.Conn with the plan's write-side faults.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	n := c.writes
+	var garbage []byte
+	if c.plan.GarbageBeforeWrite > 0 && n == c.plan.GarbageBeforeWrite {
+		garbage = c.garbageLineLocked()
+	}
+	truncateTo := -1
+	if c.plan.TruncateWriteAt > 0 && n == c.plan.TruncateWriteAt && len(b) > 0 {
+		// Keep a strict prefix: at least 0, at most len(b)-1 bytes survive.
+		truncateTo = c.rng.Intn(len(b))
+	}
+	c.mu.Unlock()
+
+	if c.plan.StallAfterWrites > 0 && n > c.plan.StallAfterWrites {
+		// Go silent: block until the connection is torn down.
+		<-c.closed
+		return 0, errInjected{"write stall"}
+	}
+	c.sleep(c.plan.WriteLatency)
+
+	if garbage != nil {
+		if _, err := c.inner.Write(garbage); err != nil {
+			return 0, err
+		}
+	}
+	if truncateTo >= 0 {
+		c.inner.Write(b[:truncateTo])
+		c.Close()
+		return truncateTo, errInjected{"truncated write"}
+	}
+	wrote, err := c.writeChunked(b)
+	if err != nil {
+		return wrote, err
+	}
+	if c.plan.DropAfterWrites > 0 && n == c.plan.DropAfterWrites {
+		c.Close()
+	}
+	return wrote, nil
+}
+
+// writeChunked forwards b, split into ChunkWrites-byte pieces when asked.
+func (c *Conn) writeChunked(b []byte) (int, error) {
+	if c.plan.ChunkWrites <= 0 {
+		return c.inner.Write(b)
+	}
+	total := 0
+	for len(b) > 0 {
+		n := c.plan.ChunkWrites
+		if n > len(b) {
+			n = len(b)
+		}
+		wrote, err := c.inner.Write(b[:n])
+		total += wrote
+		if err != nil {
+			return total, err
+		}
+		b = b[n:]
+	}
+	return total, nil
+}
+
+// garbageLineLocked builds one newline-terminated line of junk that is
+// guaranteed not to parse as a protocol message. Callers hold c.mu.
+func (c *Conn) garbageLineLocked() []byte {
+	n := 8 + c.rng.Intn(24)
+	line := make([]byte, n+1)
+	for i := 0; i < n; i++ {
+		line[i] = byte('A' + c.rng.Intn(26))
+	}
+	line[n] = '\n'
+	return line
+}
+
+// Read implements net.Conn with the plan's read-side latency.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	c.reads++
+	c.mu.Unlock()
+	c.sleep(c.plan.ReadLatency)
+	select {
+	case <-c.closed:
+		return 0, errInjected{"connection drop"}
+	default:
+	}
+	return c.inner.Read(b)
+}
+
+// Close tears down the connection and releases any stalled or sleeping
+// operations. It is idempotent.
+func (c *Conn) Close() error {
+	var err error
+	c.once.Do(func() {
+		close(c.closed)
+		err = c.inner.Close()
+	})
+	return err
+}
+
+// Writes returns how many Write calls the connection has seen.
+func (c *Conn) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// Reads returns how many Read calls the connection has seen.
+func (c *Conn) Reads() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reads
+}
+
+// LocalAddr, RemoteAddr and the deadline setters delegate to the wrapped
+// connection.
+func (c *Conn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener so every accepted connection carries an
+// injection plan — fault injection on the server side of a protocol.
+type Listener struct {
+	net.Listener
+
+	// PlanFor chooses the plan for the nth accepted connection (1-based).
+	// A nil PlanFor accepts transparent connections.
+	PlanFor func(n int) Plan
+
+	mu       sync.Mutex
+	accepted int
+}
+
+// WrapListener returns ln with every accepted connection wrapped in the
+// plan chosen by planFor.
+func WrapListener(ln net.Listener, planFor func(n int) Plan) *Listener {
+	return &Listener{Listener: ln, PlanFor: planFor}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepted++
+	n := l.accepted
+	l.mu.Unlock()
+	var plan Plan
+	if l.PlanFor != nil {
+		plan = l.PlanFor(n)
+	}
+	return Wrap(conn, plan), nil
+}
+
+// Accepted returns how many connections the listener has accepted.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+// Dial connects to addr over TCP and wraps the connection in the plan —
+// the client side of a faulty session in one call.
+func Dial(addr string, timeout time.Duration, plan Plan) (*Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: dial %s: %w", addr, err)
+	}
+	return Wrap(conn, plan), nil
+}

@@ -1,0 +1,263 @@
+package faultnet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipe returns a faulty client connection to an in-process TCP echo-free
+// peer plus the raw server side of the same connection.
+func pipe(t *testing.T, plan Plan) (*Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	client, err := Dial(ln.Addr().String(), 2*time.Second, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() { a.conn.Close() })
+	return client, a.conn
+}
+
+// readAll drains the peer until EOF/error, bounded by a deadline.
+func readAll(t *testing.T, conn net.Conn) []byte {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf bytes.Buffer
+	io.Copy(&buf, conn)
+	return buf.Bytes()
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	client, peer := pipe(t, Plan{})
+	go func() {
+		client.Write([]byte("hello\n"))
+		client.Write([]byte("world\n"))
+		client.Close()
+	}()
+	got := string(readAll(t, peer))
+	if got != "hello\nworld\n" {
+		t.Fatalf("peer saw %q", got)
+	}
+}
+
+func TestDropAfterWrites(t *testing.T) {
+	client, peer := pipe(t, Plan{DropAfterWrites: 2})
+	if _, err := client.Write([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The second write completed, then the connection dropped.
+	if _, err := client.Write([]byte("three\n")); err == nil {
+		t.Fatal("write after drop succeeded")
+	}
+	got := string(readAll(t, peer))
+	if got != "one\ntwo\n" {
+		t.Fatalf("peer saw %q, want both pre-drop messages and nothing else", got)
+	}
+}
+
+func TestTruncateWriteAt(t *testing.T) {
+	client, peer := pipe(t, Plan{TruncateWriteAt: 2, Seed: 7})
+	if _, err := client.Write([]byte("first-message\n")); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("second-message\n")
+	n, err := client.Write(msg)
+	if err == nil {
+		t.Fatal("truncated write reported success")
+	}
+	if n >= len(msg) {
+		t.Fatalf("truncated write wrote %d of %d bytes", n, len(msg))
+	}
+	got := string(readAll(t, peer))
+	if !strings.HasPrefix(got, "first-message\n") {
+		t.Fatalf("peer saw %q", got)
+	}
+	partial := strings.TrimPrefix(got, "first-message\n")
+	if partial != string(msg[:n]) {
+		t.Fatalf("peer saw partial %q, conn reported %q", partial, msg[:n])
+	}
+	if strings.HasSuffix(partial, "\n") {
+		t.Fatal("truncation kept the full line")
+	}
+}
+
+func TestGarbageBeforeWriteIsDeterministic(t *testing.T) {
+	lines := func(seed int64) []string {
+		client, peer := pipe(t, Plan{GarbageBeforeWrite: 2, Seed: seed})
+		go func() {
+			client.Write([]byte("alpha\n"))
+			client.Write([]byte("beta\n"))
+			client.Close()
+		}()
+		sc := bufio.NewScanner(bytes.NewReader(readAll(t, peer)))
+		var out []string
+		for sc.Scan() {
+			out = append(out, sc.Text())
+		}
+		return out
+	}
+	a := lines(42)
+	if len(a) != 3 {
+		t.Fatalf("lines = %q, want alpha, garbage, beta", a)
+	}
+	if a[0] != "alpha" || a[2] != "beta" {
+		t.Fatalf("real messages corrupted: %q", a)
+	}
+	for _, r := range a[1] {
+		if r < 'A' || r > 'Z' {
+			t.Fatalf("garbage line %q contains non-junk byte", a[1])
+		}
+	}
+	b := lines(42)
+	if a[1] != b[1] {
+		t.Fatalf("same seed produced different garbage: %q vs %q", a[1], b[1])
+	}
+	c := lines(43)
+	if len(c) == 3 && c[1] == a[1] {
+		t.Fatalf("different seeds produced identical garbage %q", a[1])
+	}
+}
+
+func TestStallAfterWritesBlocksUntilClose(t *testing.T) {
+	client, peer := pipe(t, Plan{StallAfterWrites: 1})
+	if _, err := client.Write([]byte("before\n")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := client.Write([]byte("after\n"))
+		errCh <- err
+	}()
+	// The stalled write must not reach the peer; the peer's read times out.
+	peer.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 64)
+	n, _ := peer.Read(buf)
+	if string(buf[:n]) != "before\n" {
+		t.Fatalf("peer saw %q", buf[:n])
+	}
+	n, err := peer.Read(buf)
+	if n != 0 {
+		t.Fatalf("stalled write leaked %q to the peer", buf[:n])
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("peer read error = %v, want timeout", err)
+	}
+	// Closing the connection releases the stalled writer.
+	client.Close()
+	wg.Wait()
+	if err := <-errCh; err == nil {
+		t.Fatal("stalled write reported success after close")
+	}
+}
+
+func TestChunkWritesDeliverEverything(t *testing.T) {
+	client, peer := pipe(t, Plan{ChunkWrites: 3})
+	msg := []byte(`{"op":"register","rsl":"{ harmonyBundle x { int {0 5 1} } }"}` + "\n")
+	go func() {
+		client.Write(msg)
+		client.Close()
+	}()
+	got := readAll(t, peer)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("peer saw %q, want the full message", got)
+	}
+}
+
+func TestLatencyInterruptedByClose(t *testing.T) {
+	client, _ := pipe(t, Plan{WriteLatency: time.Hour})
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Write([]byte("slow\n"))
+		done <- err
+	}()
+	client.Close()
+	select {
+	case <-done:
+		// Write returned promptly instead of sleeping an hour.
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not interrupt the write latency")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := WrapListener(ln, func(n int) Plan {
+		return Plan{DropAfterWrites: n} // connection n drops after n writes
+	})
+	t.Cleanup(func() { fln.Close() })
+
+	serve := make(chan struct{})
+	go func() {
+		defer close(serve)
+		conn, err := fln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.Write([]byte("only\n")) // plan drops after this first write
+		conn.Write([]byte("never\n"))
+	}()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got := string(readAll(t, conn))
+	if got != "only\n" {
+		t.Fatalf("client saw %q, want only the pre-drop write", got)
+	}
+	<-serve
+	if fln.Accepted() != 1 {
+		t.Fatalf("accepted = %d", fln.Accepted())
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	client, _ := pipe(t, Plan{})
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after close succeeded")
+	}
+}

@@ -1,0 +1,71 @@
+package search
+
+import "math"
+
+// failurePenaltyMagnitude is the worst-case performance assigned to failed
+// measurements. It is finite (so ordering, centroid and spread arithmetic in
+// the kernel stay well-defined — NaN would poison every comparison) but so
+// extreme that a failed point can never be mistaken for a good vertex: the
+// simplex immediately moves away from it.
+const failurePenaltyMagnitude = 1e300
+
+// FailurePenalty returns the worst possible finite performance under dir:
+// the score a tuning system assigns to an evaluation that failed outright
+// (client crash mid-measurement, non-finite report, evaluation timeout).
+// Online tuners must tolerate lost measurements mid-search rather than
+// aborting the session, so failed points are scored as maximally bad and
+// the search continues.
+func FailurePenalty(dir Direction) float64 {
+	if dir == Maximize {
+		return -failurePenaltyMagnitude
+	}
+	return failurePenaltyMagnitude
+}
+
+// IsFailure reports whether perf is a failure score: the sentinel penalty
+// itself, any value whose magnitude reaches it (no real measurement is that
+// extreme in either direction — such a report is garbage, not data), or a
+// non-finite value.
+func IsFailure(perf float64, dir Direction) bool {
+	_ = dir // the magnitude test is direction-symmetric; dir kept for API clarity
+	if math.IsNaN(perf) || math.IsInf(perf, 0) {
+		return true
+	}
+	return math.Abs(perf) >= failurePenaltyMagnitude
+}
+
+// Sanitize maps a reported performance to a kernel-safe value: non-finite
+// reports (NaN, ±Inf) become the worst-case penalty, and finite reports
+// beyond the penalty magnitude are clamped to it. Everything the simplex
+// consumes is therefore finite and totally ordered.
+func Sanitize(perf float64, dir Direction) float64 {
+	if math.IsNaN(perf) || math.IsInf(perf, 0) {
+		return FailurePenalty(dir)
+	}
+	if perf > failurePenaltyMagnitude {
+		return failurePenaltyMagnitude
+	}
+	if perf < -failurePenaltyMagnitude {
+		return -failurePenaltyMagnitude
+	}
+	return perf
+}
+
+// FailableObjectiveFunc is a measurement that can fail. A non-nil error
+// means the configuration could not be measured at all.
+type FailableObjectiveFunc func(cfg Config) (float64, error)
+
+// Failable adapts a measurement that can fail to the Objective interface:
+// failed evaluations score as the worst-case penalty for dir, and noisy
+// successes are sanitized so non-finite values never reach the kernel. This
+// is the objective wrapper the tuning server uses to keep a simplex alive
+// across client crashes and garbage reports.
+func Failable(f FailableObjectiveFunc, dir Direction) Objective {
+	return ObjectiveFunc(func(cfg Config) float64 {
+		perf, err := f(cfg)
+		if err != nil {
+			return FailurePenalty(dir)
+		}
+		return Sanitize(perf, dir)
+	})
+}

@@ -1,0 +1,181 @@
+package search
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFailurePenaltyAndSanitize(t *testing.T) {
+	if p := FailurePenalty(Maximize); p >= 0 || math.IsInf(p, 0) {
+		t.Fatalf("Maximize penalty = %v, want large negative finite", p)
+	}
+	if p := FailurePenalty(Minimize); p <= 0 || math.IsInf(p, 0) {
+		t.Fatalf("Minimize penalty = %v, want large positive finite", p)
+	}
+	for _, dir := range []Direction{Maximize, Minimize} {
+		// The penalty is the worst possible value under its direction.
+		if dir.Better(FailurePenalty(dir), 0) {
+			t.Fatalf("penalty beats 0 under %v", dir)
+		}
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			got := Sanitize(bad, dir)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Sanitize(%v, %v) = %v, want finite", bad, dir, got)
+			}
+			if !IsFailure(got, dir) {
+				t.Fatalf("Sanitize(%v, %v) = %v not recognized as failure", bad, dir, got)
+			}
+		}
+		if Sanitize(42.5, dir) != 42.5 {
+			t.Fatalf("Sanitize mangled a finite value")
+		}
+		if IsFailure(42.5, dir) {
+			t.Fatalf("finite ordinary value flagged as failure")
+		}
+	}
+}
+
+func TestFailableWrapsErrorsAsPenalty(t *testing.T) {
+	fail := errors.New("measurement crashed")
+	obj := Failable(func(cfg Config) (float64, error) {
+		if cfg[0] == 0 {
+			return 0, fail
+		}
+		if cfg[0] == 1 {
+			return math.NaN(), nil
+		}
+		return float64(cfg[0]), nil
+	}, Maximize)
+	if got := obj.Measure(Config{0}); got != FailurePenalty(Maximize) {
+		t.Fatalf("error measurement = %v, want penalty", got)
+	}
+	if got := obj.Measure(Config{1}); got != FailurePenalty(Maximize) {
+		t.Fatalf("NaN measurement = %v, want penalty", got)
+	}
+	if got := obj.Measure(Config{7}); got != 7 {
+		t.Fatalf("clean measurement = %v", got)
+	}
+}
+
+// TestSimplexSurvivesInjectedFailures is the property test: across random
+// spaces, directions and failure rates, a kernel fed worst-case penalties
+// for randomly failed evaluations must (a) only ever measure in-bounds grid
+// configurations, (b) terminate within MaxEvals, and (c) return an
+// in-bounds best whenever anything was measured.
+func TestSimplexSurvivesInjectedFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040813)) // SC 2004 era, deterministic
+	for trial := 0; trial < 120; trial++ {
+		dim := 1 + rng.Intn(4)
+		params := make([]Param, dim)
+		for j := range params {
+			min := rng.Intn(21) - 10
+			span := 1 + rng.Intn(40)
+			step := 1 + rng.Intn(3)
+			params[j] = Param{
+				Name: string(rune('a' + j)),
+				Min:  min, Max: min + span, Step: step,
+				Default: min,
+			}
+			// Keep the default on-grid.
+			params[j].Max = min + (span/step)*step
+		}
+		space := MustSpace(params...)
+
+		dir := Maximize
+		if rng.Intn(2) == 1 {
+			dir = Minimize
+		}
+		// Failure rates from gentle to brutal; a few trials fail everything.
+		failRate := rng.Float64()
+		if trial%10 == 9 {
+			failRate = 1.0
+		}
+		peak := make([]float64, dim)
+		for j, p := range params {
+			peak[j] = float64(p.Min) + rng.Float64()*float64(p.Max-p.Min)
+		}
+		obj := Failable(func(cfg Config) (float64, error) {
+			if rng.Float64() < failRate {
+				return 0, errors.New("injected failure")
+			}
+			d := 0.0
+			for j, v := range cfg {
+				dv := float64(v) - peak[j]
+				d += dv * dv
+			}
+			if dir == Maximize {
+				return 1000 - d, nil
+			}
+			return d, nil
+		}, dir)
+
+		maxEvals := 20 + rng.Intn(120)
+		var init InitStrategy = DistributedInit{}
+		if rng.Intn(2) == 0 {
+			init = ExtremeInit{}
+		}
+		res, err := NelderMead(space, obj, NelderMeadOptions{
+			Init:      init,
+			Direction: dir,
+			MaxEvals:  maxEvals,
+			Restarts:  rng.Intn(2),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: kernel error: %v", trial, err)
+		}
+		if res.Evals > maxEvals {
+			t.Fatalf("trial %d: %d evals exceeds budget %d", trial, res.Evals, maxEvals)
+		}
+		if len(res.Trace) != res.Evals {
+			t.Fatalf("trial %d: trace length %d != evals %d", trial, len(res.Trace), res.Evals)
+		}
+		for i, ev := range res.Trace {
+			if !space.Contains(ev.Config) {
+				t.Fatalf("trial %d: evaluation %d out of bounds: %v", trial, i, ev.Config)
+			}
+			if math.IsNaN(ev.Perf) || math.IsInf(ev.Perf, 0) {
+				t.Fatalf("trial %d: non-finite perf leaked into the trace: %v", trial, ev.Perf)
+			}
+		}
+		if res.Evals > 0 {
+			if len(res.BestConfig) == 0 {
+				t.Fatalf("trial %d: measured %d points but no best", trial, res.Evals)
+			}
+			if !space.Contains(res.BestConfig) {
+				t.Fatalf("trial %d: best %v out of bounds", trial, res.BestConfig)
+			}
+		}
+	}
+}
+
+// TestSimplexAllFailuresTerminates pins the pathological edge: when every
+// single evaluation fails, the kernel must still terminate inside the
+// budget and report the penalty as its (uniformly bad) best.
+func TestSimplexAllFailuresTerminates(t *testing.T) {
+	space := MustSpace(
+		Param{Name: "x", Min: 0, Max: 50, Step: 1},
+		Param{Name: "y", Min: 0, Max: 50, Step: 1},
+	)
+	for _, dir := range []Direction{Maximize, Minimize} {
+		obj := Failable(func(Config) (float64, error) {
+			return 0, errors.New("always down")
+		}, dir)
+		res, err := NelderMead(space, obj, NelderMeadOptions{
+			Init: DistributedInit{}, Direction: dir, MaxEvals: 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evals > 60 {
+			t.Fatalf("evals = %d", res.Evals)
+		}
+		if !IsFailure(res.BestPerf, dir) {
+			t.Fatalf("best perf %v should be the failure penalty", res.BestPerf)
+		}
+		if !space.Contains(res.BestConfig) {
+			t.Fatalf("best config %v out of bounds", res.BestConfig)
+		}
+	}
+}

@@ -4,10 +4,27 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"harmony/internal/search"
+)
+
+// Typed client errors: applications distinguish retryable transport
+// failures from fatal session errors with errors.Is.
+var (
+	// ErrServerGone means the transport failed: the server is unreachable,
+	// closed the connection, or stopped answering within the deadline.
+	// Reconnecting (a fresh Dial + Register) may succeed — and thanks to
+	// the server's experience store the new session warm-starts from
+	// whatever the lost session already measured.
+	ErrServerGone = errors.New("harmony: server gone")
+	// ErrProtocol means the conversation itself is broken — the server
+	// rejected a message or replied out of protocol. Retrying the same
+	// exchange will not help.
+	ErrProtocol = errors.New("harmony: protocol error")
 )
 
 // Client is the application-side library: register tunable parameters, then
@@ -16,6 +33,13 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Scanner
 	w    *bufio.Writer
+
+	// OpTimeout bounds each protocol exchange (one send plus the matching
+	// reply read). 0 means no deadline. Set it when the server could hang.
+	OpTimeout time.Duration
+
+	closeOnce sync.Once
+	closeErr  error
 
 	names []string
 	best  *Best
@@ -47,21 +71,121 @@ type RegisterOptions struct {
 	Characteristics []float64
 }
 
-// Dial connects to a harmony server.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, err
-	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+// DialOptions configure connection establishment and per-operation
+// deadlines.
+type DialOptions struct {
+	// Timeout bounds each individual dial attempt (default 2s).
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a failed dial
+	// (default 0: a single attempt).
+	Retries int
+	// Backoff is the delay before the first retry (default 50ms); it
+	// doubles per retry up to MaxBackoff (default 2s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Jitter randomizes each backoff by ±this fraction (default 0.2) so a
+	// thundering herd of reconnecting clients spreads out.
+	Jitter float64
+	// OpTimeout seeds the returned client's per-exchange deadline (0 =
+	// none).
+	OpTimeout time.Duration
+	// Seed makes the jitter deterministic when non-zero (tests).
+	Seed int64
 }
 
-// Close tears down the connection.
+func (o *DialOptions) fill() {
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Backoff == 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.2
+	}
+}
+
+// backoff returns the pause before retry attempt (0-based), with
+// exponential growth, a cap, and symmetric jitter.
+func (o DialOptions) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := o.Backoff
+	for i := 0; i < attempt && d < o.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > o.MaxBackoff {
+		d = o.MaxBackoff
+	}
+	if o.Jitter > 0 {
+		f := 1 + o.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Dial connects to a harmony server with a single attempt.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialWithOptions(addr, DialOptions{Timeout: timeout})
+}
+
+// DialWithOptions connects to a harmony server, retrying failed attempts
+// with exponential backoff and jitter. The returned error wraps
+// ErrServerGone when every attempt failed.
+func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
+	opts.fill()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attempts := 1 + opts.Retries
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(opts.backoff(attempt-1, rng))
+		}
+		conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
+		if err == nil {
+			c := NewClientConn(conn)
+			c.OpTimeout = opts.OpTimeout
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: dial %s failed after %d attempt(s): %v",
+		ErrServerGone, addr, attempts, lastErr)
+}
+
+// NewClientConn wraps an established connection (any net.Conn — a TCP
+// socket, a TLS session, or a fault-injection wrapper in tests) as a
+// Client.
+func NewClientConn(conn net.Conn) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}
+}
+
+// Close tears down the connection. It is idempotent, safe on a nil client
+// (the result of a failed Dial), and safe after a mid-session transport
+// error.
 func (c *Client) Close() error {
-	c.send(message{Op: "quit"}) // best effort; the read may already be gone
-	return c.conn.Close()
+	if c == nil || c.conn == nil {
+		return nil
+	}
+	c.closeOnce.Do(func() {
+		c.send(message{Op: "quit"}) // best effort; the read may already be gone
+		err := c.conn.Close()
+		if errors.Is(err, net.ErrClosed) {
+			err = nil // the transport already died mid-session; that's fine
+		}
+		c.closeErr = err
+	})
+	return c.closeErr
 }
 
 func (c *Client) send(m message) error {
@@ -69,25 +193,34 @@ func (c *Client) send(m message) error {
 	if err != nil {
 		return err
 	}
-	if _, err := c.w.Write(b); err != nil {
-		return err
+	if c.OpTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.OpTimeout))
 	}
-	return c.w.Flush()
+	if _, err := c.w.Write(b); err != nil {
+		return fmt.Errorf("%w: write: %v", ErrServerGone, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("%w: write: %v", ErrServerGone, err)
+	}
+	return nil
 }
 
 func (c *Client) recv() (message, error) {
+	if c.OpTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.OpTimeout))
+	}
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
-			return message{}, err
+			return message{}, fmt.Errorf("%w: read: %v", ErrServerGone, err)
 		}
-		return message{}, errors.New("server closed the connection")
+		return message{}, fmt.Errorf("%w: server closed the connection", ErrServerGone)
 	}
 	m, err := decode(c.r.Bytes())
 	if err != nil {
-		return message{}, err
+		return message{}, fmt.Errorf("%w: %v", ErrProtocol, err)
 	}
 	if m.Op == "error" {
-		return message{}, fmt.Errorf("harmony server: %s", m.Msg)
+		return message{}, fmt.Errorf("%w: server: %s", ErrProtocol, m.Msg)
 	}
 	return m, nil
 }
@@ -112,7 +245,7 @@ func (c *Client) Register(rslText string, opts RegisterOptions) ([]string, error
 		return nil, err
 	}
 	if m.Op != "registered" {
-		return nil, fmt.Errorf("unexpected reply %q to register", m.Op)
+		return nil, fmt.Errorf("%w: unexpected reply %q to register", ErrProtocol, m.Op)
 	}
 	c.names = m.Names
 	c.warm = m.Warm
@@ -143,7 +276,7 @@ func (c *Client) Fetch() (cfg search.Config, done bool, err error) {
 		c.best = &Best{Values: search.Config(m.Values), Perf: m.Perf, Evals: m.Evals}
 		return nil, true, nil
 	}
-	return nil, false, fmt.Errorf("unexpected reply %q to fetch", m.Op)
+	return nil, false, fmt.Errorf("%w: unexpected reply %q to fetch", ErrProtocol, m.Op)
 }
 
 // Report sends the measured performance of the last fetched configuration.
@@ -156,7 +289,7 @@ func (c *Client) Report(perf float64) error {
 		return err
 	}
 	if m.Op != "ok" {
-		return fmt.Errorf("unexpected reply %q to report", m.Op)
+		return fmt.Errorf("%w: unexpected reply %q to report", ErrProtocol, m.Op)
 	}
 	return nil
 }

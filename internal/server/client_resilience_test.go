@@ -1,0 +1,228 @@
+package server
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDialBackoffSchedule(t *testing.T) {
+	opts := DialOptions{Backoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Jitter: 0.2}
+	opts.fill()
+	rng := rand.New(rand.NewSource(7))
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, // capped
+	}
+	for attempt, base := range want {
+		d := opts.backoff(attempt, rng)
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if d < lo || d > hi {
+			t.Errorf("backoff(%d) = %v, want within [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+	// Same seed, same schedule: reconnect jitter is reproducible in tests.
+	a := opts.backoff(2, rand.New(rand.NewSource(42)))
+	b := opts.backoff(2, rand.New(rand.NewSource(42)))
+	if a != b {
+		t.Errorf("same seed produced %v and %v", a, b)
+	}
+}
+
+func TestDialFailureIsTypedServerGone(t *testing.T) {
+	// Reserve an address, then free it: connecting is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	c, err := DialWithOptions(addr, DialOptions{
+		Timeout: 500 * time.Millisecond, Retries: 2,
+		Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Seed: 1,
+	})
+	if err == nil {
+		c.Close()
+		t.Fatal("dial to a dead address succeeded")
+	}
+	if !errors.Is(err, ErrServerGone) {
+		t.Errorf("err = %v, want ErrServerGone", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("3 refused attempts took %v", elapsed)
+	}
+	// A failed Dial returns a nil client; Close on it must be a no-op.
+	if cerr := c.Close(); cerr != nil {
+		t.Errorf("Close on nil client = %v", cerr)
+	}
+}
+
+func TestDialRetryEventuallyConnects(t *testing.T) {
+	// Reserve an address and free it, start retrying against it, then bring
+	// a listener up on that address: a later attempt must succeed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	type result struct {
+		c   *Client
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		c, err := DialWithOptions(addr, DialOptions{
+			Timeout: time.Second, Retries: 60,
+			Backoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond, Seed: 2,
+		})
+		res <- result{c, err}
+	}()
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	go func() {
+		for {
+			conn, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatalf("retrying dial never connected: %v", r.err)
+		}
+		r.c.Close()
+	case <-time.After(10 * time.Second):
+		t.Fatal("retrying dial wedged")
+	}
+}
+
+func TestClientCloseIdempotent(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(quadRSL, RegisterOptions{MaxEvals: 30}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close #%d = %v", i+1, err)
+		}
+	}
+
+	// Safe after a mid-session transport error: the conn already died.
+	c2, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Register(quadRSL, RegisterOptions{MaxEvals: 30}); err != nil {
+		t.Fatal(err)
+	}
+	c2.conn.Close() // transport dies under the client
+	if err := c2.Close(); err != nil {
+		t.Errorf("Close after transport death = %v", err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Errorf("second Close after transport death = %v", err)
+	}
+
+	// Safe on a nil client.
+	var nilClient *Client
+	if err := nilClient.Close(); err != nil {
+		t.Errorf("Close on nil client = %v", err)
+	}
+}
+
+func TestProtocolErrorsAreTyped(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.Register(quadRSL, RegisterOptions{MaxEvals: 30}); err != nil {
+		t.Fatal(err)
+	}
+	// A report with no pending configuration is a protocol violation.
+	err := c.Report(1.0)
+	if err == nil {
+		t.Fatal("stray report accepted")
+	}
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("stray report err = %v, want ErrProtocol", err)
+	}
+	if errors.Is(err, ErrServerGone) {
+		t.Errorf("protocol error also claims ErrServerGone: %v", err)
+	}
+}
+
+func TestServerDeathIsTypedServerGone(t *testing.T) {
+	s, addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.Register(quadRSL, RegisterOptions{MaxEvals: 30}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // the server dies mid-session
+	_, _, err := c.Fetch()
+	if err == nil {
+		t.Fatal("fetch from a dead server succeeded")
+	}
+	if !errors.Is(err, ErrServerGone) {
+		t.Errorf("err = %v, want ErrServerGone", err)
+	}
+}
+
+func TestOpTimeoutBoundsExchanges(t *testing.T) {
+	// A listener that accepts and never replies: without OpTimeout the
+	// client would block forever on the register reply.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // swallow everything, reply with nothing
+		}
+	}()
+
+	c, err := DialWithOptions(ln.Addr().String(), DialOptions{
+		Timeout: time.Second, OpTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Register(quadRSL, RegisterOptions{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("register against a mute server succeeded")
+		}
+		if !errors.Is(err, ErrServerGone) {
+			t.Errorf("err = %v, want ErrServerGone", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("OpTimeout did not bound the exchange")
+	}
+}

@@ -35,10 +35,13 @@ func specKey(app string, spec *rsl.Spec) string {
 	return app + "/" + hex.EncodeToString(sum[:8])
 }
 
-// record deposits a completed session's trace.
-func (s *experienceStore) record(key string, chars []float64, dir search.Direction, tr search.Trace) {
+// record deposits a session's trace — complete or partial (an abnormally
+// disconnected session still contributes whatever it measured). It reports
+// whether anything was stored: sessions without workload characteristics or
+// without a single measurement deposit nothing.
+func (s *experienceStore) record(key string, chars []float64, dir search.Direction, tr search.Trace) bool {
 	if len(chars) == 0 || len(tr) == 0 {
-		return
+		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -53,6 +56,7 @@ func (s *experienceStore) record(key string, chars []float64, dir search.Directi
 	if db.Len() > 32 {
 		db.Compact(1e-4, 256)
 	}
+	return true
 }
 
 // match returns the best configurations of the experience closest to the

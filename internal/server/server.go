@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -14,6 +15,13 @@ import (
 )
 
 // Server hosts tuning sessions, one per client connection.
+//
+// The server is designed to be long-lived: the cross-run experience database
+// (§4.2) only pays off if the server survives client crashes, stalled
+// connections, partial writes and garbage bytes without corrupting sessions.
+// The robustness knobs below (IdleTimeout, WriteTimeout, FailureBudget) bound
+// how much misbehaviour one client can inflict, and Shutdown drains in-flight
+// sessions with a hard cutoff.
 type Server struct {
 	// MaxEvalsCap bounds per-session budgets regardless of what clients
 	// request (default 10,000).
@@ -21,12 +29,27 @@ type Server struct {
 	// IdleTimeout disconnects clients that send nothing for this long
 	// (0 = no limit). Measuring one configuration must fit inside it.
 	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write (0 = no limit), so a client that
+	// stops draining its socket cannot wedge a session goroutine forever.
+	WriteTimeout time.Duration
+	// FailureBudget is how many per-session faults (garbage lines,
+	// non-finite performance reports) the server tolerates before failing
+	// the session. 0 means the default of 3; negative means zero tolerance.
+	// Tolerated non-finite reports score the pending configuration with the
+	// worst-case penalty (search.FailurePenalty) so the simplex moves on
+	// instead of wedging.
+	FailureBudget int
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...interface{})
+	// OnSessionEnd, when set, is called after a session's handler and
+	// kernel goroutine have both finished — one call per connection, from
+	// the connection's goroutine. Intended for metrics and tests.
+	OnSessionEnd func(SessionEnd)
 
 	mu       sync.Mutex
 	listener net.Listener
 	closed   bool
+	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 
 	// experience is the cross-session data characteristics database:
@@ -35,14 +58,37 @@ type Server struct {
 	experience *experienceStore
 }
 
+// SessionEnd summarizes one finished connection for the OnSessionEnd hook.
+type SessionEnd struct {
+	// App is the application name from the registration ("" before one).
+	App string
+	// Warm reports whether prior experience seeded the session.
+	Warm bool
+	// Completed reports whether the kernel delivered a final best to the
+	// client.
+	Completed bool
+	// Deposited reports whether a trace — possibly partial, on abnormal
+	// disconnect — entered the experience store.
+	Deposited bool
+	// Faults counts tolerated per-session faults (garbage lines,
+	// non-finite reports).
+	Faults int
+	// Err is the terminal error, nil for a clean quit or best delivery.
+	Err error
+}
+
 // NewServer returns a server with defaults.
 func NewServer() *Server {
-	return &Server{MaxEvalsCap: 10_000, experience: newExperienceStore()}
+	return &Server{
+		MaxEvalsCap: 10_000,
+		experience:  newExperienceStore(),
+		conns:       map[net.Conn]struct{}{},
+	}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serving happens on background goroutines until
-// Close.
+// Close or Shutdown.
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -77,10 +123,12 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Close stops accepting connections and waits for in-flight sessions.
-// Sessions blocked on a client that never returns are abandoned by closing
-// their connections.
-func (s *Server) Close() error {
+// Shutdown gracefully stops the server: it stops accepting connections,
+// lets in-flight sessions drain, and — if ctx expires first — severs the
+// remaining connections (the hard cutoff). Sessions cut off mid-tuning
+// still deposit their partial traces into the experience store. Shutdown
+// returns nil when everything drained in time and ctx.Err() after a cutoff.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.listener
@@ -88,8 +136,59 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
-	s.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Hard cutoff: sever every remaining connection. Handlers unwind, the
+	// kernel goroutines deposit partial traces, and the wait completes.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// Close stops the server immediately: no drain, connections are severed and
+// in-flight sessions unwind (depositing partial traces) before Close
+// returns.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: Shutdown goes straight to the hard cutoff
+	if err := s.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
 	return nil
+}
+
+// track registers a live connection for Shutdown's hard cutoff. It reports
+// false when the server is already shutting down.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 // session is the bridge between the blocking search kernel and the
@@ -97,6 +196,10 @@ func (s *Server) Close() error {
 type session struct {
 	space *search.Space
 	names []string
+	dir   search.Direction
+	// penalty is the worst-case performance used to score failed
+	// evaluations (search.FailurePenalty for the session's direction).
+	penalty float64
 	// bestToWire maps the kernel's best configuration (which lives in the
 	// searched space — normalized coordinates for restricted specs) to the
 	// client-facing parameter values. Configurations flowing through cfgCh
@@ -107,15 +210,50 @@ type session struct {
 	resultCh   chan *search.Result
 	errCh      chan error
 	abort      chan struct{}
+	// kernelDone closes when the kernel goroutine has fully unwound (and
+	// any partial-trace deposit has happened). The handler waits on it, so
+	// Server.Shutdown transitively waits for kernels too.
+	kernelDone chan struct{}
 	warm       bool // a prior experience seeded this session
+	// deposited is written by the kernel goroutine before kernelDone
+	// closes and read by the handler after it — no lock needed.
+	deposited bool
 }
 
 // errAborted signals the kernel goroutine that the client went away.
 var errAborted = errors.New("server: session aborted")
 
-// handle runs one connection's session.
+// handle runs one connection's session and reports its end to the
+// OnSessionEnd hook.
 func (s *Server) handle(conn net.Conn) error {
+	if !s.track(conn) {
+		conn.Close()
+		return errors.New("server: shutting down")
+	}
+	defer s.untrack(conn)
 	defer conn.Close()
+
+	var end SessionEnd
+	sess, err := s.serve(conn, &end)
+	if sess != nil {
+		// Unblock the kernel and wait for it to unwind; an abnormal
+		// disconnect deposits the partial trace before kernelDone closes,
+		// so prior-run data is never lost (§4.2).
+		close(sess.abort)
+		<-sess.kernelDone
+		end.Warm = sess.warm
+		end.Deposited = sess.deposited
+	}
+	end.Err = err
+	if s.OnSessionEnd != nil {
+		s.OnSessionEnd(end)
+	}
+	return err
+}
+
+// serve runs the message loop. It returns the session (nil when
+// registration never succeeded) and the terminal error.
+func (s *Server) serve(conn net.Conn, end *SessionEnd) (*session, error) {
 	r := bufio.NewScanner(conn)
 	r.Buffer(make([]byte, 64*1024), 1024*1024)
 	w := bufio.NewWriter(conn)
@@ -131,6 +269,9 @@ func (s *Server) handle(conn net.Conn) error {
 		if err != nil {
 			return err
 		}
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		if _, err := w.Write(b); err != nil {
 			return err
 		}
@@ -141,70 +282,123 @@ func (s *Server) handle(conn net.Conn) error {
 		return errors.New(msg)
 	}
 
-	// First message must register.
+	budget := s.FailureBudget
+	if budget == 0 {
+		budget = 3
+	} else if budget < 0 {
+		budget = 0
+	}
+	// tolerate charges one fault against the session's budget. It returns
+	// an error once the budget is exhausted.
+	tolerate := func(what string) error {
+		end.Faults++
+		if end.Faults > budget {
+			return fmt.Errorf("failure budget exhausted (%d faults > %d): %s", end.Faults, budget, what)
+		}
+		if s.Logf != nil {
+			s.Logf("session %v: tolerated fault %d/%d: %s", conn.RemoteAddr(), end.Faults, budget, what)
+		}
+		return nil
+	}
+
+	// First message must register. Faults before a session exists are not
+	// worth tolerating — there is no state to protect yet.
 	if !scan() {
-		return fmt.Errorf("server: client closed before registering")
+		return nil, fmt.Errorf("server: client closed before registering")
 	}
 	reg, err := decode(r.Bytes())
 	if err != nil {
-		return fail(err.Error())
+		return nil, fail(err.Error())
 	}
 	if reg.Op != "register" {
-		return fail("first message must be register")
+		return nil, fail("first message must be register")
 	}
 	sess, err := s.startSession(reg)
 	if err != nil {
-		return fail(err.Error())
+		return nil, fail(err.Error())
 	}
-	defer close(sess.abort)
+	end.App = reg.App
 
 	if err := send(message{Op: "registered", Names: sess.names, Warm: sess.warm}); err != nil {
-		return err
+		return sess, err
 	}
 
 	awaitingReport := false
 	for scan() {
 		m, err := decode(r.Bytes())
 		if err != nil {
-			return fail(err.Error())
+			// Garbage bytes on the wire: skip the line and charge the
+			// budget instead of killing a session that may hold hours of
+			// tuning progress.
+			if terr := tolerate(err.Error()); terr != nil {
+				return sess, fail(terr.Error())
+			}
+			continue
 		}
 		switch m.Op {
 		case "fetch":
 			if awaitingReport {
-				return fail("fetch while a report is pending")
+				// The report never arrived (the measurement crashed, or the
+				// report line was garbage and got skipped): mark the pending
+				// point failed with the worst-case penalty so the simplex
+				// moves on, charge one fault, and serve the fetch.
+				if terr := tolerate("fetch while a report is pending — scoring the lost point as failed"); terr != nil {
+					return sess, fail(terr.Error())
+				}
+				select {
+				case sess.perfCh <- sess.penalty:
+					awaitingReport = false
+				case err := <-sess.errCh:
+					return sess, fail(err.Error())
+				}
 			}
 			select {
 			case cfg := <-sess.cfgCh:
 				awaitingReport = true
 				if err := send(message{Op: "config", Values: cfg}); err != nil {
-					return err
+					return sess, err
 				}
 			case res := <-sess.resultCh:
-				return s.sendBest(send, sess, res)
+				err := s.sendBest(send, sess, res)
+				if err == nil {
+					end.Completed = true
+				}
+				return sess, err
 			case err := <-sess.errCh:
-				return fail(err.Error())
+				return sess, fail(err.Error())
 			}
 		case "report":
 			if !awaitingReport {
-				return fail("report without a pending configuration")
+				return sess, fail("report without a pending configuration")
 			}
 			awaitingReport = false
+			perf := m.Perf
+			if search.IsFailure(perf, sess.dir) {
+				// A non-finite (or absurd) report marks the pending point
+				// failed: worst-case penalty, one fault charged.
+				if terr := tolerate(fmt.Sprintf("non-finite performance report %v", perf)); terr != nil {
+					return sess, fail(terr.Error())
+				}
+				perf = sess.penalty
+			} else {
+				perf = search.Sanitize(perf, sess.dir)
+			}
 			select {
-			case sess.perfCh <- m.Perf:
+			case sess.perfCh <- perf:
 			case err := <-sess.errCh:
-				return fail(err.Error())
+				return sess, fail(err.Error())
 			}
 			if err := send(message{Op: "ok"}); err != nil {
-				return err
+				return sess, err
 			}
 		case "quit":
 			send(message{Op: "ok"})
-			return nil
+			return sess, nil
 		default:
-			return fail(fmt.Sprintf("unknown op %q", m.Op))
+			return sess, fail(fmt.Sprintf("unknown op %q", m.Op))
 		}
 	}
-	return r.Err()
+	return sess, r.Err()
 }
 
 func (s *Server) sendBest(send func(message) error, sess *session, res *search.Result) error {
@@ -237,12 +431,15 @@ func (s *Server) startSession(reg message) (*session, error) {
 	}
 
 	sess := &session{
-		names:    spec.Names(),
-		cfgCh:    make(chan search.Config),
-		perfCh:   make(chan float64),
-		resultCh: make(chan *search.Result, 1),
-		errCh:    make(chan error, 1),
-		abort:    make(chan struct{}),
+		names:      spec.Names(),
+		dir:        dir,
+		penalty:    search.FailurePenalty(dir),
+		cfgCh:      make(chan search.Config),
+		perfCh:     make(chan float64),
+		resultCh:   make(chan *search.Result, 1),
+		errCh:      make(chan error, 1),
+		abort:      make(chan struct{}),
+		kernelDone: make(chan struct{}),
 	}
 
 	// The inversion objective: hand the configuration to the message loop
@@ -308,16 +505,26 @@ func (s *Server) startSession(reg message) (*session, error) {
 		sess.warm = true
 	}
 
+	// The kernel owns the evaluator: holding it here (instead of inside
+	// NelderMead) lets the abort path read the partial trace after the
+	// kernel has unwound.
+	ev := search.NewEvaluator(space, obj)
+	ev.MaxEvals = maxEvals
+
 	go func() {
+		defer close(sess.kernelDone)
 		defer func() {
 			if rec := recover(); rec != nil {
 				if err, ok := rec.(error); ok && errors.Is(err, errAborted) {
-					return // client went away; nothing to report
+					// Abnormal disconnect: deposit whatever was measured so
+					// the experience survives for future sessions (§4.2).
+					sess.deposited = s.experience.record(key, reg.Characteristics, dir, ev.Trace())
+					return
 				}
 				sess.errCh <- fmt.Errorf("server: kernel panic: %v", rec)
 			}
 		}()
-		res, err := search.NelderMead(space, obj, search.NelderMeadOptions{
+		res, err := search.NelderMeadWithEvaluator(space, ev, search.NelderMeadOptions{
 			Init:      init,
 			Direction: dir,
 			MaxEvals:  maxEvals,
@@ -327,14 +534,14 @@ func (s *Server) startSession(reg message) (*session, error) {
 			return
 		}
 		// Deposit the session's tuning experience for future sessions.
-		s.experience.record(key, reg.Characteristics, dir, res.Trace)
+		sess.deposited = s.experience.record(key, reg.Characteristics, dir, res.Trace)
 		sess.resultCh <- res
 	}()
 	return sess, nil
 }
 
 // ListenAndServe is a convenience for main functions: listen and block until
-// the process dies.
+// the server is shut down.
 func (s *Server) ListenAndServe(addr string) error {
 	a, err := s.Listen(addr)
 	if err != nil {

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"harmony/internal/search"
+)
+
+// TestShutdownDrainsInFlightSessions: a session running while Shutdown is
+// called finishes normally — graceful drain — and the listener stops
+// accepting new connections.
+func TestShutdownDrainsInFlightSessions(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	c := dial(t, addr.String())
+	if _, err := c.Register(quadRSL, RegisterOptions{MaxEvals: 100, Improved: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Fetch once so the session is mid-flight before shutdown begins.
+	cfg, _, err := c.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- s.Shutdown(ctx)
+	}()
+
+	// The in-flight session keeps working through the drain.
+	if err := c.Report(quadPeak(cfg)); err != nil {
+		t.Fatalf("report during drain: %v", err)
+	}
+	best, err := c.Tune(quadPeak)
+	if err != nil {
+		t.Fatalf("session failed during drain: %v", err)
+	}
+	if best.Perf < 980 {
+		t.Errorf("best = %+v", best)
+	}
+	c.Close()
+
+	select {
+	case err := <-shutDone:
+		if err != nil {
+			t.Fatalf("drained shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return after the session drained")
+	}
+
+	// New connections are refused once shutdown has begun.
+	if c2, err := Dial(addr.String(), 300*time.Millisecond); err == nil {
+		c2.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestShutdownHardCutoffSeversStalledSessions: a session wedged on a silent
+// client (no IdleTimeout to rescue it) is severed by the cutoff, its
+// partial trace is deposited, and Shutdown returns the context error.
+func TestShutdownHardCutoffSeversStalledSessions(t *testing.T) {
+	s := NewServer() // no IdleTimeout: only the cutoff can free the session
+	ends := make(chan SessionEnd, 4)
+	s.OnSessionEnd = func(e SessionEnd) { ends <- e }
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := dial(t, addr.String())
+	if _, err := c.Register(quadRSL, RegisterOptions{
+		MaxEvals: 100, Improved: true,
+		App: "cutoff", Characteristics: []float64{1, 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Measure twice so there is a partial trace worth depositing…
+	for i := 0; i < 2; i++ {
+		cfg, _, err := c.Fetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Report(quadPeak(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// …then go silent: the session is now wedged awaiting the next message.
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("cutoff shutdown returned %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown wedged on the stalled session")
+	}
+
+	end := waitEnd(t, ends)
+	if !end.Deposited {
+		t.Errorf("severed session did not deposit its partial trace: %+v", end)
+	}
+}
+
+// TestAbnormalDisconnectDepositsPartialTrace kills a client mid-session and
+// asserts a new session with the same App and characteristics warm-starts
+// from the partial prior trace (§4.2: prior-run data is never lost).
+func TestAbnormalDisconnectDepositsPartialTrace(t *testing.T) {
+	s := NewServer()
+	ends := make(chan SessionEnd, 4)
+	s.OnSessionEnd = func(e SessionEnd) { ends <- e }
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	chars := []float64{0.25, 0.5, 0.25}
+
+	// Session 1: measure a handful of points, then die mid-evaluation
+	// (after a fetch, before the report).
+	c1 := dial(t, addr.String())
+	if _, err := c1.Register(quadRSL, RegisterOptions{
+		MaxEvals: 200, Improved: true,
+		App: "tpcw-frontend", Characteristics: chars,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c1.WarmStarted() {
+		t.Fatal("first-ever session claims a warm start")
+	}
+	for i := 0; i < 4; i++ {
+		cfg, done, err := c1.Fetch()
+		if err != nil || done {
+			t.Fatalf("fetch %d: done=%v err=%v", i, done, err)
+		}
+		if err := c1.Report(quadPeak(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c1.Fetch(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: sever the transport without a quit, mid-evaluation.
+	c1.conn.Close()
+
+	end := waitEnd(t, ends)
+	if end.Completed {
+		t.Fatalf("crashed session reported Completed: %+v", end)
+	}
+	if !end.Deposited {
+		t.Fatalf("abnormal disconnect lost the partial trace: %+v", end)
+	}
+
+	// Session 2: same app, same characteristics — must warm-start from the
+	// partial trace the crashed session left behind.
+	c2 := dial(t, addr.String())
+	if _, err := c2.Register(quadRSL, RegisterOptions{
+		MaxEvals: 200, Improved: true,
+		App: "tpcw-frontend", Characteristics: chars,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.WarmStarted() {
+		t.Fatal("warm start did not find the partial prior trace")
+	}
+	best, err := c2.Tune(quadPeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Perf < 980 {
+		t.Errorf("warm-started best = %+v", best)
+	}
+
+	// A different application must NOT see that experience.
+	c3 := dial(t, addr.String())
+	if _, err := c3.Register(quadRSL, RegisterOptions{
+		MaxEvals: 100, Improved: true,
+		App: "other-app", Characteristics: chars,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c3.WarmStarted() {
+		t.Error("experience leaked across applications")
+	}
+}
+
+// TestCloseUnwindsSilentSessionsImmediately: Close (no drain) severs even a
+// session whose client is silent and returns promptly.
+func TestCloseUnwindsSilentSessionsImmediately(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr.String())
+	if _, err := c.Register(quadRSL, RegisterOptions{MaxEvals: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Fetch(); err != nil {
+		t.Fatal(err)
+	}
+	// Silent client, no idle timeout: only Close can free the session.
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close wedged on a silent session")
+	}
+}
+
+// TestTuneSurvivesReconnect demonstrates the recommended client recovery
+// story end to end: the transport dies mid-tuning, the application
+// re-dials with backoff, and — because the server deposited the partial
+// trace — the new session warm-starts instead of beginning from scratch.
+func TestTuneSurvivesReconnect(t *testing.T) {
+	s := NewServer()
+	ends := make(chan SessionEnd, 4)
+	s.OnSessionEnd = func(e SessionEnd) { ends <- e }
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	opts := RegisterOptions{
+		MaxEvals: 200, Improved: true,
+		App: "reconnect", Characteristics: []float64{3, 1},
+	}
+	c1 := dial(t, addr.String())
+	if _, err := c1.Register(quadRSL, opts); err != nil {
+		t.Fatal(err)
+	}
+	var tuneErr error
+	calls := 0
+	_, tuneErr = c1.Tune(func(cfg search.Config) float64 {
+		calls++
+		if calls == 3 {
+			c1.conn.Close() // the transport dies mid-measurement
+		}
+		return quadPeak(cfg)
+	})
+	if tuneErr == nil {
+		t.Fatal("tuning survived a dead transport?")
+	}
+	if !errors.Is(tuneErr, ErrServerGone) {
+		t.Fatalf("mid-session transport death = %v, want ErrServerGone", tuneErr)
+	}
+	waitEnd(t, ends) // server finalized the crashed session (deposit done)
+
+	// Retryable: reconnect and resume warm.
+	c2, err := DialWithOptions(addr.String(), DialOptions{
+		Timeout: time.Second, Retries: 3, Backoff: 5 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	if _, err := c2.Register(quadRSL, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.WarmStarted() {
+		t.Error("reconnected session did not warm-start from the partial trace")
+	}
+	best, err := c2.Tune(quadPeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Perf < 980 {
+		t.Errorf("best after reconnect = %+v", best)
+	}
+}
