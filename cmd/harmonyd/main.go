@@ -12,21 +12,30 @@
 // partial traces into the experience store, so prior-run knowledge survives
 // restarts of the clients (§4.2).
 //
+// And to be seen: -obs-addr exposes /metrics (Prometheus text format),
+// /healthz and /debug/pprof; -log-level/-log-format control the structured
+// session log (every record carries the session ID); -trace-out streams the
+// typed tuning events of every session — evaluations, simplex operations,
+// seeds, convergence decisions, failure-budget charges — as JSONL for
+// offline trajectory analysis.
+//
 // Usage:
 //
 //	harmonyd -addr :7854 -idle-timeout 5m -write-timeout 10s \
-//	         -failure-budget 3 -drain-timeout 30s
+//	         -failure-budget 3 -drain-timeout 30s \
+//	         -obs-addr 127.0.0.1:9154 -log-format json -trace-out trace.jsonl
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"harmony/internal/obs"
 	"harmony/internal/server"
 )
 
@@ -37,6 +46,7 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-reply write deadline (0 = no limit)")
 	failureBudget := flag.Int("failure-budget", 3, "tolerated per-session faults (garbage lines, non-finite reports); negative = zero tolerance")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions before the hard cutoff")
+	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	s := server.NewServer()
@@ -44,13 +54,35 @@ func main() {
 	s.IdleTimeout = *idleTimeout
 	s.WriteTimeout = *writeTimeout
 	s.FailureBudget = *failureBudget
-	s.Logf = log.Printf
+
+	// The daemon is healthy once the listener is bound and until shutdown
+	// begins.
+	healthy := func() error {
+		select {
+		case <-listening:
+			return nil
+		default:
+			return fmt.Errorf("listener not bound yet")
+		}
+	}
+	rt, err := obsCfg.Start(healthy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harmonyd:", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+	s.Logger = rt.Logger
+	s.Metrics = server.NewMetrics(rt.Registry)
+	s.Tracer = rt.Tracer()
 
 	bound, err := s.Listen(*addr)
 	if err != nil {
-		log.Fatal(err)
+		rt.Logger.Error("listen failed", "addr", *addr, "err", err)
+		rt.Close()
+		os.Exit(1)
 	}
-	log.Printf("harmony server listening on %s", bound)
+	close(listening)
+	rt.Logger.Info("harmony server listening", "addr", bound.String())
 
 	// Graceful shutdown: the first signal drains in-flight sessions with a
 	// hard cutoff after -drain-timeout; a second signal kills the process.
@@ -58,13 +90,17 @@ func main() {
 	defer stop()
 	<-ctx.Done()
 	stop() // restore default handling: a second signal terminates immediately
-	log.Printf("shutting down: draining sessions (cutoff %s)", *drainTimeout)
+	rt.Logger.Info("shutting down: draining sessions", "cutoff", *drainTimeout)
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := s.Shutdown(drainCtx); err != nil {
-		log.Printf("shutdown cutoff hit: %v", err)
+		rt.Logger.Error("shutdown cutoff hit", "err", err)
+		rt.Close()
 		os.Exit(1)
 	}
-	log.Printf("shutdown complete: all sessions drained")
+	rt.Logger.Info("shutdown complete: all sessions drained")
 }
+
+// listening closes once the TCP listener is bound; /healthz keys off it.
+var listening = make(chan struct{})

@@ -8,6 +8,20 @@
 //
 // Each experiment prints the same rows or series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// With -json, hbench switches to trajectory mode: it runs one tuning
+// session against the selected -target and emits per-iteration trajectory
+// records — {"iter":N,"perf":P,"best":B,"elapsed_ms":E} — as JSONL on
+// stdout, via the search.Tracer hook. Trajectories are deterministic for a
+// given seed, so BENCH_*.json artifacts can be regenerated reproducibly:
+//
+//	hbench -json -target webservice -workload ordering -budget 120 > BENCH_web.json
+//	hbench -json -target synthetic -seed 7 -improved=false > BENCH_syn_extreme.json
+//
+// The shared observability flags also apply: -trace-out captures the full
+// typed event stream (simplex operations, seeds, convergence decisions)
+// alongside the reduced trajectory, and -obs-addr exposes /metrics,
+// /healthz and /debug/pprof while a long bench runs.
 package main
 
 import (
@@ -16,21 +30,49 @@ import (
 	"os"
 	"time"
 
+	"harmony/internal/core"
+	"harmony/internal/datagen"
 	"harmony/internal/experiment"
+	"harmony/internal/obs"
+	"harmony/internal/search"
+	"harmony/internal/tpcw"
+	"harmony/internal/webservice"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id to run, or 'all'")
-		quick = flag.Bool("quick", false, "shrink budgets (coarser, faster)")
-		seed  = flag.Uint64("seed", 0, "seed offset for all experiment randomness")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "experiment id to run, or 'all'")
+		quick    = flag.Bool("quick", false, "shrink budgets (coarser, faster)")
+		seed     = flag.Uint64("seed", 0, "seed offset for all experiment randomness")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut  = flag.Bool("json", false, "trajectory mode: tune -target once and emit per-iteration JSONL records (iter, perf, best, elapsed_ms) on stdout")
+		target   = flag.String("target", "webservice", "trajectory target: webservice or synthetic")
+		workload = flag.String("workload", "ordering", "TPC-W mix for the webservice target: browsing, shopping or ordering")
+		budget   = flag.Int("budget", 120, "trajectory exploration budget")
+		improved = flag.Bool("improved", true, "use the evenly-distributed initial exploration (§4.1)")
 	)
+	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiment.Names() {
 			fmt.Printf("%-18s %s\n", id, experiment.Describe(id))
+		}
+		return
+	}
+
+	rt, err := obsCfg.Start(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbench:", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+
+	if *jsonOut {
+		if err := trajectory(rt, *target, *workload, *budget, *improved, *seed); err != nil {
+			rt.Logger.Error("trajectory failed", "target", *target, "err", err)
+			rt.Close()
+			os.Exit(1)
 		}
 		return
 	}
@@ -53,6 +95,67 @@ func main() {
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
 	if failed {
+		rt.Close()
 		os.Exit(1)
 	}
+}
+
+// trajectory runs one tuning session against the named target and streams
+// the per-iteration records as JSONL on stdout. The full typed event trace
+// additionally lands in -trace-out when set.
+func trajectory(rt *obs.Runtime, target, workload string, budget int, improved bool, seed uint64) error {
+	var (
+		space *search.Space
+		obj   search.Objective
+	)
+	dir := search.Maximize
+	switch target {
+	case "webservice":
+		var mix tpcw.Mix
+		switch workload {
+		case "browsing":
+			mix = tpcw.Browsing
+		case "shopping":
+			mix = tpcw.Shopping
+		case "ordering":
+			mix = tpcw.Ordering
+		default:
+			return fmt.Errorf("unknown workload %q", workload)
+		}
+		cluster := webservice.NewCluster(webservice.Options{Duration: 60, Warmup: 8, Seed: seed + 1})
+		space = webservice.Space()
+		obj = cluster.Objective(mix, true)
+	case "synthetic":
+		model, err := datagen.New(datagen.PaperSpec(seed + 5))
+		if err != nil {
+			return err
+		}
+		space = model.TunableSpace()
+		w := model.WorkloadSpace().DefaultConfig()
+		obj = search.Failable(func(cfg search.Config) (float64, error) {
+			return model.Eval(cfg, w)
+		}, dir)
+	default:
+		return fmt.Errorf("unknown target %q (want webservice or synthetic)", target)
+	}
+
+	traj := obs.NewTrajectoryJSONL(os.Stdout, dir)
+	tracer := search.MultiTracer(traj, rt.Tracer())
+
+	tuner := core.New(space, obj)
+	start := time.Now()
+	sess, err := tuner.Run(core.Options{
+		Direction: dir,
+		MaxEvals:  budget,
+		Improved:  improved,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		return err
+	}
+	m := sess.Metrics(0.01, 10, 0.7)
+	rt.Logger.Info("trajectory complete",
+		"target", target, "evals", m.Evals, "best", m.BestPerf,
+		"converged_iter", m.ConvergenceIter, "elapsed", time.Since(start))
+	return nil
 }

@@ -26,6 +26,7 @@ import (
 
 	"harmony/internal/climate"
 	"harmony/internal/datagen"
+	"harmony/internal/obs"
 	"harmony/internal/search"
 	"harmony/internal/sensitivity"
 	"harmony/internal/stats"
@@ -44,7 +45,16 @@ func main() {
 		literal  = flag.Bool("literal-deltav", false, "use the paper's literal argmax/argmin Δv′ (noise-fragile)")
 		pb       = flag.Bool("pb", false, "use Plackett–Burman factorial screening instead of one-at-a-time sweeps")
 	)
+	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	// -obs-addr exposes /metrics, /healthz and /debug/pprof while a long
+	// sweep runs (sensitivity sweeps over the simulator can take minutes).
+	rt, err := obsCfg.Start(nil)
+	if err != nil {
+		log.Fatalf("hprio: %v", err)
+	}
+	defer rt.Close()
 
 	var space *search.Space
 	var obj search.Objective

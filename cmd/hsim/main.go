@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"harmony/internal/obs"
 	"harmony/internal/search"
 	"harmony/internal/tpcw"
 	"harmony/internal/webservice"
@@ -48,7 +49,16 @@ func main() {
 		override = settings{}
 	)
 	flag.Var(override, "set", "override a parameter, e.g. -set PROXYCacheMem=240 (repeatable)")
+	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	// -obs-addr exposes /metrics, /healthz and /debug/pprof while a long
+	// simulation runs; the structured logger replaces the stderr default.
+	rt, err := obsCfg.Start(nil)
+	if err != nil {
+		log.Fatalf("hsim: %v", err)
+	}
+	defer rt.Close()
 
 	var mix tpcw.Mix
 	switch *workload {

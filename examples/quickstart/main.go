@@ -32,11 +32,18 @@ func main() {
 			(bs-40)*(bs-40)/4
 	})
 
+	// A tracer watches the tuning machinery from the inside: one typed
+	// event per evaluation, simplex operation and convergence decision.
+	// CollectTracer keeps them in memory; obs.NewJSONL streams the same
+	// events to a file for offline analysis.
+	var events search.CollectTracer
+
 	tuner := core.New(space, objective)
 	session, err := tuner.Run(core.Options{
 		Direction: search.Maximize,
 		MaxEvals:  120,
 		Improved:  true, // the evenly-distributed initial exploration of §4.1
+		Tracer:    &events,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -51,4 +58,18 @@ func main() {
 	fmt.Printf("default performance: %.1f\n", objective.Measure(space.DefaultConfig()))
 	fmt.Printf("explorations:       %d (converged after %d)\n", m.Evals, m.ConvergenceIter)
 	fmt.Printf("worst seen while tuning: %.1f\n", m.WorstPerf)
+
+	// The captured event stream reconstructs the convergence trajectory —
+	// the best-so-far series after each real measurement — and counts what
+	// the kernel actually did.
+	traj := search.BestTrajectory(events.Events, search.Maximize)
+	ops := map[string]int{}
+	for _, e := range events.Events {
+		if e.Type == search.EventSimplex {
+			ops[e.Op]++
+		}
+	}
+	fmt.Printf("trajectory: start %.1f -> %.1f after %d measurements\n",
+		traj[0], traj[len(traj)-1], len(traj))
+	fmt.Printf("simplex operations: %v\n", ops)
 }

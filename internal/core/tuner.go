@@ -73,6 +73,14 @@ type Options struct {
 	TrainingVertices int
 	// RelTol is the kernel's convergence tolerance (default 1e-3).
 	RelTol float64
+	// Tracer, when non-nil, receives the session's typed event stream:
+	// phase markers separating the training stage (§4.2 historical
+	// seeding) from the live tuning stage, every seed injection, every
+	// evaluation, every simplex operation and the convergence decision.
+	// Wire an obs.JSONL here for an offline-analyzable trace, or an
+	// obs.TrajectoryJSONL for the reduced (iter, best, elapsed) series.
+	// Nil costs one branch per emission site.
+	Tracer search.Tracer
 }
 
 // Session is the outcome of one tuning run.
@@ -125,12 +133,23 @@ func (t *Tuner) Run(opts Options) (*Session, error) {
 
 	ev := search.NewEvaluator(space, obj)
 	ev.MaxEvals = opts.MaxEvals
+	ev.Tracer = opts.Tracer
+
+	// phase marks the training-vs-live stage boundaries in the event
+	// stream, so offline analysis can split a trace the way the paper's
+	// tables split tuning time.
+	phase := func(name, note string) {
+		if opts.Tracer != nil {
+			opts.Tracer.Emit(search.Event{Type: search.EventPhase, Op: name, Note: note})
+		}
+	}
 
 	var res *search.Result
 	var err error
 	trainingUsed := 0
 	switch opts.Kernel {
 	case KernelPowell:
+		phase("live", "kernel=powell")
 		res, err = search.PowellWithEvaluator(space, ev, search.PowellOptions{
 			Direction: opts.Direction,
 			MaxEvals:  opts.MaxEvals,
@@ -144,6 +163,7 @@ func (t *Tuner) Run(opts Options) (*Session, error) {
 			init = search.ExtremeInit{}
 		}
 		if opts.Experience != nil && len(opts.Experience.Records) > 0 {
+			phase("training", fmt.Sprintf("records=%d reuse=%v", len(opts.Experience.Records), opts.ReuseMeasurements))
 			var seeds [][]float64
 			seeds, trainingUsed, err = t.trainingSeeds(space, opts, ev)
 			if err != nil {
@@ -153,6 +173,7 @@ func (t *Tuner) Run(opts Options) (*Session, error) {
 				init = search.SeededInit{Seeds: seeds, Fallback: init}
 			}
 		}
+		phase("live", fmt.Sprintf("kernel=simplex init=%s training_vertices=%d", init.Name(), trainingUsed))
 		res, err = search.NelderMeadWithEvaluator(space, ev, search.NelderMeadOptions{
 			Init:      init,
 			Direction: opts.Direction,
@@ -160,6 +181,7 @@ func (t *Tuner) Run(opts Options) (*Session, error) {
 			RelTol:    opts.RelTol,
 			Restarts:  opts.Restarts,
 			Parallel:  opts.Parallel,
+			Tracer:    opts.Tracer,
 		})
 	}
 	if err != nil {

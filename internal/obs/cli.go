@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+
+	"harmony/internal/search"
+)
+
+// CLIConfig is the flag surface every harmony binary shares:
+//
+//	-obs-addr    opt-in observability endpoint (/metrics, /healthz,
+//	             /debug/pprof); empty disables it
+//	-log-level   debug|info|warn|error
+//	-log-format  text|json
+//	-trace-out   JSONL event trace file ("-" = stdout); empty disables it
+type CLIConfig struct {
+	Addr      string
+	LogLevel  string
+	LogFormat string
+	TraceOut  string
+}
+
+// BindFlags registers the shared observability flags on fs (the default
+// flag.CommandLine in main functions) and returns the config they fill.
+func BindFlags(fs *flag.FlagSet) *CLIConfig {
+	c := &CLIConfig{}
+	fs.StringVar(&c.Addr, "obs-addr", "", "observability HTTP endpoint exposing /metrics, /healthz and /debug/pprof (empty = disabled)")
+	fs.StringVar(&c.LogLevel, "log-level", "info", "log level: debug, info, warn or error")
+	fs.StringVar(&c.LogFormat, "log-format", "text", "log format: text or json")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write the typed tuning-event trace as JSONL to this file ('-' = stdout, empty = disabled)")
+	return c
+}
+
+// Runtime is the assembled observability plumbing of one process.
+type Runtime struct {
+	// Logger is never nil.
+	Logger *slog.Logger
+	// Registry is never nil (metrics simply go unscraped without -obs-addr).
+	Registry *Registry
+	// Trace is the JSONL sink, nil without -trace-out.
+	Trace *JSONL
+	// HTTP is the endpoint, nil without -obs-addr.
+	HTTP *HTTPServer
+}
+
+// Start materializes the config: build the logger (stderr), open the trace
+// sink, and bind the HTTP endpoint. healthy may be nil.
+func (c *CLIConfig) Start(healthy func() error) (*Runtime, error) {
+	level, err := ParseLevel(c.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	logger, err := NewLogger(os.Stderr, level, c.LogFormat)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{Logger: logger, Registry: NewRegistry()}
+	if c.TraceOut != "" {
+		rt.Trace, err = OpenJSONL(c.TraceOut)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.Addr != "" {
+		rt.HTTP, err = Serve(c.Addr, rt.Registry, healthy)
+		if err != nil {
+			rt.Trace.Close()
+			return nil, err
+		}
+		logger.Info("observability endpoint up",
+			"addr", rt.HTTP.Addr.String(),
+			"endpoints", "/metrics /healthz /debug/pprof")
+	}
+	return rt, nil
+}
+
+// Tracer returns the trace sink as a search.Tracer, or a true nil interface
+// when tracing is disabled so instrumented code keeps its nil fast path.
+func (rt *Runtime) Tracer() search.Tracer {
+	if rt == nil || rt.Trace == nil {
+		return nil
+	}
+	return rt.Trace
+}
+
+// Close tears the runtime down (endpoint first, then the trace file).
+func (rt *Runtime) Close() {
+	if rt == nil {
+		return
+	}
+	if rt.HTTP != nil {
+		rt.HTTP.Close() //nolint:errcheck // shutdown path
+	}
+	if rt.Trace != nil {
+		if err := rt.Trace.Close(); err != nil {
+			rt.Logger.Warn("trace sink close failed", "err", err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the observability mux:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/healthz        200 {"status":"ok"} while healthy() returns nil,
+//	                503 {"status":"unhealthy","error":...} otherwise
+//	/debug/pprof/*  the standard runtime profiles (explicitly wired, not
+//	                via the package's DefaultServeMux side effect)
+//
+// healthy may be nil (always healthy); reg may be nil (empty exposition).
+func Handler(reg *Registry, healthy func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "{\"status\":\"unhealthy\",\"error\":%q}\n", err.Error())
+				return
+			}
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	// pprof: wire the handlers onto our mux so importing net/http/pprof's
+	// DefaultServeMux registration is never relied on, and the profiles are
+	// only reachable through the opt-in observability listener.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// HTTPServer is a running observability endpoint.
+type HTTPServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr net.Addr
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts the observability endpoint on addr ("" is rejected — the
+// endpoint is opt-in, callers gate on the flag). It returns once the
+// listener is bound; serving continues in the background until Close.
+func Serve(addr string, reg *Registry, healthy func() error) (*HTTPServer, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("obs: empty listen address")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &HTTPServer{
+		Addr: ln.Addr(),
+		srv: &http.Server{
+			Handler:           Handler(reg, healthy),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	}()
+	return s, nil
+}
+
+// Close shuts the endpoint down, waiting briefly for in-flight scrapes.
+func (s *HTTPServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHTTPRoundTrip boots the observability endpoint on an ephemeral port
+// and exercises /healthz and /metrics over a real HTTP round trip, flipping
+// health mid-test.
+func TestHTTPRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_requests_total", "Round-trip requests.").Add(7)
+
+	var unhealthy error
+	srv, err := Serve("127.0.0.1:0", reg, func() error { return unhealthy })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	base := "http://" + srv.Addr.String()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(b), resp.Header
+	}
+
+	// Healthy.
+	code, body, _ := get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// Metrics carry the content type and the registered sample.
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE rt_requests_total counter\nrt_requests_total 7\n") {
+		t.Errorf("/metrics missing sample:\n%s", body)
+	}
+
+	// Updates are visible on the next scrape.
+	reg.Counter("rt_requests_total", "").Inc()
+	if _, body, _ := get("/metrics"); !strings.Contains(body, "rt_requests_total 8") {
+		t.Errorf("scrape did not observe the update:\n%s", body)
+	}
+
+	// Unhealthy flips /healthz to 503 with the error in the body.
+	unhealthy = errors.New("listener not bound")
+	code, body, _ = get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while unhealthy = %d, want 503", code)
+	}
+	if !strings.Contains(body, "listener not bound") {
+		t.Errorf("/healthz body = %q, want the error surfaced", body)
+	}
+
+	// pprof is wired on the same mux.
+	if code, _, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+}
+
+// TestServeRejectsEmptyAddr: the endpoint is strictly opt-in.
+func TestServeRejectsEmptyAddr(t *testing.T) {
+	if _, err := Serve("", nil, nil); err == nil {
+		t.Fatal("Serve(\"\") succeeded, want error")
+	}
+}
+
+// TestHandlerNilRegistry: scraping an instrument-free process yields an
+// empty, well-formed exposition rather than a panic.
+func TestHandlerNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	resp, err := http.Get("http://" + srv.Addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(b) != 0 {
+		t.Errorf("nil-registry scrape = %d %q, want 200 empty", resp.StatusCode, b)
+	}
+}

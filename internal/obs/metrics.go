@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Registration takes a mutex; the metric handles it
+// returns are lock-cheap (a single atomic op per update) and nil-safe, so
+// the registry itself may be nil: every constructor then returns a nil
+// handle whose methods are no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]metric
+	ordered []metric
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// metric is the common surface the exposition writer needs.
+type metric interface {
+	name() string
+	help() string
+	typeName() string
+	write(w io.Writer)
+}
+
+// meta carries a metric's identity.
+type meta struct {
+	metricName string
+	metricHelp string
+}
+
+func (m meta) name() string { return m.metricName }
+func (m meta) help() string { return m.metricHelp }
+
+// register installs a metric, returning the existing one on re-registration
+// of the same name so packages can share handles without coordination. A
+// name collision across types panics: that is a programming error.
+func (r *Registry) register(name string, build func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[name]; ok {
+		return existing
+	}
+	m := build()
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter is a monotonically increasing integer metric. A nil *Counter is a
+// valid no-op handle.
+type Counter struct {
+	meta
+	v atomic.Uint64
+}
+
+// Counter returns (registering on first use) the named counter. Name
+// should follow Prometheus conventions (e.g. "harmony_sessions_total").
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, func() metric {
+		return &Counter{meta: meta{metricName: name, metricHelp: help}}
+	})
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+	}
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters are
+// monotone).
+func (c *Counter) Add(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) typeName() string { return "counter" }
+
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.metricName, c.v.Load())
+}
+
+// Gauge is a float metric that can go up and down. A nil *Gauge is a valid
+// no-op handle.
+type Gauge struct {
+	meta
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, func() metric {
+		return &Gauge{meta: meta{metricName: name, metricHelp: help}}
+	})
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+	}
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta (CAS loop; contention-tolerant).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one. Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) typeName() string { return "gauge" }
+
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.metricName, formatFloat(g.Value()))
+}
+
+// Histogram counts observations into fixed cumulative buckets, Prometheus
+// style: bucket i counts observations <= Buckets[i] (upper bounds are
+// inclusive), plus an implicit +Inf bucket, a sum and a count. Updates are
+// lock-free (one atomic add for the bucket, one for the count, a CAS loop
+// for the sum). A nil *Histogram is a valid no-op handle.
+type Histogram struct {
+	meta
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets are general-purpose latency buckets in seconds (the Prometheus
+// client defaults).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram returns (registering on first use) the named histogram with the
+// given ascending upper bounds. Nil or empty bounds take DefBuckets. Bounds
+// are sorted and deduplicated defensively.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, func() metric {
+		if len(bounds) == 0 {
+			bounds = DefBuckets
+		}
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		dedup := bs[:0]
+		for i, b := range bs {
+			if i > 0 && b == bs[i-1] {
+				continue
+			}
+			dedup = append(dedup, b)
+		}
+		h := &Histogram{
+			meta:   meta{metricName: name, metricHelp: help},
+			bounds: dedup,
+		}
+		h.buckets = make([]atomic.Uint64, len(dedup)+1)
+		return h
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+	}
+	return h
+}
+
+// Observe records one observation. NaN observations are dropped (they would
+// poison the sum).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Binary search for the first bound >= v (le is inclusive).
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// BucketCounts returns the cumulative per-bucket counts (including +Inf
+// last), Prometheus style.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.buckets))
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+func (h *Histogram) typeName() string { return "histogram" }
+
+func (h *Histogram) write(w io.Writer) {
+	cum := h.BucketCounts()
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.metricName, formatFloat(b), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.metricName, cum[len(cum)-1])
+	fmt.Fprintf(w, "%s_sum %s\n", h.metricName, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.metricName, h.count.Load())
+}
+
+// formatFloat renders a float the way the Prometheus text format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (HELP/TYPE comments plus samples), sorted by name so
+// output is deterministic. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ms := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name() < ms[j].name() })
+	for _, m := range ms {
+		if h := m.help(); h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name(), escapeHelp(h))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name(), m.typeName())
+		m.write(w)
+	}
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

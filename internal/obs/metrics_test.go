@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines — both
+// re-registration of the same names and metric updates — and checks the
+// totals. Run under -race this is the lock-cheapness soundness gate.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		goroutines = 16
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Every goroutine re-registers the handles itself: registration
+			// must be concurrent-safe and converge on one shared metric.
+			c := reg.Counter("test_ops_total", "ops")
+			ga := reg.Gauge("test_level", "level")
+			h := reg.Histogram("test_latency", "latency", []float64{1, 2, 4})
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	// Scrape concurrently with the updates: the exposition writer must not
+	// race with atomic updates.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	want := uint64(goroutines * perG)
+	if got := reg.Counter("test_ops_total", "ops").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("test_level", "level").Value(); got != float64(want) {
+		t.Errorf("gauge = %g, want %d", got, want)
+	}
+	if got := reg.Histogram("test_latency", "latency", nil).Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestHistogramBucketEdges pins the inclusive-upper-bound semantics of
+// Prometheus buckets: an observation exactly on a bound lands in that bound's
+// bucket, just above goes to the next.
+func TestHistogramBucketEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edges", "", []float64{1, 2.5, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2.5, 5, 5.0000001, 1e9} {
+		h.Observe(v)
+	}
+	// Cumulative: <=1: {0.5, 1} = 2; <=2.5: +{1.0000001, 2.5} = 4;
+	// <=5: +{5} = 5; +Inf: +{5.0000001, 1e9} = 7.
+	got := h.BucketCounts()
+	want := []uint64{2, 4, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	wantSum := 0.5 + 1 + 1.0000001 + 2.5 + 5 + 5.0000001 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+	// NaN observations are dropped, not poison.
+	h.Observe(math.NaN())
+	if h.Count() != 7 || math.IsNaN(h.Sum()) {
+		t.Errorf("NaN observation leaked: count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramBoundsSortedDeduped: unsorted and duplicated bounds are
+// repaired at registration.
+func TestHistogramBoundsSortedDeduped(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("messy", "", []float64{5, 1, 5, 2})
+	h.Observe(1.5)
+	got := h.BucketCounts() // bounds 1, 2, 5, +Inf
+	want := []uint64{0, 1, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the full text exposition byte-for-byte:
+// HELP/TYPE comments, name-sorted order, inclusive le labels, +Inf, _sum,
+// _count, and the "no HELP when empty" rule.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("zz_requests_total", "Requests handled.\nSecond line \\ backslash.")
+	c.Add(3)
+	g := reg.Gauge("aa_temperature", "Current temperature.")
+	g.Set(-1.5)
+	h := reg.Histogram("mm_seconds", "Durations.", []float64{0.25, 1})
+	h.Observe(0.25)
+	h.Observe(0.9)
+	h.Observe(7)
+	reg.Counter("nohelp_total", "") // no HELP line expected
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	want := `# HELP aa_temperature Current temperature.
+# TYPE aa_temperature gauge
+aa_temperature -1.5
+# HELP mm_seconds Durations.
+# TYPE mm_seconds histogram
+mm_seconds_bucket{le="0.25"} 1
+mm_seconds_bucket{le="1"} 2
+mm_seconds_bucket{le="+Inf"} 3
+mm_seconds_sum 8.15
+mm_seconds_count 3
+# TYPE nohelp_total counter
+nohelp_total 0
+# HELP zz_requests_total Requests handled.\nSecond line \\ backslash.
+# TYPE zz_requests_total counter
+zz_requests_total 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestNilSafety: a nil registry hands out nil handles and every operation on
+// them is a no-op — the un-instrumented fast path must never panic.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x_seconds", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	g.Inc()
+	g.Dec()
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.BucketCounts() != nil {
+		t.Error("nil handles reported nonzero state")
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Errorf("nil registry wrote %q", sb.String())
+	}
+}
+
+// TestReRegistrationSharesHandle: same name and type converge on one metric;
+// a cross-type collision panics.
+func TestReRegistrationSharesHandle(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("shared_total", "first")
+	b := reg.Counter("shared_total", "second help is ignored")
+	if a != b {
+		t.Error("re-registration returned a distinct handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Errorf("shared handle value = %d, want 1", b.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-type re-registration did not panic")
+		}
+	}()
+	reg.Gauge("shared_total", "collides")
+}
+
+// TestCounterMonotone: negative Add is ignored.
+func TestCounterMonotone(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("mono_total", "")
+	c.Add(2)
+	c.Add(-5)
+	c.Add(0)
+	if c.Value() != 2 {
+		t.Errorf("counter = %d, want 2", c.Value())
+	}
+}
+
+// TestFormatFloat pins the special values the exposition format names.
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+		{0.005, "0.005"},
+	}
+	for _, tc := range cases {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

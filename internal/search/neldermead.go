@@ -41,6 +41,15 @@ type NelderMeadOptions struct {
 	Expansion   float64
 	Contraction float64
 	Shrink      float64
+
+	// Tracer, when non-nil, receives an EventSimplex for every operation
+	// (reflect/expand/contract/shrink), an EventConverge for the
+	// termination decision, and an EventPhase per restart. Evaluation
+	// events come from the Evaluator's own Tracer (NelderMead wires the
+	// same tracer into the evaluator it creates; with
+	// NelderMeadWithEvaluator the caller controls both). Nil costs one
+	// branch per emission site.
+	Tracer Tracer
 }
 
 func (o *NelderMeadOptions) fill(dim int) {
@@ -96,6 +105,7 @@ func NelderMead(space *Space, obj Objective, opts NelderMeadOptions) (*Result, e
 	opts.fill(dim)
 	ev := NewEvaluator(space, obj)
 	ev.MaxEvals = opts.MaxEvals
+	ev.Tracer = opts.Tracer
 	return nelderMeadWithRestarts(space, ev, opts)
 }
 
@@ -120,6 +130,7 @@ func nelderMeadWithRestarts(space *Space, ev *Evaluator, opts NelderMeadOptions)
 		if !res.Converged || len(res.BestConfig) == 0 {
 			break // out of budget (or nothing measured): restarting is futile
 		}
+		emit(opts.Tracer, Event{Type: EventPhase, Op: "restart", Iter: r + 1, Perf: res.BestPerf})
 		restartOpts := opts
 		restartOpts.Init = scaledInit{
 			center: space.Continuous(res.BestConfig),
@@ -200,8 +211,18 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 			Converged:  converged,
 		}
 	}
+	// finish records the kernel's termination decision before returning.
+	finish := func(reason string, iter int, converged bool) *Result {
+		res := result(converged)
+		emit(opts.Tracer, Event{
+			Type: EventConverge, Op: reason, Iter: iter,
+			Perf: res.BestPerf, Config: res.BestConfig,
+			Note: fmt.Sprintf("evals=%d", res.Evals),
+		})
+		return res
+	}
 	if budgetHit || len(verts) < dim+1 {
-		return result(false), nil
+		return finish("init_budget", 0, false), nil
 	}
 
 	// worse(a, b) orders vertices from best to worst under dir.
@@ -220,6 +241,11 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 		return perf, true
 	}
 
+	// step records one simplex operation for the tracer.
+	step := func(op string, iter int, perf float64, note string) {
+		emit(opts.Tracer, Event{Type: EventSimplex, Op: op, Iter: iter, Perf: perf, Note: note})
+	}
+
 	stall := 0
 	prevBest := verts[0].perf
 	for iter := 0; ; iter++ {
@@ -228,10 +254,10 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 		spread := abs(bestV - worstV)
 		scale := abs(bestV) + abs(worstV)
 		if scale > 0 && spread/scale < opts.RelTol {
-			return result(true), nil
+			return finish("reltol", iter, true), nil
 		}
 		if stall >= opts.MaxStall {
-			return result(true), nil
+			return finish("stall", iter, true), nil
 		}
 
 		// Centroid of all but the worst vertex.
@@ -258,40 +284,49 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 		refl := move(opts.Reflection)
 		rPerf, ok := probe(refl)
 		if !ok {
-			return result(false), nil
+			return finish("budget", iter, false), nil
 		}
 		switch {
 		case better(rPerf, verts[0].perf):
 			// Expansion.
+			step(OpReflect, iter, rPerf, "improved best; trying expansion")
 			exp := move(opts.Reflection * opts.Expansion)
 			ePerf, ok := probe(exp)
 			if !ok {
-				return result(false), nil
+				return finish("budget", iter, false), nil
 			}
 			if better(ePerf, rPerf) {
+				step(OpExpand, iter, ePerf, "accepted")
 				verts[len(verts)-1] = vertex{pt: clampPoint(space, exp), perf: ePerf}
 			} else {
+				step(OpExpand, iter, ePerf, "rejected; kept reflection")
 				verts[len(verts)-1] = vertex{pt: clampPoint(space, refl), perf: rPerf}
 			}
 		case better(rPerf, verts[len(verts)-2].perf):
 			// Better than the second-worst: accept the reflection.
+			step(OpReflect, iter, rPerf, "accepted")
 			verts[len(verts)-1] = vertex{pt: clampPoint(space, refl), perf: rPerf}
 		default:
 			// Contraction (outside if the reflection improved on the worst,
 			// inside otherwise).
+			step(OpReflect, iter, rPerf, "rejected; contracting")
 			var contr []float64
+			contrOp := OpContractIn
 			if better(rPerf, worst.perf) {
 				contr = move(opts.Reflection * opts.Contraction)
+				contrOp = OpContractOut
 			} else {
 				contr = move(-opts.Contraction)
 			}
 			cPerf, ok := probe(contr)
 			if !ok {
-				return result(false), nil
+				return finish("budget", iter, false), nil
 			}
 			if better(cPerf, worst.perf) {
+				step(contrOp, iter, cPerf, "accepted")
 				verts[len(verts)-1] = vertex{pt: clampPoint(space, contr), perf: cPerf}
 			} else {
+				step(contrOp, iter, cPerf, "rejected; shrinking")
 				// Shrink every vertex toward the best — an embarrassingly
 				// parallel batch.
 				bestPt := verts[0].pt
@@ -304,11 +339,12 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 				}
 				_, perfs, err := ev.EvalBatch(shrunk, opts.Parallel)
 				if err != nil || len(perfs) < len(shrunk) {
-					return result(false), nil
+					return finish("budget", iter, false), nil
 				}
 				for i := 1; i < len(verts); i++ {
 					verts[i].perf = perfs[i-1]
 				}
+				step(OpShrink, iter, verts[0].perf, fmt.Sprintf("re-measured %d vertices", len(shrunk)))
 			}
 		}
 		sortVerts()

@@ -158,6 +158,12 @@ type Evaluator struct {
 	// DisableCache forces re-measurement of repeated configurations (used by
 	// the ablation bench to quantify the cache's value under noise).
 	DisableCache bool
+	// Tracer, when non-nil, receives an EventEval for every exploration
+	// (fresh measurements and cache hits) and an EventSeed for every
+	// training-stage injection. Events are emitted in commit order — even
+	// for parallel batches — so the stream is deterministic for
+	// deterministic objectives. Nil costs one branch per call.
+	Tracer Tracer
 
 	cache map[string]float64
 	trace Trace
@@ -188,6 +194,7 @@ func (e *Evaluator) EvalConfig(cfg Config) (Config, float64, error) {
 	if !e.DisableCache {
 		if perf, ok := e.cache[key]; ok {
 			e.hits++
+			emit(e.Tracer, Event{Type: EventEval, Index: -1, Config: cfg.Clone(), Perf: perf, Cached: true})
 			return cfg, perf, nil
 		}
 	}
@@ -197,6 +204,7 @@ func (e *Evaluator) EvalConfig(cfg Config) (Config, float64, error) {
 	perf := e.Objective.Measure(cfg)
 	e.cache[key] = perf
 	e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: perf})
+	emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: perf})
 	return cfg, perf, nil
 }
 
@@ -207,6 +215,7 @@ func (e *Evaluator) Seed(cfg Config, perf float64) error {
 		return fmt.Errorf("search: seed configuration %v not in space", cfg)
 	}
 	e.cache[cfg.Key()] = perf
+	emit(e.Tracer, Event{Type: EventSeed, Index: -1, Config: cfg.Clone(), Perf: perf})
 	return nil
 }
 

@@ -60,10 +60,11 @@ func (e *Evaluator) EvalBatch(pts [][]float64, workers int) ([]Config, []float64
 			continue
 		}
 		seen[key] = true
-		if _, ok := e.cache[key]; !ok {
+		if perf, ok := e.cache[key]; !ok {
 			need = append(need, cfgs[i])
 		} else {
 			e.hits++
+			emit(e.Tracer, Event{Type: EventEval, Index: -1, Config: cfgs[i].Clone(), Perf: perf, Cached: true})
 		}
 	}
 
@@ -93,11 +94,14 @@ func (e *Evaluator) EvalBatch(pts [][]float64, workers int) ([]Config, []float64
 	}
 	wg.Wait()
 
-	// Commit in input order.
+	// Commit in input order. Tracer events follow the commit order — not
+	// the (nondeterministic) measurement completion order — so the event
+	// stream stays deterministic under parallel evaluation.
 	for i := 0; i < allowed; i++ {
 		cfg := need[i]
 		e.cache[cfg.Key()] = measured[i]
 		e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: measured[i]})
+		emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: measured[i]})
 	}
 
 	// Assemble results for the longest answerable prefix.

@@ -1,0 +1,170 @@
+package search
+
+import "time"
+
+// EventType classifies the typed events a Tracer receives. The set covers
+// everything the paper's trajectory claims depend on — evaluations, simplex
+// operations, training-seed injection, and convergence decisions — plus the
+// server-side events (failure-budget charges, phase markers) that share the
+// same stream so one JSONL file reconstructs a whole session.
+type EventType string
+
+const (
+	// EventEval is one configuration exploration: a real measurement
+	// (Cached=false, Index = exploration order) or a cache hit
+	// (Cached=true, Index = -1).
+	EventEval EventType = "eval"
+	// EventSeed is a training-stage injection of a historical
+	// (configuration, performance) pair — it consumed no budget (§4.2).
+	EventSeed EventType = "seed"
+	// EventSimplex is one Nelder–Mead operation; Op is one of "reflect",
+	// "expand", "contract_out", "contract_in" or "shrink".
+	EventSimplex EventType = "simplex"
+	// EventConverge is a kernel termination decision; Op is the reason:
+	// "reltol", "stall", "budget" or "init_budget".
+	EventConverge EventType = "converge"
+	// EventPhase marks a stage boundary (Op = "training", "live",
+	// "restart", ...). Emitted by the Tuner and the restart driver.
+	EventPhase EventType = "phase"
+	// EventBudget is a failure-budget charge against a session (server
+	// side): Iter carries the fault count, Note describes the fault.
+	EventBudget EventType = "budget"
+)
+
+// Simplex operation names used in EventSimplex events.
+const (
+	OpReflect     = "reflect"
+	OpExpand      = "expand"
+	OpContractOut = "contract_out"
+	OpContractIn  = "contract_in"
+	OpShrink      = "shrink"
+)
+
+// Event is one structured observation of the tuning machinery. Fields not
+// meaningful for a given Type stay at their zero values and are omitted
+// from JSON encodings.
+type Event struct {
+	// Session identifies the tuning session the event belongs to (filled
+	// by StampSession on shared sinks; empty for single-session tracers).
+	Session string `json:"session,omitempty"`
+	// Time is the emission time; the nil-safe emit helper fills it when
+	// the producer left it zero.
+	Time time.Time `json:"t"`
+	Type EventType `json:"type"`
+	// Op refines the event: the simplex operation, the convergence reason,
+	// or the phase name.
+	Op string `json:"op,omitempty"`
+	// Iter is the simplex iteration (EventSimplex), the restart ordinal
+	// (EventPhase "restart") or the fault count (EventBudget).
+	Iter int `json:"iter,omitempty"`
+	// Index is the 0-based exploration order for fresh measurements and -1
+	// for cache hits.
+	Index int `json:"index,omitempty"`
+	// Config is the configuration measured or seeded.
+	Config Config `json:"config,omitempty"`
+	// Perf is the observed (or seeded, or probe) performance.
+	Perf float64 `json:"perf,omitempty"`
+	// Cached reports a cache hit (EventEval only).
+	Cached bool `json:"cached,omitempty"`
+	// Note carries free-form detail (which vertex a simplex op replaced,
+	// the fault description for budget charges, ...).
+	Note string `json:"note,omitempty"`
+}
+
+// Tracer receives typed events from the tuning machinery. Implementations
+// used with a parallel evaluator do not need their own synchronization for
+// ordering — the evaluator commits (and emits) in input order from a single
+// goroutine — but a sink shared by several sessions must be safe for
+// concurrent Emit calls (obs.JSONL is).
+//
+// Every emission site is nil-safe: a nil Tracer costs one branch, so
+// un-instrumented library use pays ~zero.
+type Tracer interface {
+	Emit(Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Event)
+
+// Emit calls f.
+func (f TracerFunc) Emit(e Event) { f(e) }
+
+// MultiTracer fans every event out to all non-nil tracers; it returns nil
+// when none remain, so the nil-safe fast path is preserved.
+func MultiTracer(ts ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(ts))
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return TracerFunc(func(e Event) {
+		for _, t := range live {
+			t.Emit(e)
+		}
+	})
+}
+
+// StampSession wraps a tracer so every event carries the session ID —
+// the convention that lets one shared sink (the server's -trace-out file)
+// interleave many sessions and still be demultiplexed offline. A nil inner
+// tracer yields nil.
+func StampSession(t Tracer, session string) Tracer {
+	if t == nil {
+		return nil
+	}
+	return TracerFunc(func(e Event) {
+		if e.Session == "" {
+			e.Session = session
+		}
+		t.Emit(e)
+	})
+}
+
+// emit is the nil-safe emission helper used by every instrumentation site:
+// one branch when no tracer is installed, timestamping when there is one.
+func emit(t Tracer, e Event) {
+	if t == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	t.Emit(e)
+}
+
+// CollectTracer is an in-memory tracer for tests and examples: it appends
+// every event to Events. Not safe for concurrent use across sessions.
+type CollectTracer struct {
+	Events []Event
+}
+
+// Emit implements Tracer.
+func (c *CollectTracer) Emit(e Event) { c.Events = append(c.Events, e) }
+
+// BestTrajectory folds an event stream into the best-so-far performance
+// series of its real measurements (cache hits and seeds excluded), in
+// emission order. This is the offline reconstruction of the paper's
+// convergence trajectory from a JSONL trace.
+func BestTrajectory(events []Event, dir Direction) []float64 {
+	var out []float64
+	have := false
+	best := 0.0
+	for _, e := range events {
+		if e.Type != EventEval || e.Cached {
+			continue
+		}
+		if !have || dir.Better(e.Perf, best) {
+			best = e.Perf
+			have = true
+		}
+		out = append(out, best)
+	}
+	return out
+}

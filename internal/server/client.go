@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"harmony/internal/obs"
 	"harmony/internal/search"
 )
 
@@ -37,6 +39,10 @@ type Client struct {
 	// OpTimeout bounds each protocol exchange (one send plus the matching
 	// reply read). 0 means no deadline. Set it when the server could hang.
 	OpTimeout time.Duration
+	// Logger, when set, receives structured client-side transport
+	// diagnostics: dial retries (set via DialOptions.Logger), op-deadline
+	// expiries and connection loss. Nil discards.
+	Logger *slog.Logger
 
 	closeOnce sync.Once
 	closeErr  error
@@ -91,6 +97,10 @@ type DialOptions struct {
 	OpTimeout time.Duration
 	// Seed makes the jitter deterministic when non-zero (tests).
 	Seed int64
+	// Logger, when set, receives a warn-level record per failed dial
+	// attempt (with the backoff chosen) and seeds the returned client's
+	// Logger. Nil discards.
+	Logger *slog.Logger
 }
 
 func (o *DialOptions) fill() {
@@ -143,20 +153,33 @@ func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
 		seed = time.Now().UnixNano()
 	}
 	rng := rand.New(rand.NewSource(seed))
+	log := opts.Logger
+	if log == nil {
+		log = obs.Nop()
+	}
 	attempts := 1 + opts.Retries
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(opts.backoff(attempt-1, rng))
+			pause := opts.backoff(attempt-1, rng)
+			log.Warn("dial failed; backing off",
+				"addr", addr, "attempt", attempt, "of", attempts,
+				"backoff", pause, "err", lastErr)
+			time.Sleep(pause)
 		}
 		conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
 		if err == nil {
+			if attempt > 0 {
+				log.Info("dial succeeded after retries", "addr", addr, "attempts", attempt+1)
+			}
 			c := NewClientConn(conn)
 			c.OpTimeout = opts.OpTimeout
+			c.Logger = opts.Logger
 			return c, nil
 		}
 		lastErr = err
 	}
+	log.Warn("dial exhausted all attempts", "addr", addr, "attempts", attempts, "err", lastErr)
 	return nil, fmt.Errorf("%w: dial %s failed after %d attempt(s): %v",
 		ErrServerGone, addr, attempts, lastErr)
 }
@@ -188,6 +211,18 @@ func (c *Client) Close() error {
 	return c.closeErr
 }
 
+// logTransport records a transport-level failure on the client's logger,
+// distinguishing op-deadline expiries from other connection loss.
+func (c *Client) logTransport(op string, err error) {
+	if c.Logger == nil {
+		return
+	}
+	var ne net.Error
+	timeout := errors.As(err, &ne) && ne.Timeout()
+	c.Logger.Warn("transport error", "op", op, "timeout", timeout,
+		"op_timeout", c.OpTimeout, "err", err)
+}
+
 func (c *Client) send(m message) error {
 	b, err := encode(m)
 	if err != nil {
@@ -197,9 +232,11 @@ func (c *Client) send(m message) error {
 		c.conn.SetWriteDeadline(time.Now().Add(c.OpTimeout))
 	}
 	if _, err := c.w.Write(b); err != nil {
+		c.logTransport("write "+m.Op, err)
 		return fmt.Errorf("%w: write: %v", ErrServerGone, err)
 	}
 	if err := c.w.Flush(); err != nil {
+		c.logTransport("write "+m.Op, err)
 		return fmt.Errorf("%w: write: %v", ErrServerGone, err)
 	}
 	return nil
@@ -211,8 +248,10 @@ func (c *Client) recv() (message, error) {
 	}
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
+			c.logTransport("read", err)
 			return message{}, fmt.Errorf("%w: read: %v", ErrServerGone, err)
 		}
+		c.logTransport("read", errors.New("connection closed"))
 		return message{}, fmt.Errorf("%w: server closed the connection", ErrServerGone)
 	}
 	m, err := decode(c.r.Bytes())

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"harmony/internal/obs"
+)
+
+// Metrics is the server's counter bundle, backed by an obs.Registry. Every
+// field is a nil-safe obs handle and a nil *Metrics is itself valid, so an
+// un-instrumented Server pays ~zero (one branch per event).
+//
+// Exposition names follow Prometheus conventions under the "harmony_"
+// namespace; NewMetrics registers them all.
+type Metrics struct {
+	// SessionsStarted counts accepted connections
+	// (harmony_sessions_started_total).
+	SessionsStarted *obs.Counter
+	// SessionsActive is the number of live sessions
+	// (harmony_sessions_active).
+	SessionsActive *obs.Gauge
+	// SessionsCompleted counts sessions that delivered a final best
+	// (harmony_sessions_completed_total).
+	SessionsCompleted *obs.Counter
+	// SessionFailures counts sessions that ended with a terminal error —
+	// protocol violations, exhausted failure budgets, transport faults
+	// (harmony_session_failures_total).
+	SessionFailures *obs.Counter
+	// SessionsSevered counts connections cut by the shutdown hard cutoff
+	// (harmony_sessions_severed_total).
+	SessionsSevered *obs.Counter
+	// Faults counts tolerated per-session faults, i.e. failure-budget
+	// spend (harmony_session_faults_total).
+	Faults *obs.Counter
+	// ProtocolErrors counts protocol-level rejections sent to clients
+	// (harmony_protocol_errors_total).
+	ProtocolErrors *obs.Counter
+	// Deposits counts traces deposited into the experience store,
+	// complete or partial (harmony_deposits_total).
+	Deposits *obs.Counter
+	// PartialDeposits counts the subset of deposits made on abnormal
+	// disconnect (harmony_partial_deposits_total).
+	PartialDeposits *obs.Counter
+	// WarmStarts counts sessions seeded from prior experience
+	// (harmony_warm_starts_total).
+	WarmStarts *obs.Counter
+	// ConfigsServed counts configurations handed to clients
+	// (harmony_configs_served_total).
+	ConfigsServed *obs.Counter
+	// ReportsReceived counts performance reports accepted from clients
+	// (harmony_reports_received_total).
+	ReportsReceived *obs.Counter
+	// DrainSeconds observes Shutdown drain durations
+	// (harmony_shutdown_drain_seconds).
+	DrainSeconds *obs.Histogram
+}
+
+// NewMetrics registers the server metric family on reg and returns the
+// bundle. A nil registry yields a bundle of nil handles (all updates
+// no-ops), so callers can wire it unconditionally.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		SessionsStarted:   reg.Counter("harmony_sessions_started_total", "Connections accepted by the tuning server."),
+		SessionsActive:    reg.Gauge("harmony_sessions_active", "Currently live tuning sessions."),
+		SessionsCompleted: reg.Counter("harmony_sessions_completed_total", "Sessions that delivered a final best configuration."),
+		SessionFailures:   reg.Counter("harmony_session_failures_total", "Sessions that ended with a terminal error."),
+		SessionsSevered:   reg.Counter("harmony_sessions_severed_total", "Connections severed by the shutdown hard cutoff."),
+		Faults:            reg.Counter("harmony_session_faults_total", "Tolerated per-session faults (failure-budget spend)."),
+		ProtocolErrors:    reg.Counter("harmony_protocol_errors_total", "Protocol-level errors sent to clients."),
+		Deposits:          reg.Counter("harmony_deposits_total", "Tuning traces deposited into the experience store."),
+		PartialDeposits:   reg.Counter("harmony_partial_deposits_total", "Partial traces deposited on abnormal disconnect."),
+		WarmStarts:        reg.Counter("harmony_warm_starts_total", "Sessions warm-started from prior experience."),
+		ConfigsServed:     reg.Counter("harmony_configs_served_total", "Configurations served to clients for measurement."),
+		ReportsReceived:   reg.Counter("harmony_reports_received_total", "Performance reports accepted from clients."),
+		DrainSeconds:      reg.Histogram("harmony_shutdown_drain_seconds", "Shutdown drain durations in seconds.", []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}),
+	}
+}
+
+// nopMetrics backs the nil fast path: all handles nil, all updates no-ops.
+var nopMetrics = &Metrics{}
+
+// m returns the server's metrics bundle, never nil.
+func (s *Server) m() *Metrics {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return nopMetrics
+}

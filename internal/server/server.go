@@ -5,11 +5,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
+	"harmony/internal/obs"
 	"harmony/internal/rsl"
 	"harmony/internal/search"
 )
@@ -39,8 +40,30 @@ type Server struct {
 	// worst-case penalty (search.FailurePenalty) so the simplex moves on
 	// instead of wedging.
 	FailureBudget int
-	// Logf, when set, receives connection-level diagnostics.
+	// Logger receives structured session-level events (session start/end,
+	// tolerated faults, partial-trace deposits, shutdown progress). Every
+	// record carries the session ID. Nil falls back to the deprecated Logf
+	// shim when that is set, and otherwise discards. Set it before Listen.
+	Logger *slog.Logger
+	// Logf, when set (and Logger is nil), receives the same events as
+	// flat printf lines.
+	//
+	// Deprecated: set Logger instead. Logf is kept so existing callers
+	// compile; it is adapted through obs.FuncHandler.
 	Logf func(format string, args ...interface{})
+	// Metrics, when set, receives the server's counter updates (sessions
+	// started/active/completed/failed/severed, failure-budget spend,
+	// protocol errors, deposits, warm starts, drain durations). Build it
+	// with NewMetrics(registry); nil disables metrics at ~zero cost. Set
+	// it before Listen.
+	Metrics *Metrics
+	// Tracer, when set, receives every session's typed tuning events
+	// (evaluations, simplex operations, seeds, convergence decisions,
+	// failure-budget charges), each stamped with the session ID so one
+	// shared sink — e.g. an obs.JSONL behind harmonyd's -trace-out —
+	// interleaves sessions demultiplexably. The sink must be safe for
+	// concurrent Emit. Set it before Listen.
+	Tracer search.Tracer
 	// OnSessionEnd, when set, is called after a session's handler and
 	// kernel goroutine have both finished — one call per connection, from
 	// the connection's goroutine. Intended for metrics and tests.
@@ -60,6 +83,9 @@ type Server struct {
 
 // SessionEnd summarizes one finished connection for the OnSessionEnd hook.
 type SessionEnd struct {
+	// ID is the server-assigned session/trace identifier — the same ID
+	// stamped on the session's log records and tracer events.
+	ID string
 	// App is the application name from the registration ("" before one).
 	App string
 	// Warm reports whether prior experience seeded the session.
@@ -84,6 +110,19 @@ func NewServer() *Server {
 		experience:  newExperienceStore(),
 		conns:       map[net.Conn]struct{}{},
 	}
+}
+
+// logger resolves the server's structured logger: Logger when set, the
+// deprecated Logf through a shim otherwise, and a discard logger when
+// neither is configured.
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	if s.Logf != nil {
+		return slog.New(obs.FuncHandler(s.Logf))
+	}
+	return obs.Nop()
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -114,9 +153,9 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
-				if err := s.handle(conn); err != nil && s.Logf != nil {
-					s.Logf("session ended: %v", err)
-				}
+				// handle logs its own end (structured, with session ID)
+				// and reports it through OnSessionEnd.
+				s.handle(conn) //nolint:errcheck
 			}()
 		}
 	}()
@@ -129,6 +168,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 // still deposit their partial traces into the experience store. Shutdown
 // returns nil when everything drained in time and ctx.Err() after a cutoff.
 func (s *Server) Shutdown(ctx context.Context) error {
+	start := time.Now()
 	s.mu.Lock()
 	s.closed = true
 	ln := s.listener
@@ -144,17 +184,28 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		drain := time.Since(start)
+		s.m().DrainSeconds.Observe(drain.Seconds())
+		s.logger().Info("shutdown: all sessions drained", "drain", drain)
 		return nil
 	case <-ctx.Done():
 	}
 	// Hard cutoff: sever every remaining connection. Handlers unwind, the
 	// kernel goroutines deposit partial traces, and the wait completes.
 	s.mu.Lock()
+	severed := len(s.conns)
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	<-done
+	drain := time.Since(start)
+	s.m().SessionsSevered.Add(severed)
+	s.m().DrainSeconds.Observe(drain.Seconds())
+	if severed > 0 {
+		s.logger().Warn("shutdown: hard cutoff severed connections",
+			"severed", severed, "drain", drain)
+	}
 	return ctx.Err()
 }
 
@@ -224,7 +275,7 @@ type session struct {
 var errAborted = errors.New("server: session aborted")
 
 // handle runs one connection's session and reports its end to the
-// OnSessionEnd hook.
+// OnSessionEnd hook, the metrics bundle and the structured logger.
 func (s *Server) handle(conn net.Conn) error {
 	if !s.track(conn) {
 		conn.Close()
@@ -233,8 +284,16 @@ func (s *Server) handle(conn net.Conn) error {
 	defer s.untrack(conn)
 	defer conn.Close()
 
-	var end SessionEnd
-	sess, err := s.serve(conn, &end)
+	id := obs.NewID()
+	log := s.logger().With("session", id, "remote", conn.RemoteAddr().String())
+	m := s.m()
+	m.SessionsStarted.Inc()
+	m.SessionsActive.Inc()
+	defer m.SessionsActive.Dec()
+	log.Debug("session started")
+
+	end := SessionEnd{ID: id}
+	sess, err := s.serve(conn, &end, id, log)
 	if sess != nil {
 		// Unblock the kernel and wait for it to unwind; an abnormal
 		// disconnect deposits the partial trace before kernelDone closes,
@@ -245,6 +304,23 @@ func (s *Server) handle(conn net.Conn) error {
 		end.Deposited = sess.deposited
 	}
 	end.Err = err
+
+	if end.Completed {
+		m.SessionsCompleted.Inc()
+	}
+	if end.Deposited {
+		m.Deposits.Inc()
+	}
+	if err != nil {
+		m.SessionFailures.Inc()
+		log.Warn("session failed",
+			"app", end.App, "warm", end.Warm, "completed", end.Completed,
+			"deposited", end.Deposited, "faults", end.Faults, "err", err)
+	} else {
+		log.Info("session ended",
+			"app", end.App, "warm", end.Warm, "completed", end.Completed,
+			"deposited", end.Deposited, "faults", end.Faults)
+	}
 	if s.OnSessionEnd != nil {
 		s.OnSessionEnd(end)
 	}
@@ -253,7 +329,7 @@ func (s *Server) handle(conn net.Conn) error {
 
 // serve runs the message loop. It returns the session (nil when
 // registration never succeeded) and the terminal error.
-func (s *Server) serve(conn net.Conn, end *SessionEnd) (*session, error) {
+func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, log *slog.Logger) (*session, error) {
 	r := bufio.NewScanner(conn)
 	r.Buffer(make([]byte, 64*1024), 1024*1024)
 	w := bufio.NewWriter(conn)
@@ -278,6 +354,7 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd) (*session, error) {
 		return w.Flush()
 	}
 	fail := func(msg string) error {
+		s.m().ProtocolErrors.Inc()
 		send(message{Op: "error", Msg: msg})
 		return errors.New(msg)
 	}
@@ -289,15 +366,22 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd) (*session, error) {
 		budget = 0
 	}
 	// tolerate charges one fault against the session's budget. It returns
-	// an error once the budget is exhausted.
+	// an error once the budget is exhausted. Every charge is observable:
+	// a counter tick, a warn-level log record and a typed budget event on
+	// the trace stream.
 	tolerate := func(what string) error {
 		end.Faults++
+		s.m().Faults.Inc()
+		if s.Tracer != nil {
+			s.Tracer.Emit(search.Event{
+				Session: id, Time: time.Now(), Type: search.EventBudget,
+				Iter: end.Faults, Note: what,
+			})
+		}
 		if end.Faults > budget {
 			return fmt.Errorf("failure budget exhausted (%d faults > %d): %s", end.Faults, budget, what)
 		}
-		if s.Logf != nil {
-			s.Logf("session %v: tolerated fault %d/%d: %s", conn.RemoteAddr(), end.Faults, budget, what)
-		}
+		log.Warn("tolerated fault", "fault", end.Faults, "budget", budget, "what", what)
 		return nil
 	}
 
@@ -313,11 +397,17 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd) (*session, error) {
 	if reg.Op != "register" {
 		return nil, fail("first message must be register")
 	}
-	sess, err := s.startSession(reg)
+	sess, err := s.startSession(reg, id, log)
 	if err != nil {
 		return nil, fail(err.Error())
 	}
 	end.App = reg.App
+	if sess.warm {
+		s.m().WarmStarts.Inc()
+	}
+	log.Info("session registered",
+		"app", reg.App, "dim", len(sess.names), "warm", sess.warm,
+		"improved", reg.Improved, "max_evals", reg.MaxEvals)
 
 	if err := send(message{Op: "registered", Names: sess.names, Warm: sess.warm}); err != nil {
 		return sess, err
@@ -355,6 +445,7 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd) (*session, error) {
 			select {
 			case cfg := <-sess.cfgCh:
 				awaitingReport = true
+				s.m().ConfigsServed.Inc()
 				if err := send(message{Op: "config", Values: cfg}); err != nil {
 					return sess, err
 				}
@@ -383,6 +474,7 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd) (*session, error) {
 			} else {
 				perf = search.Sanitize(perf, sess.dir)
 			}
+			s.m().ReportsReceived.Inc()
 			select {
 			case sess.perfCh <- perf:
 			case err := <-sess.errCh:
@@ -412,7 +504,7 @@ func (s *Server) sendBest(send func(message) error, sess *session, res *search.R
 // startSession parses the registration, builds the search space (using the
 // Appendix B adapter for restricted specs) and launches the kernel
 // goroutine.
-func (s *Server) startSession(reg message) (*session, error) {
+func (s *Server) startSession(reg message, id string, log *slog.Logger) (*session, error) {
 	spec, err := rsl.Parse(reg.RSL)
 	if err != nil {
 		return nil, err
@@ -510,6 +602,8 @@ func (s *Server) startSession(reg message) (*session, error) {
 	// kernel has unwound.
 	ev := search.NewEvaluator(space, obj)
 	ev.MaxEvals = maxEvals
+	tracer := search.StampSession(s.Tracer, id)
+	ev.Tracer = tracer
 
 	go func() {
 		defer close(sess.kernelDone)
@@ -517,8 +611,16 @@ func (s *Server) startSession(reg message) (*session, error) {
 			if rec := recover(); rec != nil {
 				if err, ok := rec.(error); ok && errors.Is(err, errAborted) {
 					// Abnormal disconnect: deposit whatever was measured so
-					// the experience survives for future sessions (§4.2).
-					sess.deposited = s.experience.record(key, reg.Characteristics, dir, ev.Trace())
+					// the experience survives for future sessions (§4.2) —
+					// and say so: a silently dropped (or silently kept)
+					// partial trace is invisible to operators otherwise.
+					tr := ev.Trace()
+					sess.deposited = s.experience.record(key, reg.Characteristics, dir, tr)
+					if sess.deposited {
+						s.m().PartialDeposits.Inc()
+					}
+					log.Warn("abnormal disconnect: partial trace",
+						"trace_len", len(tr), "deposited", sess.deposited, "app", reg.App)
 					return
 				}
 				sess.errCh <- fmt.Errorf("server: kernel panic: %v", rec)
@@ -528,6 +630,7 @@ func (s *Server) startSession(reg message) (*session, error) {
 			Init:      init,
 			Direction: dir,
 			MaxEvals:  maxEvals,
+			Tracer:    tracer,
 		})
 		if err != nil {
 			sess.errCh <- err
@@ -541,16 +644,18 @@ func (s *Server) startSession(reg message) (*session, error) {
 }
 
 // ListenAndServe is a convenience for main functions: listen and block until
-// the server is shut down.
+// the server is shut down. When neither Logger nor the deprecated Logf is
+// configured, it installs the obs default (structured text on stderr) —
+// a daemon should never run blind.
 func (s *Server) ListenAndServe(addr string) error {
+	if s.Logger == nil && s.Logf == nil {
+		s.Logger = obs.Default() // before Listen: handlers read it unlocked
+	}
 	a, err := s.Listen(addr)
 	if err != nil {
 		return err
 	}
-	if s.Logf == nil {
-		s.Logf = log.Printf
-	}
-	s.Logf("harmony server listening on %s", a)
+	s.logger().Info("harmony server listening", "addr", a.String())
 	s.wg.Wait()
 	return nil
 }
