@@ -19,10 +19,17 @@
 // seeds, convergence decisions, failure-budget charges — as JSONL for
 // offline trajectory analysis.
 //
+// And to remember: -data-dir backs the experience database with a
+// WAL+snapshot store on disk, so prior-run knowledge — the paper's whole
+// point — survives restarts and crashes of the daemon itself. A session
+// deposited before a kill -9 still warm-starts its successors after the
+// next boot.
+//
 // Usage:
 //
 //	harmonyd -addr :7854 -idle-timeout 5m -write-timeout 10s \
 //	         -failure-budget 3 -drain-timeout 30s \
+//	         -data-dir /var/lib/harmony -expdb-fsync always \
 //	         -obs-addr 127.0.0.1:9154 -log-format json -trace-out trace.jsonl
 package main
 
@@ -35,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"harmony/internal/expdb"
 	"harmony/internal/obs"
 	"harmony/internal/server"
 )
@@ -46,6 +54,12 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-reply write deadline (0 = no limit)")
 	failureBudget := flag.Int("failure-budget", 3, "tolerated per-session faults (garbage lines, non-finite reports); negative = zero tolerance")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions before the hard cutoff")
+	dataDir := flag.String("data-dir", "", "durable experience database directory (empty = in-memory, lost on restart)")
+	expdbFsync := flag.String("expdb-fsync", "always", "experience WAL fsync policy: always (every deposit durable) or none (OS page cache)")
+	expdbSnapshot := flag.Int("expdb-snapshot-every", expdb.DefaultSnapshotEvery, "WAL records between snapshot+compaction cycles (negative = never)")
+	compactAbove := flag.Int("experience-compact-above", server.DefaultExperienceCompactAbove, "per-workload-class experience count above which compaction runs (negative = never)")
+	mergeDist := flag.Float64("experience-merge-dist", server.DefaultExperienceMergeDist, "squared-error radius merging near-identical workload classes during compaction")
+	keepRecords := flag.Int("experience-keep-records", server.DefaultExperienceKeepRecords, "best measurements each experience keeps through compaction")
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -54,6 +68,9 @@ func main() {
 	s.IdleTimeout = *idleTimeout
 	s.WriteTimeout = *writeTimeout
 	s.FailureBudget = *failureBudget
+	s.ExperienceCompactAbove = *compactAbove
+	s.ExperienceMergeDist = *mergeDist
+	s.ExperienceKeepRecords = *keepRecords
 
 	// The daemon is healthy once the listener is bound and until shutdown
 	// begins.
@@ -75,6 +92,38 @@ func main() {
 	s.Metrics = server.NewMetrics(rt.Registry)
 	s.Tracer = rt.Tracer()
 
+	// The durable experience database: recovery (snapshot load, WAL
+	// replay, torn-tail truncation) happens here, before the listener
+	// binds, so the first session already sees everything prior runs
+	// learned.
+	var expStore *expdb.Store
+	if *dataDir != "" {
+		policy, err := expdb.ParseSyncPolicy(*expdbFsync)
+		if err != nil {
+			rt.Logger.Error("bad -expdb-fsync", "err", err)
+			rt.Close()
+			os.Exit(1)
+		}
+		expStore, err = expdb.Open(expdb.Options{
+			Dir:           *dataDir,
+			Sync:          policy,
+			SnapshotEvery: *expdbSnapshot,
+			CompactAbove:  *compactAbove,
+			MergeDist:     *mergeDist,
+			KeepRecords:   *keepRecords,
+			Logger:        rt.Logger,
+			Metrics:       expdb.NewMetrics(rt.Registry),
+		})
+		if err != nil {
+			rt.Logger.Error("opening experience database failed", "dir", *dataDir, "err", err)
+			rt.Close()
+			os.Exit(1)
+		}
+		s.Experience = server.NewDurableStore(expStore, rt.Logger)
+		rt.Logger.Info("durable experience database open",
+			"dir", *dataDir, "fsync", policy.String(), "experiences", expStore.Len())
+	}
+
 	bound, err := s.Listen(*addr)
 	if err != nil {
 		rt.Logger.Error("listen failed", "addr", *addr, "err", err)
@@ -94,8 +143,16 @@ func main() {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := s.Shutdown(drainCtx); err != nil {
-		rt.Logger.Error("shutdown cutoff hit", "err", err)
+	shutdownErr := s.Shutdown(drainCtx)
+	// Fold the WAL into a snapshot and close the store — even after a
+	// cutoff, severed sessions deposited partial traces worth keeping.
+	if expStore != nil {
+		if err := expStore.Close(); err != nil {
+			rt.Logger.Error("closing experience database failed", "err", err)
+		}
+	}
+	if shutdownErr != nil {
+		rt.Logger.Error("shutdown cutoff hit", "err", shutdownErr)
 		rt.Close()
 		os.Exit(1)
 	}

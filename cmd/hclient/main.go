@@ -1,0 +1,103 @@
+// Command hclient runs one synthetic tuning session against a harmonyd
+// server and reports the outcome — a minimal client for smoke tests,
+// crash-recovery drills and scripting.
+//
+// It registers a two-parameter integer spec, tunes a quadratic surface
+// peaking at (-peak-x, -peak-y), and prints one summary line:
+//
+//	warm=true best=[20 45] perf=1000.00 evals=37
+//
+// With -expect-warm the process exits 1 unless the server warm-started the
+// session from a prior run — the assertion the CI crash-recovery job leans
+// on: deposit, kill -9 the daemon, restart, and a matching session must
+// come back warm from the on-disk experience database.
+//
+// Usage:
+//
+//	hclient -addr 127.0.0.1:7854 -app shop -chars 0.8,0.2 \
+//	        -peak-x 20 -peak-y 45 -max-evals 150 [-expect-warm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"harmony/internal/search"
+	"harmony/internal/server"
+)
+
+const rsl = `
+{ harmonyBundle x { int {0 60 1} } }
+{ harmonyBundle y { int {0 60 1} } }
+`
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7854", "harmonyd address")
+	app := flag.String("app", "hclient", "application name (sessions with the same app and spec share experience)")
+	chars := flag.String("chars", "", "comma-separated workload characteristics, e.g. 0.8,0.2 (empty = no prior-run matching)")
+	peakX := flag.Int("peak-x", 20, "x coordinate of the quadratic optimum")
+	peakY := flag.Int("peak-y", 45, "y coordinate of the quadratic optimum")
+	maxEvals := flag.Int("max-evals", 150, "exploration budget")
+	expectWarm := flag.Bool("expect-warm", false, "exit 1 unless the server warm-starts this session")
+	timeout := flag.Duration("timeout", 5*time.Second, "dial and I/O timeout")
+	flag.Parse()
+
+	characteristics, err := parseChars(*chars)
+	if err != nil {
+		fatalf("bad -chars: %v", err)
+	}
+
+	c, err := server.Dial(*addr, *timeout)
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	if _, err := c.Register(rsl, server.RegisterOptions{
+		MaxEvals:        *maxEvals,
+		Improved:        true,
+		App:             *app,
+		Characteristics: characteristics,
+	}); err != nil {
+		fatalf("register: %v", err)
+	}
+	warm := c.WarmStarted()
+
+	best, err := c.Tune(func(cfg search.Config) float64 {
+		dx, dy := float64(cfg[0]-*peakX), float64(cfg[1]-*peakY)
+		return 1000 - dx*dx - dy*dy
+	})
+	if err != nil {
+		fatalf("tune: %v", err)
+	}
+
+	fmt.Printf("warm=%v best=%v perf=%.2f evals=%d\n", warm, best.Values, best.Perf, best.Evals)
+	if *expectWarm && !warm {
+		fatalf("session was not warm-started (expected prior-run match)")
+	}
+}
+
+func parseChars(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hclient: "+format+"\n", args...)
+	os.Exit(1)
+}

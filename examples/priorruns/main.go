@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"harmony/internal/core"
+	"harmony/internal/expdb"
 	"harmony/internal/history"
 	"harmony/internal/search"
 	"harmony/internal/stats"
@@ -87,4 +88,41 @@ func main() {
 	fmt.Println("\ntoday (shopping), cold vs warm start:")
 	report("cold start", cold)
 	report("with history", warm)
+
+	// The durable variant: the same round trip through the crash-safe
+	// experience database (internal/expdb), the store harmonyd mounts with
+	// -data-dir. Deposit yesterday's trace, abandon the store without
+	// Close — as a killed process would — and recover it from the
+	// write-ahead log alone.
+	dataDir := filepath.Join(os.TempDir(), "harmony-expdb")
+	store, err := expdb.Open(expdb.Options{Dir: dataDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.Deposit("priorruns/webservice", yesterday.Name,
+		tpcw.MixCharacteristics(yesterday), search.Maximize, sess.Result.Trace); err != nil {
+		log.Fatal(err)
+	}
+	// No store.Close(): the "process" dies here.
+
+	reopened, err := expdb.Open(expdb.Options{Dir: dataDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	rexp, rdist, ok := reopened.Match("priorruns/webservice", observed)
+	if !ok {
+		log.Fatal("recovered store missed the match")
+	}
+	fmt.Printf("\ndurable store (%s): recovered %d experience(s) from the WAL,\n",
+		dataDir, reopened.Len())
+	fmt.Printf("matched %q at distance %.4f — the warm start survives a server crash\n",
+		rexp.Label, rdist)
+	durable, err := todayTuner.Run(core.Options{
+		Direction: search.Maximize, MaxEvals: 100, Improved: true, Experience: rexp,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("from disk", durable)
 }

@@ -52,6 +52,18 @@ const (
 // ErrNoRecords is returned when estimation is attempted with no history.
 var ErrNoRecords = errors.New("estimate: no historical records")
 
+// VertexIndex answers k-nearest-neighbour queries over an indexed set of
+// points (normalized configurations), returning indices into that set
+// nearest first with ties toward the lower index — the same order the
+// sort-based selection produces.
+type VertexIndex interface {
+	KNearest(target []float64, k int) []int
+}
+
+// IndexBuilder builds a VertexIndex over points. expdb.NewVertexIndex
+// adapts the k-d tree; any spatial index with matching tie-breaks works.
+type IndexBuilder func(points [][]float64) (VertexIndex, error)
+
 // Estimator estimates performance at unmeasured configurations from
 // historical records.
 type Estimator struct {
@@ -60,6 +72,11 @@ type Estimator struct {
 	// K is the number of vertices to fit through (default dim+1, the
 	// simplex size of the paper's construction).
 	K int
+	// Index, when set, replaces the per-call O(n log n) sort of the
+	// NearestInSpace vertex selection with a spatial index built once per
+	// record set (Prepare / EstimateMany): the N+1-vertex selection then
+	// costs O(k + log n) per target instead of a full scan-and-sort.
+	Index IndexBuilder
 }
 
 // New returns an estimator over the space with the default policy.
@@ -91,9 +108,16 @@ func (e *Estimator) Estimate(records []Record, target search.Config) (float64, e
 		k = e.Space.Dim() + 1
 	}
 	chosen := e.selectVertices(records, target, k)
+	return e.fitAndEval(chosen, target)
+}
 
-	// Fit [C_i 1]·x = P_i in normalized coordinates (better conditioned
-	// than raw values when parameter ranges differ by orders of magnitude).
+// fitAndEval fits the Figure 3 hyperplane through the chosen vertices and
+// evaluates it at target, falling back to the inverse-distance-weighted
+// average on a degenerate vertex set.
+//
+// The fit runs in normalized coordinates (better conditioned than raw
+// values when parameter ranges differ by orders of magnitude).
+func (e *Estimator) fitAndEval(chosen []Record, target search.Config) (float64, error) {
 	rows := make([][]float64, len(chosen))
 	b := make([]float64, len(chosen))
 	for i, r := range chosen {
@@ -117,16 +141,7 @@ func (e *Estimator) Estimate(records []Record, target search.Config) (float64, e
 // deduplicated by configuration (duplicates add no geometric information
 // and would always make the system singular).
 func (e *Estimator) selectVertices(records []Record, target search.Config, k int) []Record {
-	dedup := make([]Record, 0, len(records))
-	seen := map[string]bool{}
-	for _, r := range records {
-		key := r.Config.Key()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		dedup = append(dedup, r)
-	}
+	dedup := dedupRecords(records)
 
 	switch e.Policy {
 	case LatestInTime:
@@ -143,6 +158,23 @@ func (e *Estimator) selectVertices(records []Record, target search.Config, k int
 		k = len(dedup)
 	}
 	return dedup[:k]
+}
+
+// dedupRecords drops repeated configurations, keeping first occurrences in
+// order (duplicates add no geometric information and would always make the
+// hyperplane system singular).
+func dedupRecords(records []Record) []Record {
+	dedup := make([]Record, 0, len(records))
+	seen := map[string]bool{}
+	for _, r := range records {
+		key := r.Config.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		dedup = append(dedup, r)
+	}
+	return dedup
 }
 
 // weightedAverage is the rank-deficiency fallback: inverse-distance-weighted
@@ -162,15 +194,96 @@ func (e *Estimator) weightedAverage(records []Record, target search.Config) floa
 	return num / den
 }
 
-// EstimateMany predicts each target in turn, sharing the record set.
+// Prepared is an estimator bound to one record set: records are deduped,
+// validated and (when the estimator has an Index and the NearestInSpace
+// policy) spatially indexed exactly once, so per-target estimation avoids
+// the O(n log n) scan-and-sort. Prepared is safe for concurrent Estimate
+// calls when the underlying VertexIndex is (expdb's k-d tree is).
+type Prepared struct {
+	e      *Estimator
+	dedup  []Record
+	sorted []Record    // LatestInTime: presorted newest-first
+	index  VertexIndex // NearestInSpace with Index: built once
+}
+
+// Prepare validates and indexes records for repeated estimation.
+func (e *Estimator) Prepare(records []Record) (*Prepared, error) {
+	for _, r := range records {
+		if len(r.Config) != e.Space.Dim() {
+			return nil, fmt.Errorf("estimate: record config %v has wrong dimension", r.Config)
+		}
+	}
+	p := &Prepared{e: e, dedup: dedupRecords(records)}
+	switch e.Policy {
+	case LatestInTime:
+		p.sorted = append([]Record(nil), p.dedup...)
+		sort.SliceStable(p.sorted, func(i, j int) bool { return p.sorted[i].Seq > p.sorted[j].Seq })
+	default: // NearestInSpace
+		if e.Index != nil && len(p.dedup) > 0 {
+			pts := make([][]float64, len(p.dedup))
+			for i, r := range p.dedup {
+				pts[i] = e.Space.Normalized(r.Config)
+			}
+			idx, err := e.Index(pts)
+			if err != nil {
+				return nil, fmt.Errorf("estimate: building vertex index: %w", err)
+			}
+			p.index = idx
+		}
+	}
+	return p, nil
+}
+
+// Estimate predicts the performance at target from the prepared records.
+func (p *Prepared) Estimate(target search.Config) (float64, error) {
+	e := p.e
+	if len(p.dedup) == 0 {
+		return 0, ErrNoRecords
+	}
+	if !e.Space.Contains(target) {
+		return 0, fmt.Errorf("estimate: target %v not in space", target)
+	}
+	k := e.K
+	if k <= 0 {
+		k = e.Space.Dim() + 1
+	}
+	if k > len(p.dedup) {
+		k = len(p.dedup)
+	}
+	var chosen []Record
+	switch {
+	case p.sorted != nil:
+		chosen = p.sorted[:k]
+	case p.index != nil:
+		ids := p.index.KNearest(e.Space.Normalized(target), k)
+		chosen = make([]Record, len(ids))
+		for i, id := range ids {
+			chosen[i] = p.dedup[id]
+		}
+	default:
+		chosen = e.selectVertices(p.dedup, target, k)
+	}
+	return e.fitAndEval(chosen, target)
+}
+
+// EstimateMany predicts each target in turn, sharing the record set — and,
+// when the estimator carries an Index, sharing one index build across all
+// targets.
 func (e *Estimator) EstimateMany(records []Record, targets []search.Config) ([]float64, error) {
+	if len(records) == 0 && len(targets) > 0 {
+		return nil, ErrNoRecords
+	}
+	p, err := e.Prepare(records)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(targets))
 	for i, t := range targets {
-		p, err := e.Estimate(records, t)
+		v, err := p.Estimate(t)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = p
+		out[i] = v
 	}
 	return out, nil
 }

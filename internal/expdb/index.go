@@ -1,0 +1,345 @@
+package expdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"harmony/internal/estimate"
+	"harmony/internal/stats"
+)
+
+// NewVertexIndex adapts the k-d tree to estimate.IndexBuilder, so the
+// triangulation estimator's N+1-vertex selection (§4.3) stops scanning
+// linearly:
+//
+//	est := estimate.New(space)
+//	est.Index = expdb.NewVertexIndex
+//	perfs, _ := est.EstimateMany(records, targets) // one tree, many targets
+func NewVertexIndex(points [][]float64) (estimate.VertexIndex, error) {
+	return NewKDTree(points)
+}
+
+// KDTree is a static k-d tree over points in R^d answering nearest and
+// k-nearest-neighbour queries by squared Euclidean distance — the same
+// metric as history.LeastSquares, so the two always agree on winners.
+// Ties break toward the lower point index, exactly like the linear scan.
+//
+// Build is O(n log² n); queries are O(log n) expected on well-spread
+// characteristic vectors, against the O(n·d) of a scan. A KDTree is
+// immutable after construction and safe for concurrent queries.
+type KDTree struct {
+	pts  [][]float64
+	dim  int
+	root *kdNode
+}
+
+type kdNode struct {
+	point       int // index into pts
+	axis        int
+	left, right *kdNode
+}
+
+// NewKDTree indexes the points. All points must share one dimension; an
+// empty set yields an empty (queryable, always-missing) tree. The point
+// slices are referenced, not copied: callers must not mutate them while
+// the tree is live (characteristic vectors in this codebase are copied at
+// deposit time and never written again).
+func NewKDTree(pts [][]float64) (*KDTree, error) {
+	t := &KDTree{pts: pts}
+	if len(pts) == 0 {
+		return t, nil
+	}
+	t.dim = len(pts[0])
+	idx := make([]int, len(pts))
+	for i := range pts {
+		if len(pts[i]) != t.dim {
+			return nil, fmt.Errorf("expdb: point %d has %d features, point 0 has %d", i, len(pts[i]), t.dim)
+		}
+		idx[i] = i
+	}
+	t.root = t.build(idx, 0)
+	return t, nil
+}
+
+// build constructs the subtree over idx splitting on axis = depth mod dim.
+// Median selection is by full sort on the axis (O(n log n) per level);
+// ties on the axis value break by point index so the structure is
+// deterministic regardless of input order.
+func (t *KDTree) build(idx []int, depth int) *kdNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % t.dim
+	sortByAxis(idx, t.pts, axis)
+	mid := len(idx) / 2
+	n := &kdNode{point: idx[mid], axis: axis}
+	n.left = t.build(idx[:mid], depth+1)
+	n.right = t.build(idx[mid+1:], depth+1)
+	return n
+}
+
+// sortByAxis sorts point indices by their coordinate on axis (point index
+// as tie-break) — insertion sort for small runs, quicksort otherwise.
+func sortByAxis(idx []int, pts [][]float64, axis int) {
+	less := func(a, b int) bool {
+		va, vb := pts[a][axis], pts[b][axis]
+		if va != vb {
+			return va < vb
+		}
+		return a < b
+	}
+	// Simple recursive quicksort with median-of-three; depth is fine for
+	// our sizes and the insertion-sort cutoff handles the tail.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			m := lo + (hi-lo)/2
+			if less(idx[m], idx[lo]) {
+				idx[m], idx[lo] = idx[lo], idx[m]
+			}
+			if less(idx[hi-1], idx[lo]) {
+				idx[hi-1], idx[lo] = idx[lo], idx[hi-1]
+			}
+			if less(idx[hi-1], idx[m]) {
+				idx[hi-1], idx[m] = idx[m], idx[hi-1]
+			}
+			pivot := idx[m]
+			i, j := lo, hi-1
+			for i <= j {
+				for less(idx[i], pivot) {
+					i++
+				}
+				for less(pivot, idx[j]) {
+					j--
+				}
+				if i <= j {
+					idx[i], idx[j] = idx[j], idx[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j+1)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j + 1
+			}
+		}
+		for i := lo + 1; i < hi; i++ {
+			for j := i; j > lo && less(idx[j], idx[j-1]); j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+	}
+	qs(0, len(idx))
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Nearest returns the index of the point closest to q (squared Euclidean)
+// and that distance. ok is false on an empty tree or a dimension mismatch.
+func (t *KDTree) Nearest(q []float64) (idx int, dist float64, ok bool) {
+	if t.root == nil || len(q) != t.dim {
+		return 0, 0, false
+	}
+	best, bestD := -1, 0.0
+	var walk func(n *kdNode)
+	walk = func(n *kdNode) {
+		if n == nil {
+			return
+		}
+		d := stats.SquaredError(q, t.pts[n.point])
+		if best < 0 || d < bestD || (d == bestD && n.point < best) {
+			best, bestD = n.point, d
+		}
+		diff := q[n.axis] - t.pts[n.point][n.axis]
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		walk(near)
+		// Descend the far side when the splitting plane could still hold a
+		// point at distance <= bestD: non-strict, so equal-distance
+		// candidates are visited and the lowest index wins ties.
+		if diff*diff <= bestD {
+			walk(far)
+		}
+	}
+	walk(t.root)
+	return best, bestD, true
+}
+
+// KNearest returns the indices of the k points closest to q, nearest
+// first (ties toward the lower index), fewer when the tree is smaller.
+// A dimension mismatch returns nil.
+func (t *KDTree) KNearest(q []float64, k int) []int {
+	if t.root == nil || len(q) != t.dim || k <= 0 {
+		return nil
+	}
+	// Bounded max-heap of (dist, index): the root is the current k-th
+	// best, which also gives the pruning radius.
+	type cand struct {
+		d float64
+		i int
+	}
+	heap := make([]cand, 0, k)
+	worse := func(a, b cand) bool { // a sorts after b in the final order
+		if a.d != b.d {
+			return a.d > b.d
+		}
+		return a.i > b.i
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && worse(heap[l], heap[m]) {
+				m = l
+			}
+			if r < len(heap) && worse(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	push := func(c cand) {
+		if len(heap) < k {
+			heap = append(heap, c)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			return
+		}
+		if worse(heap[0], c) {
+			heap[0] = c
+			siftDown(0)
+		}
+	}
+	var walk func(n *kdNode)
+	walk = func(n *kdNode) {
+		if n == nil {
+			return
+		}
+		push(cand{d: stats.SquaredError(q, t.pts[n.point]), i: n.point})
+		diff := q[n.axis] - t.pts[n.point][n.axis]
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		walk(near)
+		if len(heap) < k || diff*diff <= heap[0].d {
+			walk(far)
+		}
+	}
+	walk(t.root)
+	// Heap-sort the candidates into nearest-first order: repeatedly pop
+	// the worst remaining candidate into the tail.
+	out := make([]int, len(heap))
+	for n := len(heap); n > 0; n-- {
+		top := heap[0]
+		heap[0] = heap[n-1]
+		heap = heap[:n-1]
+		siftDown(0)
+		out[n-1] = top.i
+	}
+	return out
+}
+
+// IndexedClassifier implements history.Classifier with a cached k-d tree,
+// replacing the linear least-squares scan while returning identical
+// winners and distances. The tree is rebuilt lazily whenever the class
+// set changes (detected by length, dimension and boundary-slice identity;
+// owners that mutate classes in place should call Invalidate). A zero
+// IndexedClassifier is ready to use and safe for concurrent Classify.
+type IndexedClassifier struct {
+	mu   sync.Mutex
+	tree *KDTree
+	// fingerprint of the indexed class set
+	n           int
+	dim         int
+	first, last *float64
+}
+
+// errNoClasses mirrors history.LeastSquares's empty-input error.
+var errNoClasses = errors.New("expdb: no classes to classify against")
+
+// Classify implements history.Classifier: it returns the index of the
+// class minimizing the squared error to observed, and that distance.
+func (c *IndexedClassifier) Classify(observed []float64, classes [][]float64) (int, float64, error) {
+	if len(classes) == 0 {
+		return 0, 0, errNoClasses
+	}
+	// Preserve the linear classifier's contract: any class with a foreign
+	// dimension is an error, not a silent skip.
+	for i, cl := range classes {
+		if len(cl) != len(observed) {
+			return 0, 0, fmt.Errorf("expdb: class %d has %d features, observed %d", i, len(cl), len(observed))
+		}
+	}
+	tree, err := c.treeFor(classes)
+	if err != nil {
+		return 0, 0, err
+	}
+	idx, dist, ok := tree.Nearest(observed)
+	if !ok {
+		return 0, 0, fmt.Errorf("expdb: index dimension mismatch (%d features observed)", len(observed))
+	}
+	return idx, dist, nil
+}
+
+// Invalidate drops the cached tree; the next Classify rebuilds it.
+func (c *IndexedClassifier) Invalidate() {
+	c.mu.Lock()
+	c.tree = nil
+	c.mu.Unlock()
+}
+
+// treeFor returns the cached tree when the class set is unchanged, else
+// rebuilds. The fingerprint — count, dimension and the identity of the
+// first and last vectors — catches every mutation the history package can
+// produce (append, merge-compaction, reload), since characteristic
+// vectors themselves are never written after deposit.
+func (c *IndexedClassifier) treeFor(classes [][]float64) (*KDTree, error) {
+	var first, last *float64
+	if len(classes[0]) > 0 {
+		first = &classes[0][0]
+	}
+	if n := len(classes) - 1; len(classes[n]) > 0 {
+		last = &classes[n][0]
+	}
+	dim := len(classes[0])
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tree != nil && c.n == len(classes) && c.dim == dim && c.first == first && c.last == last {
+		return c.tree, nil
+	}
+	tree, err := NewKDTree(classes)
+	if err != nil {
+		return nil, err
+	}
+	c.tree, c.n, c.dim, c.first, c.last = tree, len(classes), dim, first, last
+	return tree, nil
+}
+
+// IndexSize returns the number of points in the cached tree (0 when none
+// is built yet) — exported for the expdb_index_size gauge.
+func (c *IndexedClassifier) IndexSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tree == nil {
+		return 0
+	}
+	return c.tree.Len()
+}

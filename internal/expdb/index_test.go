@@ -1,0 +1,288 @@
+package expdb
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"harmony/internal/estimate"
+	"harmony/internal/history"
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// randClasses generates n characteristic vectors of dim d, deterministic
+// from seed. A fraction of exact duplicates exercises tie-breaking.
+func randClasses(n, d int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		if i > 0 && i%97 == 0 {
+			// Exact duplicate of an earlier vector: the linear scan picks
+			// the lower index; the tree must too.
+			out[i] = out[i/2]
+			continue
+		}
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestKDMatchesLinearAt10k is the satellite correctness gate: at 10k
+// stored experiences the indexed classifier must return the exact winner
+// (index and distance) of the paper's linear least-squares scan, on every
+// query, including duplicate-point ties. Run under -race in CI.
+func TestKDMatchesLinearAt10k(t *testing.T) {
+	const n, d, queries = 10_000, 8, 200
+	classes := randClasses(n, d, 1)
+	lin := history.LeastSquares{}
+	idx := &IndexedClassifier{}
+	rng := stats.NewRNG(2)
+
+	for q := 0; q < queries; q++ {
+		obs := make([]float64, d)
+		for j := range obs {
+			obs[j] = rng.Float64()
+		}
+		if q%3 == 0 {
+			// Exact hits and duplicated points stress the tie-break path.
+			obs = append([]float64(nil), classes[q*37%n]...)
+		}
+		wi, wd, werr := lin.Classify(obs, classes)
+		gi, gd, gerr := idx.Classify(obs, classes)
+		if werr != nil || gerr != nil {
+			t.Fatalf("query %d: errors linear=%v indexed=%v", q, werr, gerr)
+		}
+		if gi != wi {
+			t.Fatalf("query %d: indexed winner %d (d=%v), linear winner %d (d=%v)", q, gi, gd, wi, wd)
+		}
+		if math.Abs(gd-wd) > 1e-12 {
+			t.Fatalf("query %d: distance %v vs %v", q, gd, wd)
+		}
+	}
+	if idx.IndexSize() != n {
+		t.Fatalf("IndexSize = %d, want %d", idx.IndexSize(), n)
+	}
+}
+
+// TestIndexedClassifierMatchesLinearErrors pins the error contract: empty
+// class sets and dimension mismatches fail exactly like the linear scan.
+func TestIndexedClassifierMatchesLinearErrors(t *testing.T) {
+	idx := &IndexedClassifier{}
+	if _, _, err := idx.Classify([]float64{1}, nil); err == nil {
+		t.Error("empty class set accepted")
+	}
+	classes := [][]float64{{1, 2}, {3}}
+	if _, _, err := idx.Classify([]float64{1, 2}, classes); err == nil {
+		t.Error("mixed-dimension class set accepted")
+	}
+	if _, _, err := idx.Classify([]float64{1, 2, 3}, [][]float64{{1, 2}}); err == nil {
+		t.Error("observed/class dimension mismatch accepted")
+	}
+}
+
+// TestIndexedClassifierInvalidation verifies the cache notices growth,
+// shrink (compaction) and explicit invalidation.
+func TestIndexedClassifierInvalidation(t *testing.T) {
+	idx := &IndexedClassifier{}
+	classes := [][]float64{{0, 0}, {10, 10}}
+	if i, _, _ := idx.Classify([]float64{9, 9}, classes); i != 1 {
+		t.Fatalf("winner = %d, want 1", i)
+	}
+	// Append a closer class: the fingerprint (length) must catch it.
+	classes = append(classes, []float64{9, 9})
+	if i, _, _ := idx.Classify([]float64{9, 9}, classes); i != 2 {
+		t.Fatalf("after append: winner = %d, want 2", i)
+	}
+	// Shrink (as Compact does): length changes again.
+	classes = classes[:1]
+	if i, _, _ := idx.Classify([]float64{9, 9}, classes); i != 0 {
+		t.Fatalf("after shrink: winner = %d, want 0", i)
+	}
+	idx.Invalidate()
+	if i, _, _ := idx.Classify([]float64{0, 1}, classes); i != 0 {
+		t.Fatalf("after invalidate: winner = %d, want 0", i)
+	}
+}
+
+// TestIndexedClassifierConcurrent hammers one classifier from parallel
+// goroutines (run under -race): queries race against invalidations.
+func TestIndexedClassifierConcurrent(t *testing.T) {
+	classes := randClasses(2000, 6, 3)
+	idx := &IndexedClassifier{}
+	lin := history.LeastSquares{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(100 + g))
+			for i := 0; i < 200; i++ {
+				obs := make([]float64, 6)
+				for j := range obs {
+					obs[j] = rng.Float64()
+				}
+				wi, _, _ := lin.Classify(obs, classes)
+				gi, _, err := idx.Classify(obs, classes)
+				if err != nil {
+					t.Errorf("classify: %v", err)
+					return
+				}
+				if gi != wi {
+					t.Errorf("goroutine %d query %d: %d != %d", g, i, gi, wi)
+					return
+				}
+				if i%50 == 0 {
+					idx.Invalidate()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestKNearestMatchesSort checks KNearest against a full sort, order
+// included.
+func TestKNearestMatchesSort(t *testing.T) {
+	pts := randClasses(500, 4, 5)
+	tree, err := NewKDTree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(6)
+	for q := 0; q < 50; q++ {
+		target := make([]float64, 4)
+		for j := range target {
+			target[j] = rng.Float64()
+		}
+		for _, k := range []int{1, 5, 17, 500, 600} {
+			got := tree.KNearest(target, k)
+			want := bruteKNearest(pts, target, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d ids, want %d", k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d pos %d: got %d (d=%v), want %d (d=%v)", k, i,
+						got[i], stats.SquaredError(pts[got[i]], target),
+						want[i], stats.SquaredError(pts[want[i]], target))
+				}
+			}
+		}
+	}
+}
+
+func bruteKNearest(pts [][]float64, target []float64, k int) []int {
+	type cand struct {
+		d float64
+		i int
+	}
+	cs := make([]cand, len(pts))
+	for i, p := range pts {
+		cs[i] = cand{d: stats.SquaredError(p, target), i: i}
+	}
+	// insertion sort by (d, i) — n is small in tests
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cs[j], cs[j-1]
+			if a.d < b.d || (a.d == b.d && a.i < b.i) {
+				cs[j], cs[j-1] = cs[j-1], cs[j]
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(cs) {
+		k = len(cs)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cs[i].i
+	}
+	return out
+}
+
+// TestPreparedEstimatorMatchesLinear verifies the indexed N+1-vertex
+// selection produces the same estimates as the sort-based path.
+func TestPreparedEstimatorMatchesLinear(t *testing.T) {
+	space := search.MustSpace(
+		search.Param{Name: "a", Min: 0, Max: 50, Step: 1, Default: 0},
+		search.Param{Name: "b", Min: 0, Max: 50, Step: 1, Default: 0},
+		search.Param{Name: "c", Min: 0, Max: 50, Step: 1, Default: 0},
+	)
+	rng := stats.NewRNG(7)
+	var records []estimate.Record
+	for i := 0; i < 400; i++ {
+		cfg := search.Config{rng.Intn(51), rng.Intn(51), rng.Intn(51)}
+		records = append(records, estimate.Record{
+			Config: cfg,
+			Perf:   float64(cfg[0]) - 2*float64(cfg[1]) + 0.5*float64(cfg[2]),
+			Seq:    i,
+		})
+	}
+	plain := estimate.New(space)
+	indexed := estimate.New(space)
+	indexed.Index = NewVertexIndex
+
+	var targets []search.Config
+	for i := 0; i < 40; i++ {
+		targets = append(targets, search.Config{rng.Intn(51), rng.Intn(51), rng.Intn(51)})
+	}
+	want, err := plain.EstimateMany(records, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := indexed.EstimateMany(records, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			t.Errorf("target %d: indexed %v, linear %v", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkClassifyLinear10k and BenchmarkClassifyKD10k are the satellite
+// benchmark pair: the paper's O(n·d) scan against the k-d tree at 10k
+// experiences.
+func BenchmarkClassifyLinear10k(b *testing.B) {
+	classes := randClasses(10_000, 8, 1)
+	obs := make([]float64, 8)
+	for j := range obs {
+		obs[j] = 0.5
+	}
+	lin := history.LeastSquares{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lin.Classify(obs, classes) //nolint:errcheck
+	}
+}
+
+func BenchmarkClassifyKD10k(b *testing.B) {
+	classes := randClasses(10_000, 8, 1)
+	obs := make([]float64, 8)
+	for j := range obs {
+		obs[j] = 0.5
+	}
+	idx := &IndexedClassifier{}
+	idx.Classify(obs, classes) //nolint:errcheck // prebuild the tree
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Classify(obs, classes) //nolint:errcheck
+	}
+}
+
+func BenchmarkKDTreeBuild10k(b *testing.B) {
+	classes := randClasses(10_000, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewKDTree(classes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package expdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harmony/internal/history"
+	"harmony/internal/obs"
+	"harmony/internal/search"
+)
+
+// Defaults. The compaction trio matches the values the server historically
+// hard-coded in experienceStore.record.
+const (
+	// DefaultSnapshotEvery is how many WAL records accumulate before a
+	// snapshot+compaction folds them into the snapshot file.
+	DefaultSnapshotEvery = 256
+	// DefaultCompactAbove is the per-namespace experience count above
+	// which merge/keep-best compaction runs.
+	DefaultCompactAbove = 32
+	// DefaultMergeDist is the squared-error radius within which two
+	// workloads' characteristics count as the same class and merge.
+	DefaultMergeDist = 1e-4
+	// DefaultKeepRecords is how many best measurements each experience
+	// retains through compaction.
+	DefaultKeepRecords = 256
+	// DefaultShards is the lock-shard count of the in-memory view.
+	DefaultShards = 16
+)
+
+// Filenames inside a data directory.
+const (
+	snapshotName = "snapshot.json"
+	walName      = "wal.log"
+)
+
+// Options configure a Store.
+type Options struct {
+	// Dir is the data directory (created if missing). Required.
+	Dir string
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SnapshotEvery is the WAL record count that triggers
+	// snapshot+compaction (default DefaultSnapshotEvery; < 0 disables
+	// automatic snapshots).
+	SnapshotEvery int
+	// CompactAbove, MergeDist, KeepRecords tune per-namespace compaction
+	// (defaults DefaultCompactAbove / DefaultMergeDist /
+	// DefaultKeepRecords; CompactAbove < 0 disables).
+	CompactAbove int
+	MergeDist    float64
+	KeepRecords  int
+	// Shards is the lock-shard count (default DefaultShards).
+	Shards int
+	// Logger receives recovery and snapshot events; nil discards.
+	Logger *slog.Logger
+	// Metrics receives the expdb_* family; nil disables at ~zero cost.
+	Metrics *Metrics
+}
+
+func (o *Options) fill() {
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if o.CompactAbove == 0 {
+		o.CompactAbove = DefaultCompactAbove
+	}
+	if o.MergeDist == 0 {
+		o.MergeDist = DefaultMergeDist
+	}
+	if o.KeepRecords == 0 {
+		o.KeepRecords = DefaultKeepRecords
+	}
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Nop()
+	}
+	if o.Metrics == nil {
+		o.Metrics = nopExpMetrics
+	}
+}
+
+// namespace is one (app, spec) experience class set plus its lazily built
+// nearest-neighbour index.
+type namespace struct {
+	db  *history.DB
+	cls *IndexedClassifier
+}
+
+// shard is one lock stripe of the in-memory view.
+type shard struct {
+	mu sync.RWMutex
+	ns map[string]*namespace
+}
+
+// Store is the durable experience database: a WAL-backed, snapshot-
+// compacted, k-d-indexed map of (namespace key → experiences). All methods
+// are safe for concurrent use.
+type Store struct {
+	opts   Options
+	shards []*shard
+	wal    *wal
+	// snapMu serializes snapshot+compaction against WAL appends so a
+	// snapshot's AppliedLSN horizon is exact.
+	snapMu sync.Mutex
+	// experiences tracks the resident experience count across namespaces
+	// (the expdb_index_size gauge's source of truth).
+	experiences atomic.Int64
+	namespaces  atomic.Int64
+	closed      atomic.Bool
+}
+
+// snapshotFile is the on-disk snapshot: the full compacted state and the
+// highest LSN whose effect it contains. WAL records at or below AppliedLSN
+// are skipped on replay, which makes the snapshot→WAL-reset sequence
+// crash-safe at every intermediate point.
+type snapshotFile struct {
+	AppliedLSN uint64                 `json:"applied_lsn"`
+	Namespaces map[string]*history.DB `json:"namespaces"`
+}
+
+// Open recovers (or initializes) the store in opts.Dir: load the snapshot
+// if present, replay the WAL beyond its horizon, truncate any torn tail,
+// and reopen the log for appending.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("expdb: Options.Dir is required")
+	}
+	opts.fill()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("expdb: creating data dir: %w", err)
+	}
+	s := &Store{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{ns: map[string]*namespace{}}
+	}
+
+	// 1. Snapshot.
+	var appliedLSN uint64
+	snapPath := filepath.Join(opts.Dir, snapshotName)
+	if b, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshotFile
+		if jerr := json.Unmarshal(b, &snap); jerr != nil {
+			return nil, fmt.Errorf("expdb: corrupt snapshot %s: %w", snapPath, jerr)
+		}
+		appliedLSN = snap.AppliedLSN
+		for key, db := range snap.Namespaces {
+			ns := s.ns(key, true)
+			for _, e := range db.Experiences {
+				ns.db.Add(e)
+				s.experiences.Add(1)
+			}
+			ns.cls.Invalidate()
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("expdb: reading snapshot: %w", err)
+	}
+
+	// 2. WAL replay with torn-tail truncation.
+	walPath := filepath.Join(opts.Dir, walName)
+	maxLSN := appliedLSN
+	recovered := 0
+	if f, err := os.Open(walPath); err == nil {
+		recs, validLen, derr := DecodeWAL(f)
+		size, _ := f.Seek(0, io.SeekEnd)
+		f.Close()
+		for _, rec := range recs {
+			if rec.LSN > maxLSN {
+				maxLSN = rec.LSN
+			}
+			if rec.LSN <= appliedLSN || rec.Exp == nil {
+				continue // the snapshot already covers it
+			}
+			s.apply(rec.Key, rec.Exp)
+			recovered++
+		}
+		if derr != nil || validLen < size {
+			// Torn or corrupt tail: truncate to the last intact frame so
+			// the next append starts on a clean boundary. Everything
+			// before the corruption point has been recovered above.
+			opts.Metrics.TruncatedRecords.Inc()
+			opts.Logger.Warn("expdb: truncating corrupt WAL tail",
+				"wal", walPath, "valid_bytes", validLen, "file_bytes", size, "err", derr)
+			if terr := os.Truncate(walPath, validLen); terr != nil {
+				return nil, fmt.Errorf("expdb: truncating torn WAL tail: %w", terr)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("expdb: opening WAL: %w", err)
+	}
+	opts.Metrics.RecoveredRecords.Add(recovered)
+	opts.Metrics.IndexSize.Set(float64(s.experiences.Load()))
+	opts.Metrics.Namespaces.Set(float64(s.namespaces.Load()))
+
+	// 3. Reopen the log for appending.
+	w, err := openWAL(walPath, opts.Sync, maxLSN+1)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	if recovered > 0 || appliedLSN > 0 {
+		opts.Logger.Info("expdb: recovered prior-run store",
+			"dir", opts.Dir, "namespaces", s.namespaces.Load(),
+			"experiences", s.experiences.Load(), "wal_records_replayed", recovered,
+			"snapshot_lsn", appliedLSN)
+	}
+	return s, nil
+}
+
+// ns returns the namespace for key, creating it when create is set.
+// Returns nil when absent and create is false.
+func (s *Store) ns(key string, create bool) *namespace {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	ns := sh.ns[key]
+	sh.mu.RUnlock()
+	if ns != nil || !create {
+		return ns
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ns = sh.ns[key]; ns == nil {
+		ns = &namespace{db: history.NewDB(), cls: &IndexedClassifier{}}
+		sh.ns[key] = ns
+		s.namespaces.Add(1)
+	}
+	return ns
+}
+
+func (s *Store) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// apply adds an experience to the in-memory view, compacting the
+// namespace when it outgrows CompactAbove.
+func (s *Store) apply(key string, exp *history.Experience) {
+	sh := s.shardFor(key)
+	ns := s.ns(key, true)
+	sh.mu.Lock()
+	before := ns.db.Len()
+	ns.db.Add(exp)
+	if s.opts.CompactAbove >= 0 && ns.db.Len() > s.opts.CompactAbove {
+		ns.db.Compact(s.opts.MergeDist, s.opts.KeepRecords)
+	}
+	s.experiences.Add(int64(ns.db.Len() - before))
+	ns.cls.Invalidate()
+	sh.mu.Unlock()
+	s.opts.Metrics.IndexSize.Set(float64(s.experiences.Load()))
+}
+
+// Deposit durably records one session's tuning experience under key. It
+// reports whether anything was stored — sessions without characteristics
+// or without a single measurement deposit nothing (matching the server's
+// historical contract) — and any WAL error. The experience is on the log
+// (fsynced under SyncAlways) before the in-memory view ever sees it.
+func (s *Store) Deposit(key, label string, chars []float64, dir search.Direction, tr search.Trace) (bool, error) {
+	if len(chars) == 0 || len(tr) == 0 {
+		return false, nil
+	}
+	if s.closed.Load() {
+		return false, fmt.Errorf("expdb: store closed")
+	}
+	exp := history.FromTrace(label, chars, dir, tr)
+
+	// The apply happens under snapMu too: a snapshot's AppliedLSN horizon
+	// must only cover records already visible in the in-memory view, or a
+	// concurrent snapshot+WAL-reset could drop an appended-but-unapplied
+	// record.
+	s.snapMu.Lock()
+	_, err := s.wal.append(key, exp)
+	records := s.wal.records
+	if err == nil {
+		s.apply(key, exp)
+	}
+	s.snapMu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	s.opts.Metrics.Deposits.Inc()
+	s.opts.Metrics.WALRecords.Set(float64(records))
+
+	if s.opts.SnapshotEvery >= 0 && records >= s.opts.SnapshotEvery {
+		if serr := s.Snapshot(); serr != nil {
+			// A failed snapshot is not data loss — the WAL still has
+			// everything — but it is worth shouting about.
+			s.opts.Logger.Error("expdb: snapshot failed", "err", serr)
+		}
+	}
+	return true, nil
+}
+
+// Match returns a copy of the experience whose characteristics are closest
+// (squared error, k-d tree) to chars within key's namespace, with the
+// match distance. ok is false when the namespace is empty or absent. The
+// returned experience is detached: callers may hold it without locks.
+func (s *Store) Match(key string, chars []float64) (*history.Experience, float64, bool) {
+	if len(chars) == 0 {
+		return nil, 0, false
+	}
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ns := sh.ns[key]
+	if ns == nil {
+		return nil, 0, false
+	}
+	an := &history.Analyzer{DB: ns.db, Classifier: ns.cls}
+	exp, dist, ok := an.Match(chars)
+	if !ok {
+		return nil, dist, false
+	}
+	s.opts.Metrics.Matches.Inc()
+	return exp.Clone(), dist, true
+}
+
+// Snapshot folds the current state into the snapshot file (atomic
+// write+fsync+rename+dir-sync) and truncates the WAL. Crash-safe at every
+// point: until the rename lands the old snapshot+WAL pair is authoritative;
+// after it, replayed WAL records at or below the new AppliedLSN are
+// skipped.
+func (s *Store) Snapshot() error {
+	start := time.Now()
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	s.wal.mu.Lock()
+	horizon := s.wal.nextLSN - 1
+	s.wal.mu.Unlock()
+
+	snap := snapshotFile{AppliedLSN: horizon, Namespaces: map[string]*history.DB{}}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for key, ns := range sh.ns {
+			// Deep-copy under the read lock so marshalling (and the file
+			// I/O below) runs without holding any shard lock.
+			db := history.NewDB()
+			for _, e := range ns.db.Experiences {
+				db.Add(e.Clone())
+			}
+			snap.Namespaces[key] = db
+		}
+		sh.mu.RUnlock()
+	}
+
+	if err := writeFileAtomic(filepath.Join(s.opts.Dir, snapshotName), snap); err != nil {
+		return err
+	}
+	s.wal.mu.Lock()
+	err := s.wal.resetLocked()
+	s.wal.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("expdb: resetting WAL after snapshot: %w", err)
+	}
+	s.opts.Metrics.Snapshots.Inc()
+	s.opts.Metrics.WALRecords.Set(0)
+	s.opts.Metrics.SnapshotSeconds.Observe(time.Since(start).Seconds())
+	s.opts.Logger.Debug("expdb: snapshot complete",
+		"applied_lsn", horizon, "namespaces", len(snap.Namespaces),
+		"elapsed", time.Since(start))
+	return nil
+}
+
+// writeFileAtomic publishes v as JSON at path via temp-file + fsync +
+// rename + parent-directory sync, so a crash never exposes a partial file.
+func writeFileAtomic(path string, v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("expdb: encoding snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Errors
+// from filesystems that refuse directory fsync are ignored — the rename
+// itself is still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	d.Sync() //nolint:errcheck // best effort: some filesystems reject dir fsync
+	return nil
+}
+
+// Flush forces every acknowledged deposit to stable storage (meaningful
+// under SyncNone; cheap under SyncAlways). The server's graceful-shutdown
+// drain calls it.
+func (s *Store) Flush() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.flush()
+}
+
+// Close snapshots (folding the WAL so the next Open recovers fast) and
+// closes the log. Crash-safety never depends on Close being called.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.Snapshot()
+	if cerr := s.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Len returns the number of resident experiences across all namespaces.
+func (s *Store) Len() int { return int(s.experiences.Load()) }
+
+// NamespaceLen returns the number of experiences under one key.
+func (s *Store) NamespaceLen(key string) int {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if ns := sh.ns[key]; ns != nil {
+		return ns.db.Len()
+	}
+	return 0
+}

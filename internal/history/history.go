@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"harmony/internal/search"
@@ -72,6 +73,16 @@ func (e *Experience) AddRecord(cfg search.Config, perf float64) {
 		seq = e.Records[len(e.Records)-1].Seq + 1
 	}
 	e.Records = append(e.Records, ConfigPerf{Config: cfg.Clone(), Perf: perf, Seq: seq})
+}
+
+// Clone returns a deep copy detached from the receiver: mutating either
+// side (records, characteristics) never affects the other. Stores hand
+// out clones so callers can hold matches without locks.
+func (e *Experience) Clone() *Experience {
+	cp := *e
+	cp.Characteristics = append([]float64(nil), e.Characteristics...)
+	cp.Records = append([]ConfigPerf(nil), e.Records...)
+	return &cp
 }
 
 // FromTrace builds an experience from a tuning trace.
@@ -191,7 +202,10 @@ func Load(r io.Reader) (*DB, error) {
 	return &db, nil
 }
 
-// SaveFile writes the database to path (atomically via a temp file).
+// SaveFile writes the database to path atomically and durably: the temp
+// file is fsynced before the rename and the parent directory is fsynced
+// after it, so a crash can never publish an empty or partial database —
+// either the old contents or the new survive.
 func (db *DB) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -203,11 +217,26 @@ func (db *DB) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable. Some filesystems refuse directory
+	// fsync; the rename is still atomic then, so best effort is right.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync() //nolint:errcheck // best effort
+		d.Close()
+	}
+	return nil
 }
 
 // LoadFile reads a database from path.

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"testing"
+
+	"harmony/internal/expdb"
+)
+
+// startDurableServer runs a server whose experience store persists to dir,
+// returning the server, its address and the underlying expdb store.
+func startDurableServer(t *testing.T, dir string) (*Server, string, *expdb.Store) {
+	t.Helper()
+	db, err := expdb.Open(expdb.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	s.Experience = NewDurableStore(db, nil)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		db.Close()
+	})
+	return s, addr.String(), db
+}
+
+// TestDurableRestartWarmStart is the in-process version of the PR's
+// acceptance story: a session deposits through a DurableStore, the server
+// process "restarts" (a brand-new Server and expdb.Store over the same
+// data dir — the first is abandoned without Close, as a crash would), and
+// a matching follow-up session warm-starts purely from disk.
+func TestDurableRestartWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	chars := []float64{0.7, 0.3}
+
+	_, addr1, _ := startDurableServer(t, dir)
+	c1 := dial(t, addr1)
+	if _, err := c1.Register(quadRSL, RegisterOptions{
+		MaxEvals: 120, Improved: true, App: "shop", Characteristics: chars,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c1.WarmStarted() {
+		t.Error("first-ever session reported warm start")
+	}
+	n := 0
+	if _, err := c1.Tune(quadMeasure(20, 45, &n)); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	// No Close on the first server or store: recovery must come from the
+	// WAL alone, exactly like a killed process.
+
+	_, addr2, db2 := startDurableServer(t, dir)
+	if db2.Len() == 0 {
+		t.Fatal("second store recovered nothing from disk")
+	}
+	c2 := dial(t, addr2)
+	if _, err := c2.Register(quadRSL, RegisterOptions{
+		MaxEvals: 120, Improved: true, App: "shop",
+		Characteristics: []float64{0.69, 0.31},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.WarmStarted() {
+		t.Fatal("post-restart session did not warm-start from the durable store")
+	}
+	m := 0
+	best, err := c2.Tune(quadMeasure(20, 45, &m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Perf < 980 {
+		t.Errorf("warm session best = %+v, want perf >= 980", best)
+	}
+}
+
+// TestDurableStoreIsolatesNamespaces checks the durable path keys on the
+// same (app, spec) namespace rule as the in-memory store.
+func TestDurableStoreIsolatesNamespaces(t *testing.T) {
+	dir := t.TempDir()
+	_, addr, _ := startDurableServer(t, dir)
+
+	c1 := dial(t, addr)
+	if _, err := c1.Register(quadRSL, RegisterOptions{
+		MaxEvals: 80, Improved: true, App: "alpha", Characteristics: []float64{1, 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := c1.Tune(quadMeasure(5, 5, &n)); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := dial(t, addr)
+	if _, err := c2.Register(quadRSL, RegisterOptions{
+		MaxEvals: 80, Improved: true, App: "beta", Characteristics: []float64{1, 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c2.WarmStarted() {
+		t.Error("different app warm-started from a foreign namespace")
+	}
+}

@@ -3,80 +3,52 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"log/slog"
 	"sync"
 
+	"harmony/internal/expdb"
 	"harmony/internal/history"
 	"harmony/internal/rsl"
 	"harmony/internal/search"
 )
 
-// experienceStore is the server-side data characteristics database (§4.2):
-// completed sessions deposit their traces keyed by application, parameter
-// specification and workload characteristics; new sessions that declare
-// characteristics are warm-started from the closest prior experience.
+// Store is the server-side prior-run backend (§4.2): completed sessions
+// deposit their traces keyed by application + parameter-specification
+// signature, and new sessions that declare workload characteristics are
+// warm-started from the closest prior experience.
 //
-// Experiences are stored in the coordinates of the space the kernel
-// actually searched (the normalized adapter space for restricted
-// specifications), so seeding needs no translation.
-type experienceStore struct {
-	mu  sync.Mutex
-	dbs map[string]*history.DB // key: app + spec signature
+// Two implementations ship: the default in-memory store (state dies with
+// the process) and DurableStore over an expdb.Store (state survives
+// kill -9). Implementations must be safe for concurrent use; Match must
+// return an experience detached from the store's mutable state.
+type Store interface {
+	// Record deposits a session's trace — complete or partial. It reports
+	// whether anything was stored: sessions without characteristics or
+	// without a single measurement deposit nothing.
+	Record(key string, chars []float64, dir search.Direction, tr search.Trace) bool
+	// Match returns the stored experience closest to the observed
+	// characteristics, or ok=false when none is usable.
+	Match(key string, chars []float64) (exp *history.Experience, ok bool)
+	// Flush forces durable backends to stable storage (no-op in memory).
+	// The graceful-shutdown drain calls it.
+	Flush() error
 }
 
-func newExperienceStore() *experienceStore {
-	return &experienceStore{dbs: map[string]*history.DB{}}
-}
-
-// specKey derives the database key from the application name and the
-// canonical form of the parameter specification, so only compatible
-// sessions share experience.
+// specKey derives the experience namespace key from the application name
+// and the canonical form of the parameter specification, so only
+// compatible sessions share experience.
 func specKey(app string, spec *rsl.Spec) string {
 	sum := sha256.Sum256([]byte(spec.Format()))
 	return app + "/" + hex.EncodeToString(sum[:8])
 }
 
-// record deposits a session's trace — complete or partial (an abnormally
-// disconnected session still contributes whatever it measured). It reports
-// whether anything was stored: sessions without workload characteristics or
-// without a single measurement deposit nothing.
-func (s *experienceStore) record(key string, chars []float64, dir search.Direction, tr search.Trace) bool {
-	if len(chars) == 0 || len(tr) == 0 {
-		return false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	db, ok := s.dbs[key]
-	if !ok {
-		db = history.NewDB()
-		s.dbs[key] = db
-	}
-	db.Add(history.FromTrace(key, chars, dir, tr))
-	// Bound the database on a long-lived server: near-identical workloads
-	// merge, and each class keeps only its best measurements.
-	if db.Len() > 32 {
-		db.Compact(1e-4, 256)
-	}
-	return true
-}
-
-// match returns the best configurations of the experience closest to the
-// observed characteristics, as continuous seed points, or nil when no
-// usable experience exists.
-func (s *experienceStore) match(key string, chars []float64, space *search.Space) [][]float64 {
-	if len(chars) == 0 {
-		return nil
-	}
-	s.mu.Lock()
-	db := s.dbs[key]
-	s.mu.Unlock()
-	if db == nil {
-		return nil
-	}
-	analyzer := history.NewAnalyzer(db)
-	exp, _, ok := analyzer.Match(chars)
-	if !ok {
-		return nil
-	}
+// seedsFromExperience converts an experience's best configurations into
+// continuous seed points for the session's search space. Experiences are
+// stored in the coordinates the kernel actually searched (the normalized
+// adapter space for restricted specifications), so seeding needs no
+// translation; configurations of a foreign dimension or outside the space
+// are skipped.
+func seedsFromExperience(exp *history.Experience, space *search.Space) [][]float64 {
 	var seeds [][]float64
 	for _, rec := range exp.Best(space.Dim() + 1) {
 		if len(rec.Config) != space.Dim() || !space.Contains(rec.Config) {
@@ -86,3 +58,105 @@ func (s *experienceStore) match(key string, chars []float64, space *search.Space
 	}
 	return seeds
 }
+
+// memoryStore is the default backend: per-key experience databases behind
+// one mutex, nearest-neighbour matching through the shared k-d index.
+// Nothing survives a restart — wire a DurableStore for that.
+type memoryStore struct {
+	mu           sync.Mutex
+	dbs          map[string]*memoryNamespace
+	compactAbove int
+	mergeDist    float64
+	keepRecords  int
+}
+
+type memoryNamespace struct {
+	db  *history.DB
+	cls *expdb.IndexedClassifier
+}
+
+func newMemoryStore(compactAbove int, mergeDist float64, keepRecords int) *memoryStore {
+	return &memoryStore{
+		dbs:          map[string]*memoryNamespace{},
+		compactAbove: compactAbove,
+		mergeDist:    mergeDist,
+		keepRecords:  keepRecords,
+	}
+}
+
+func (s *memoryStore) Record(key string, chars []float64, dir search.Direction, tr search.Trace) bool {
+	if len(chars) == 0 || len(tr) == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns, ok := s.dbs[key]
+	if !ok {
+		ns = &memoryNamespace{db: history.NewDB(), cls: &expdb.IndexedClassifier{}}
+		s.dbs[key] = ns
+	}
+	ns.db.Add(history.FromTrace(key, chars, dir, tr))
+	// Bound the database on a long-lived server: near-identical workloads
+	// merge, and each class keeps only its best measurements.
+	if s.compactAbove >= 0 && ns.db.Len() > s.compactAbove {
+		ns.db.Compact(s.mergeDist, s.keepRecords)
+	}
+	ns.cls.Invalidate()
+	return true
+}
+
+func (s *memoryStore) Match(key string, chars []float64) (*history.Experience, bool) {
+	if len(chars) == 0 {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns := s.dbs[key]
+	if ns == nil {
+		return nil, false
+	}
+	an := &history.Analyzer{DB: ns.db, Classifier: ns.cls}
+	exp, _, ok := an.Match(chars)
+	if !ok {
+		return nil, false
+	}
+	// Detach: a concurrent Record may compact the namespace after the
+	// lock is released.
+	return exp.Clone(), true
+}
+
+func (s *memoryStore) Flush() error { return nil }
+
+// DurableStore adapts an expdb.Store to the server's Store interface. A
+// failed deposit is logged and dropped rather than failing the session —
+// losing one trace to a disk hiccup beats killing a client mid-tune.
+type DurableStore struct {
+	// DB is the underlying durable store. The caller owns its lifecycle
+	// (harmonyd closes it after Shutdown).
+	DB *expdb.Store
+	// Logger receives deposit failures; nil discards.
+	Logger *slog.Logger
+}
+
+// NewDurableStore wraps db for use as Server.Experience.
+func NewDurableStore(db *expdb.Store, logger *slog.Logger) *DurableStore {
+	return &DurableStore{DB: db, Logger: logger}
+}
+
+// Record implements Store.
+func (d *DurableStore) Record(key string, chars []float64, dir search.Direction, tr search.Trace) bool {
+	stored, err := d.DB.Deposit(key, key, chars, dir, tr)
+	if err != nil && d.Logger != nil {
+		d.Logger.Error("experience deposit failed; trace dropped", "key", key, "err", err)
+	}
+	return stored
+}
+
+// Match implements Store.
+func (d *DurableStore) Match(key string, chars []float64) (*history.Experience, bool) {
+	exp, _, ok := d.DB.Match(key, chars)
+	return exp, ok
+}
+
+// Flush implements Store.
+func (d *DurableStore) Flush() error { return d.DB.Flush() }

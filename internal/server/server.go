@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"harmony/internal/expdb"
 	"harmony/internal/obs"
 	"harmony/internal/rsl"
 	"harmony/internal/search"
@@ -68,6 +69,26 @@ type Server struct {
 	// kernel goroutine have both finished — one call per connection, from
 	// the connection's goroutine. Intended for metrics and tests.
 	OnSessionEnd func(SessionEnd)
+	// Experience is the cross-session prior-run store: sessions that
+	// declare workload characteristics deposit their tuning traces and
+	// warm-start from the closest prior session (§4.2). Nil selects the
+	// built-in in-memory store (lost on restart); wire NewDurableStore
+	// over an expdb.Store for state that survives kill -9. Set it before
+	// Listen.
+	Experience Store
+	// ExperienceCompactAbove is the per-namespace experience count above
+	// which the in-memory store compacts (merge near-identical workload
+	// classes, keep best records). 0 means DefaultExperienceCompactAbove;
+	// negative disables compaction. Ignored when Experience is set —
+	// durable stores carry their own expdb.Options.
+	ExperienceCompactAbove int
+	// ExperienceMergeDist is the squared-error radius within which two
+	// workloads' characteristics count as one class during compaction
+	// (0 = DefaultExperienceMergeDist).
+	ExperienceMergeDist float64
+	// ExperienceKeepRecords is how many best measurements each experience
+	// keeps through compaction (0 = DefaultExperienceKeepRecords).
+	ExperienceKeepRecords int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -75,10 +96,42 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 
-	// experience is the cross-session data characteristics database:
-	// sessions that declare workload characteristics deposit their tuning
-	// traces and warm-start from the closest prior session (§4.2).
-	experience *experienceStore
+	// expOnce guards the lazy default construction of Experience.
+	expOnce sync.Once
+}
+
+// Defaults for the in-memory experience store's compaction knobs — the
+// values the server historically hard-coded, now named and overridable
+// (they also match the expdb defaults, so memory and durable stores bound
+// their state identically out of the box).
+const (
+	DefaultExperienceCompactAbove = expdb.DefaultCompactAbove
+	DefaultExperienceMergeDist    = expdb.DefaultMergeDist
+	DefaultExperienceKeepRecords  = expdb.DefaultKeepRecords
+)
+
+// store resolves the experience backend, building the default in-memory
+// store (with the server's compaction knobs) on first use.
+func (s *Server) store() Store {
+	s.expOnce.Do(func() {
+		if s.Experience != nil {
+			return
+		}
+		above := s.ExperienceCompactAbove
+		if above == 0 {
+			above = DefaultExperienceCompactAbove
+		}
+		dist := s.ExperienceMergeDist
+		if dist == 0 {
+			dist = DefaultExperienceMergeDist
+		}
+		keep := s.ExperienceKeepRecords
+		if keep == 0 {
+			keep = DefaultExperienceKeepRecords
+		}
+		s.Experience = newMemoryStore(above, dist, keep)
+	})
+	return s.Experience
 }
 
 // SessionEnd summarizes one finished connection for the OnSessionEnd hook.
@@ -107,7 +160,6 @@ type SessionEnd struct {
 func NewServer() *Server {
 	return &Server{
 		MaxEvalsCap: 10_000,
-		experience:  newExperienceStore(),
 		conns:       map[net.Conn]struct{}{},
 	}
 }
@@ -186,6 +238,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		drain := time.Since(start)
 		s.m().DrainSeconds.Observe(drain.Seconds())
+		s.flushExperience()
 		s.logger().Info("shutdown: all sessions drained", "drain", drain)
 		return nil
 	case <-ctx.Done():
@@ -202,11 +255,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	drain := time.Since(start)
 	s.m().SessionsSevered.Add(severed)
 	s.m().DrainSeconds.Observe(drain.Seconds())
+	// Severed sessions deposited partial traces while unwinding; make
+	// those durable before reporting the shutdown done.
+	s.flushExperience()
 	if severed > 0 {
 		s.logger().Warn("shutdown: hard cutoff severed connections",
 			"severed", severed, "drain", drain)
 	}
 	return ctx.Err()
+}
+
+// flushExperience pushes every deposited trace to stable storage on the
+// shutdown drain path — the last act before the process exits.
+func (s *Server) flushExperience() {
+	if err := s.store().Flush(); err != nil {
+		s.logger().Error("experience store flush failed", "err", err)
+	}
 }
 
 // Close stops the server immediately: no drain, connections are severed and
@@ -592,9 +656,14 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 	// Warm-start from the closest prior session of the same application and
 	// specification, when the client told us what workload it is serving.
 	key := specKey(reg.App, spec)
-	if seeds := s.experience.match(key, reg.Characteristics, space); len(seeds) > 0 {
-		init = search.SeededInit{Seeds: seeds, Fallback: init}
-		sess.warm = true
+	store := s.store()
+	if len(reg.Characteristics) > 0 {
+		if exp, ok := store.Match(key, reg.Characteristics); ok {
+			if seeds := seedsFromExperience(exp, space); len(seeds) > 0 {
+				init = search.SeededInit{Seeds: seeds, Fallback: init}
+				sess.warm = true
+			}
+		}
 	}
 
 	// The kernel owns the evaluator: holding it here (instead of inside
@@ -615,7 +684,7 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 					// and say so: a silently dropped (or silently kept)
 					// partial trace is invisible to operators otherwise.
 					tr := ev.Trace()
-					sess.deposited = s.experience.record(key, reg.Characteristics, dir, tr)
+					sess.deposited = store.Record(key, reg.Characteristics, dir, tr)
 					if sess.deposited {
 						s.m().PartialDeposits.Inc()
 					}
@@ -637,7 +706,7 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 			return
 		}
 		// Deposit the session's tuning experience for future sessions.
-		sess.deposited = s.experience.record(key, reg.Characteristics, dir, res.Trace)
+		sess.deposited = store.Record(key, reg.Characteristics, dir, res.Trace)
 		sess.resultCh <- res
 	}()
 	return sess, nil
