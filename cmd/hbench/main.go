@@ -50,6 +50,8 @@ func main() {
 		workload = flag.String("workload", "ordering", "TPC-W mix for the webservice target: browsing, shopping or ordering")
 		budget   = flag.Int("budget", 120, "trajectory exploration budget")
 		improved = flag.Bool("improved", true, "use the evenly-distributed initial exploration (§4.1)")
+		workers  = flag.Int("workers", 1, "trajectory mode: concurrent measurements (the parallel simplex kernel; 1 = sequential)")
+		latency  = flag.Duration("latency", 0, "trajectory mode: added per-measurement latency, simulating a slow benchmark harness")
 	)
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -69,7 +71,7 @@ func main() {
 	defer rt.Close()
 
 	if *jsonOut {
-		if err := trajectory(rt, *target, *workload, *budget, *improved, *seed); err != nil {
+		if err := trajectory(rt, *target, *workload, *budget, *improved, *seed, *workers, *latency); err != nil {
 			rt.Logger.Error("trajectory failed", "target", *target, "err", err)
 			rt.Close()
 			os.Exit(1)
@@ -103,7 +105,18 @@ func main() {
 // trajectory runs one tuning session against the named target and streams
 // the per-iteration records as JSONL on stdout. The full typed event trace
 // additionally lands in -trace-out when set.
-func trajectory(rt *obs.Runtime, target, workload string, budget int, improved bool, seed uint64) error {
+//
+// With -workers > 1 the session runs on the parallel simplex kernel: the
+// initial simplex, shrink steps and the per-iteration candidate rounds are
+// measured concurrently. Every measurement stays reproducible (variation is
+// derived from configuration content, not call order), and the trajectory
+// is deterministic for a given -workers value. Narrow spaces (three or
+// fewer tuned parameters) reproduce the -workers 1 trajectory exactly;
+// wider spaces switch to the multi-point simplex kernel, which walks a
+// different — more parallel — path over the same surface, trading
+// per-iteration round-trips for wall-clock, which -latency makes visible
+// by simulating a slow benchmark harness.
+func trajectory(rt *obs.Runtime, target, workload string, budget int, improved bool, seed uint64, workers int, latency time.Duration) error {
 	var (
 		space *search.Space
 		obj   search.Objective
@@ -124,7 +137,10 @@ func trajectory(rt *obs.Runtime, target, workload string, budget int, improved b
 		}
 		cluster := webservice.NewCluster(webservice.Options{Duration: 60, Warmup: 8, Seed: seed + 1})
 		space = webservice.Space()
-		obj = cluster.Objective(mix, true)
+		// Content-derived measurement variation: order-independent and
+		// concurrency-safe, so every configuration measures the same no
+		// matter which worker measures it, in whatever order.
+		obj = cluster.ObjectiveStable(mix)
 	case "synthetic":
 		model, err := datagen.New(datagen.PaperSpec(seed + 5))
 		if err != nil {
@@ -135,8 +151,21 @@ func trajectory(rt *obs.Runtime, target, workload string, budget int, improved b
 		obj = search.Failable(func(cfg search.Config) (float64, error) {
 			return model.Eval(cfg, w)
 		}, dir)
+		if workers > 1 {
+			// The synthetic model is not audited for concurrent use;
+			// serialize the model itself (it is cheap) while the injected
+			// latency below still overlaps.
+			obj = search.Synchronized(obj)
+		}
 	default:
 		return fmt.Errorf("unknown target %q (want webservice or synthetic)", target)
+	}
+	if latency > 0 {
+		inner := obj
+		obj = search.ObjectiveFunc(func(cfg search.Config) float64 {
+			time.Sleep(latency) // the harness round-trip; overlaps across workers
+			return inner.Measure(cfg)
+		})
 	}
 
 	traj := obs.NewTrajectoryJSONL(os.Stdout, dir)
@@ -148,6 +177,7 @@ func trajectory(rt *obs.Runtime, target, workload string, budget int, improved b
 		Direction: dir,
 		MaxEvals:  budget,
 		Improved:  improved,
+		Parallel:  workers,
 		Tracer:    tracer,
 	})
 	if err != nil {
@@ -156,6 +186,7 @@ func trajectory(rt *obs.Runtime, target, workload string, budget int, improved b
 	m := sess.Metrics(0.01, 10, 0.7)
 	rt.Logger.Info("trajectory complete",
 		"target", target, "evals", m.Evals, "best", m.BestPerf,
-		"converged_iter", m.ConvergenceIter, "elapsed", time.Since(start))
+		"converged_iter", m.ConvergenceIter, "workers", workers,
+		"elapsed", time.Since(start))
 	return nil
 }

@@ -44,6 +44,7 @@ func main() {
 	maxEvals := flag.Int("max-evals", 150, "exploration budget")
 	expectWarm := flag.Bool("expect-warm", false, "exit 1 unless the server warm-starts this session")
 	timeout := flag.Duration("timeout", 5*time.Second, "dial and I/O timeout")
+	workers := flag.Int("workers", 1, "concurrent measurements over the pipelined protocol (1 = lockstep v1)")
 	flag.Parse()
 
 	characteristics, err := parseChars(*chars)
@@ -57,20 +58,31 @@ func main() {
 	}
 	defer c.Close()
 
+	window := 0
+	if *workers > 1 {
+		window = *workers
+	}
 	if _, err := c.Register(rsl, server.RegisterOptions{
 		MaxEvals:        *maxEvals,
 		Improved:        true,
 		App:             *app,
 		Characteristics: characteristics,
+		Window:          window,
 	}); err != nil {
 		fatalf("register: %v", err)
 	}
 	warm := c.WarmStarted()
 
-	best, err := c.Tune(func(cfg search.Config) float64 {
+	measure := func(cfg search.Config) float64 {
 		dx, dy := float64(cfg[0]-*peakX), float64(cfg[1]-*peakY)
 		return 1000 - dx*dx - dy*dy
-	})
+	}
+	var best *server.Best
+	if *workers > 1 {
+		best, err = c.TuneParallel(measure, *workers)
+	} else {
+		best, err = c.Tune(measure)
+	}
 	if err != nil {
 		fatalf("tune: %v", err)
 	}

@@ -57,6 +57,10 @@ type Options struct {
 	// Parallel measures the batch phases with this many concurrent
 	// objective calls (the objective must then be concurrency-safe).
 	Parallel int
+	// PBest overrides the parallel simplex kernel's multi-point width (see
+	// search.NelderMeadOptions.PBest): 0 derives it from Parallel, 1
+	// forces the trajectory-preserving speculative kernel.
+	PBest int
 	// Priorities, when non-empty, restricts tuning to these parameter
 	// indices (the top-n most sensitive parameters); all others stay at
 	// their defaults. Use sensitivity.Report.TopN to obtain it.
@@ -181,6 +185,7 @@ func (t *Tuner) Run(opts Options) (*Session, error) {
 			RelTol:    opts.RelTol,
 			Restarts:  opts.Restarts,
 			Parallel:  opts.Parallel,
+			PBest:     opts.PBest,
 			Tracer:    opts.Tracer,
 		})
 	}

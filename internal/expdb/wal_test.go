@@ -18,7 +18,7 @@ func mkExp(label string, chars []float64, n int) *history.Experience {
 		Direction:       search.Maximize,
 	}
 	for i := 0; i < n; i++ {
-		e.AddRecord(search.Config{i, i * 2}, float64(100 - i))
+		e.AddRecord(search.Config{i, i * 2}, float64(100-i))
 	}
 	return e
 }

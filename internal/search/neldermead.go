@@ -23,10 +23,29 @@ type NelderMeadOptions struct {
 	MaxStall int
 	// Parallel, when > 1, measures the embarrassingly parallel phases (the
 	// initial simplex and shrink steps) with this many concurrent
-	// objective calls. The objective must then be safe for concurrent use
-	// (see Synchronized). Results are deterministic for deterministic
-	// objectives.
+	// objective calls and parallelizes the main loop. Narrow spaces
+	// (effective multi-point width 1 — see PBest) turn each iteration into
+	// a single speculative measurement round: the reflection, expansion
+	// and both contraction candidates are measured concurrently (see
+	// Evaluator.Speculate) and only the sequentially probed ones are
+	// committed, so results — best configuration, trace, budget
+	// accounting — are identical to the sequential kernel's for
+	// deterministic objectives; only wall-clock changes. Wider spaces
+	// switch to the multi-point simplex, which updates several vertices
+	// per concurrent round (deterministic, but a different trajectory).
+	// The objective must be safe for concurrent use either way (see
+	// Synchronized).
 	Parallel int
+	// PBest controls the multi-point simplex width: how many of the worst
+	// vertices each parallel iteration updates concurrently, after Lee &
+	// Wiswall's parallel Nelder–Mead. 0 derives the width as Parallel/2 —
+	// each vertex's reflection and contraction candidates travel together
+	// in one round, so Parallel/2 vertices fill the window — capped at
+	// dim/2 so the reflection centroid stays informative; 1 forces the
+	// trajectory-preserving speculative kernel regardless of Parallel;
+	// larger values raise ambition up to the same dim/2 cap. Sequential
+	// sessions (Parallel <= 1) always run the trajectory-identical kernel.
+	PBest int
 	// Restarts re-runs the search this many additional times after it
 	// converges, each restart building a fresh distributed simplex centred
 	// on the best point found so far at half the previous scale. Restarts
@@ -175,6 +194,9 @@ func (s scaledInit) Initial(space *Space) [][]float64 {
 
 func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, error) {
 	dim := space.Dim()
+	if p := opts.pbest(dim); p > 1 {
+		return nelderMeadMultiPoint(space, ev, opts, p)
+	}
 	dir := opts.Direction
 
 	initPts := opts.Init.Initial(space)
@@ -232,9 +254,9 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 	}
 	sortVerts()
 
-	probe := func(pt []float64) (float64, bool) {
+	probe := func(spec *Speculation, pt []float64) (float64, bool) {
 		pt = clampPoint(space, pt)
-		_, perf, err := ev.Eval(pt)
+		_, perf, err := ev.EvalSpeculated(pt, spec)
 		if err != nil {
 			return 0, false
 		}
@@ -280,9 +302,27 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 			return pt
 		}
 
-		// Reflection.
+		// All candidate points one iteration can probe are known before any
+		// measurement: the reflection, the expansion, and both contractions.
+		// With a parallel budget the kernel measures them speculatively as
+		// one concurrent round, then commits only the ones the sequential
+		// logic below actually probes — in the sequential order — so the
+		// committed trace is identical to the sequential kernel's while the
+		// iteration's wall-clock shrinks to one measurement round.
 		refl := move(opts.Reflection)
-		rPerf, ok := probe(refl)
+		exp := move(opts.Reflection * opts.Expansion)
+		contrOutPt := move(opts.Reflection * opts.Contraction)
+		contrInPt := move(-opts.Contraction)
+		var spec *Speculation
+		if opts.Parallel > 1 {
+			spec = ev.Speculate([][]float64{
+				clampPoint(space, refl), clampPoint(space, exp),
+				clampPoint(space, contrOutPt), clampPoint(space, contrInPt),
+			}, opts.Parallel)
+		}
+
+		// Reflection.
+		rPerf, ok := probe(spec, refl)
 		if !ok {
 			return finish("budget", iter, false), nil
 		}
@@ -290,8 +330,7 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 		case better(rPerf, verts[0].perf):
 			// Expansion.
 			step(OpReflect, iter, rPerf, "improved best; trying expansion")
-			exp := move(opts.Reflection * opts.Expansion)
-			ePerf, ok := probe(exp)
+			ePerf, ok := probe(spec, exp)
 			if !ok {
 				return finish("budget", iter, false), nil
 			}
@@ -313,12 +352,12 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 			var contr []float64
 			contrOp := OpContractIn
 			if better(rPerf, worst.perf) {
-				contr = move(opts.Reflection * opts.Contraction)
+				contr = contrOutPt
 				contrOp = OpContractOut
 			} else {
-				contr = move(-opts.Contraction)
+				contr = contrInPt
 			}
-			cPerf, ok := probe(contr)
+			cPerf, ok := probe(spec, contr)
 			if !ok {
 				return finish("budget", iter, false), nil
 			}

@@ -81,27 +81,38 @@ func (e *Evaluator) EvalBatch(pts [][]float64, workers int) ([]Config, []float64
 		}
 	}
 	measured := make([]float64, allowed)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < allowed; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			measured[i] = e.Objective.Measure(need[i])
-		}(i)
-	}
-	wg.Wait()
+	panics := runWorkers(allowed, workers, func(i int) {
+		measured[i] = e.Objective.Measure(need[i])
+	})
+
+	// A panic in any worker must unwind the caller's goroutine, not crash
+	// the process: the server's blocking objective panics errAborted when a
+	// client disconnects mid-batch, and that panic flows through here. Every
+	// cleanly measured configuration is committed first, in input order —
+	// the panic path only arises when the session is dying, and the partial
+	// trace the server deposits should keep every measurement the client
+	// paid for, regardless of where in the batch the disconnect struck. The
+	// first (lowest-index) panic then re-raises, which keeps propagation
+	// deterministic.
+	var repanic any
 
 	// Commit in input order. Tracer events follow the commit order — not
 	// the (nondeterministic) measurement completion order — so the event
 	// stream stays deterministic under parallel evaluation.
 	for i := 0; i < allowed; i++ {
+		if p := panics[i]; p != nil {
+			if repanic == nil {
+				repanic = p
+			}
+			continue
+		}
 		cfg := need[i]
 		e.cache[cfg.Key()] = measured[i]
 		e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: measured[i]})
 		emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: measured[i]})
+	}
+	if repanic != nil {
+		panic(repanic)
 	}
 
 	// Assemble results for the longest answerable prefix.
@@ -119,4 +130,137 @@ func (e *Evaluator) EvalBatch(pts [][]float64, workers int) ([]Config, []float64
 		return outC, outP, ErrBudget
 	}
 	return outC, outP, nil
+}
+
+// runWorkers runs fn(i) for every i in [0, n) on up to `workers` concurrent
+// goroutines and waits for all of them. Panics inside fn are captured
+// per-index and returned (nil entries mean clean completion) so the caller
+// can re-raise on its own goroutine — a panicking objective must unwind the
+// caller, never crash the process from an anonymous goroutine. When several
+// workers panic, the caller conventionally re-raises the lowest index,
+// which keeps panic propagation deterministic.
+func runWorkers(n, workers int, fn func(i int)) []any {
+	if n <= 0 {
+		return nil
+	}
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics[i] = rec
+				}
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return panics
+}
+
+// Speculation holds one round of concurrently measured candidate values
+// that have not been committed to the evaluator: no budget was consumed, no
+// trace entries were appended, and the cache is untouched. Commit happens
+// selectively through EvalSpeculated. The zero value (or an empty
+// speculation) is valid and makes EvalSpeculated equivalent to Eval.
+type Speculation struct {
+	perfs map[string]float64
+}
+
+// Len reports how many distinct configurations the round measured.
+func (s *Speculation) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.perfs)
+}
+
+// Speculate concurrently measures every not-yet-cached configuration among
+// the snapped candidate points, without committing anything. The simplex
+// kernel uses it to overlap the measurements of all the candidates one
+// iteration may need (reflection, expansion, both contractions) and then —
+// via EvalSpeculated — commits only the ones the sequential algorithm
+// actually probes, in the sequential order. For deterministic objectives
+// the committed cache, trace, budget accounting and tracer stream are
+// therefore byte-identical to the sequential kernel; only wall-clock
+// changes. Candidates beyond the remaining evaluation budget are not
+// measured (the sequential kernel could never commit them). The Objective
+// must be safe for concurrent use; a panic in any measurement goroutine is
+// re-raised on the caller's goroutine. With workers <= 1 (or a disabled
+// cache, whose re-measure-everything semantics have no speculative
+// equivalent) the round is empty and probes fall back to real evaluations.
+func (e *Evaluator) Speculate(pts [][]float64, workers int) *Speculation {
+	spec := &Speculation{perfs: map[string]float64{}}
+	if workers <= 1 || e.DisableCache {
+		return spec
+	}
+	need := make([]Config, 0, len(pts))
+	seen := map[string]bool{}
+	for _, pt := range pts {
+		cfg := e.Space.Snap(pt)
+		key := cfg.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := e.cache[key]; ok {
+			continue
+		}
+		need = append(need, cfg)
+	}
+	if e.MaxEvals > 0 {
+		remaining := e.MaxEvals - len(e.trace)
+		if remaining < 0 {
+			remaining = 0
+		}
+		if remaining < len(need) {
+			need = need[:remaining]
+		}
+	}
+	if len(need) == 0 {
+		return spec
+	}
+	perfs := make([]float64, len(need))
+	panics := runWorkers(len(need), workers, func(i int) {
+		perfs[i] = e.Objective.Measure(need[i])
+	})
+	for _, p := range panics {
+		if p != nil {
+			panic(p) // nothing was committed; unwind the caller
+		}
+	}
+	for i, cfg := range need {
+		spec.perfs[cfg.Key()] = perfs[i]
+	}
+	return spec
+}
+
+// EvalSpeculated is Eval, except that when this round's speculation already
+// measured the configuration the stored value is committed instead of
+// calling the objective again. Commit semantics — cache entry, trace
+// append, budget charge, tracer event — are identical to a fresh Eval, so
+// traces cannot distinguish a speculated measurement from a sequential one.
+func (e *Evaluator) EvalSpeculated(pt []float64, spec *Speculation) (Config, float64, error) {
+	cfg := e.Space.Snap(pt)
+	if spec != nil && !e.DisableCache {
+		key := cfg.Key()
+		if _, cached := e.cache[key]; !cached {
+			if perf, ok := spec.perfs[key]; ok {
+				if e.MaxEvals > 0 && len(e.trace) >= e.MaxEvals {
+					return nil, 0, ErrBudget
+				}
+				e.cache[key] = perf
+				e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: perf})
+				emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: perf})
+				return cfg, perf, nil
+			}
+		}
+	}
+	return e.EvalConfig(cfg)
 }

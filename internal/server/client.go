@@ -30,14 +30,21 @@ var (
 )
 
 // Client is the application-side library: register tunable parameters, then
-// alternate Fetch and Report until Fetch signals completion.
+// alternate Fetch and Report until Fetch signals completion — or, against a
+// pipelined (protocol v2) server, run TuneParallel to keep several
+// measurements in flight at once.
 type Client struct {
 	conn net.Conn
 	r    *bufio.Scanner
 	w    *bufio.Writer
+	// wmu serializes writes: in a pipelined session several measurement
+	// workers send reports and fetch credits on the same connection.
+	wmu sync.Mutex
 
 	// OpTimeout bounds each protocol exchange (one send plus the matching
 	// reply read). 0 means no deadline. Set it when the server could hang.
+	// In a pipelined session it bounds each socket read, so it must exceed
+	// a full measurement round, not just the network hop.
 	OpTimeout time.Duration
 	// Logger, when set, receives structured client-side transport
 	// diagnostics: dial retries (set via DialOptions.Logger), op-deadline
@@ -47,9 +54,10 @@ type Client struct {
 	closeOnce sync.Once
 	closeErr  error
 
-	names []string
-	best  *Best
-	warm  bool
+	names  []string
+	best   *Best
+	warm   bool
+	window int
 }
 
 // Best is the final answer of a tuning session.
@@ -75,6 +83,11 @@ type RegisterOptions struct {
 	// interaction frequency distribution). When set, the server's data
 	// analyzer warm-starts this session from the closest prior session.
 	Characteristics []float64
+	// Window declares the pipeline depth (protocol v2): how many
+	// configurations the client can measure concurrently. The server
+	// grants at most its own cap; Client.Window reports the granted depth
+	// after Register. 0 or 1 keeps the lockstep v1 exchange.
+	Window int
 }
 
 // DialOptions configure connection establishment and per-operation
@@ -193,14 +206,26 @@ func NewClientConn(conn net.Conn) *Client {
 	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}
 }
 
+// closeQuitTimeout bounds the best-effort quit write in Close when no
+// OpTimeout is configured: closing against a server that stopped draining
+// its socket must not block forever.
+const closeQuitTimeout = 500 * time.Millisecond
+
 // Close tears down the connection. It is idempotent, safe on a nil client
 // (the result of a failed Dial), and safe after a mid-session transport
-// error.
+// error. The goodbye is bounded: Close never blocks longer than the
+// client's OpTimeout (or closeQuitTimeout when none is set), even against
+// a server that has stopped draining its socket.
 func (c *Client) Close() error {
 	if c == nil || c.conn == nil {
 		return nil
 	}
 	c.closeOnce.Do(func() {
+		if c.OpTimeout == 0 {
+			// send applies OpTimeout itself when set; this deadline covers
+			// the otherwise-unbounded case.
+			c.conn.SetWriteDeadline(time.Now().Add(closeQuitTimeout))
+		}
 		c.send(message{Op: "quit"}) // best effort; the read may already be gone
 		err := c.conn.Close()
 		if errors.Is(err, net.ErrClosed) {
@@ -228,6 +253,8 @@ func (c *Client) send(m message) error {
 	if err != nil {
 		return err
 	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	if c.OpTimeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(c.OpTimeout))
 	}
@@ -249,6 +276,12 @@ func (c *Client) recv() (message, error) {
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
 			c.logTransport("read", err)
+			if errors.Is(err, bufio.ErrTooLong) {
+				// An oversized frame is a broken conversation, not a dead
+				// transport: reconnect-and-retry cannot help, so classify
+				// it as a protocol error rather than ErrServerGone.
+				return message{}, fmt.Errorf("%w: server sent a line over the 1 MiB frame cap", ErrProtocol)
+			}
 			return message{}, fmt.Errorf("%w: read: %v", ErrServerGone, err)
 		}
 		c.logTransport("read", errors.New("connection closed"))
@@ -275,6 +308,7 @@ func (c *Client) Register(rslText string, opts RegisterOptions) ([]string, error
 		Op: "register", RSL: rslText, Direction: dir,
 		MaxEvals: opts.MaxEvals, Improved: opts.Improved,
 		App: opts.App, Characteristics: opts.Characteristics,
+		Window: opts.Window,
 	})
 	if err != nil {
 		return nil, err
@@ -288,7 +322,21 @@ func (c *Client) Register(rslText string, opts RegisterOptions) ([]string, error
 	}
 	c.names = m.Names
 	c.warm = m.Warm
+	c.window = m.Window
+	if c.window < 1 {
+		c.window = 1 // absent means lockstep v1
+	}
 	return m.Names, nil
+}
+
+// Window reports the pipeline depth the server granted at registration:
+// 1 for a lockstep session, the (possibly capped) requested depth for a
+// pipelined one. Only meaningful after Register.
+func (c *Client) Window() int {
+	if c.window < 1 {
+		return 1
+	}
+	return c.window
 }
 
 // WarmStarted reports whether the server seeded this session from a prior
@@ -354,4 +402,143 @@ func (c *Client) Tune(measure func(search.Config) float64) (*Best, error) {
 			return nil, err
 		}
 	}
+}
+
+// FetchAsync sends one fetch credit without waiting for the reply — the
+// protocol v2 primitive behind TuneParallel. The matching config (or the
+// final best) arrives later on the socket; something must be reading it
+// (TuneParallel's demultiplexer, or the caller's own reader).
+func (c *Client) FetchAsync() error {
+	return c.send(message{Op: "fetch"})
+}
+
+// ReportID sends the measured performance of the configuration with the
+// given correlation id — the protocol v2 primitive behind TuneParallel.
+// Unlike Report it does not wait for an acknowledgement: pipelined servers
+// do not ack reports (the next config is the flow control), and errors
+// surface on the next read.
+func (c *Client) ReportID(id int, perf float64) error {
+	return c.send(message{Op: "report", ID: &id, Perf: perf})
+}
+
+// TuneParallel runs the whole tuning session with up to `workers`
+// measurements in flight at once against a pipelined (protocol v2) server.
+// Register must have declared a Window; workers beyond the granted window
+// cannot be fed and are not started, and a granted window of 1 (a lockstep
+// server, or a v1-era deployment) degrades to the sequential Tune — so the
+// call is safe against any server. The measure function is called from
+// several goroutines concurrently and must be safe for that.
+//
+// One goroutine owns all socket reads and demultiplexes configs to the
+// worker pool by correlation id; workers report results and replenish
+// their fetch credit, so the server always has work queued. On a transport
+// or protocol error the session is unrecoverable: close the client and
+// (thanks to the server's experience store) reconnect to warm-start from
+// whatever this session already measured.
+func (c *Client) TuneParallel(measure func(search.Config) float64, workers int) (*Best, error) {
+	if workers > c.Window() {
+		workers = c.Window()
+	}
+	if workers <= 1 {
+		return c.Tune(measure)
+	}
+
+	type job struct {
+		id  int
+		cfg search.Config
+	}
+	var (
+		jobs     = make(chan job, c.Window())
+		done     = make(chan struct{}) // closed once best arrived
+		failed   = make(chan struct{}) // closed on the first terminal error
+		failOnce sync.Once
+		termErr  error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			termErr = err
+			close(failed)
+		})
+	}
+
+	// The demultiplexer: the only goroutine that reads the socket.
+	go func() {
+		for {
+			m, err := c.recv()
+			if err != nil {
+				fail(err)
+				return
+			}
+			switch m.Op {
+			case "config":
+				id := 0
+				if m.ID != nil {
+					id = *m.ID
+				}
+				select {
+				case jobs <- job{id: id, cfg: search.Config(m.Values)}:
+				case <-failed:
+					return
+				}
+			case "best":
+				c.best = &Best{Values: search.Config(m.Values), Perf: m.Perf, Evals: m.Evals}
+				close(done)
+				return
+			case "ok":
+				// A lockstep-style ack; harmless noise in a pipelined session.
+			default:
+				fail(fmt.Errorf("%w: unexpected reply %q in pipelined session", ErrProtocol, m.Op))
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		// Prime one credit per worker; the pool keeps them replenished.
+		if err := c.FetchAsync(); err != nil {
+			fail(err)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-failed:
+					return
+				case j := <-jobs:
+					perf := measure(j.cfg)
+					if err := c.ReportID(j.id, perf); err != nil {
+						// A write racing the final best is benign: the
+						// session is already over.
+						select {
+						case <-done:
+						default:
+							fail(err)
+						}
+						return
+					}
+					if err := c.FetchAsync(); err != nil {
+						select {
+						case <-done:
+						default:
+							fail(err)
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-done:
+		return c.best, nil
+	default:
+	}
+	<-failed
+	return nil, termErr
 }

@@ -48,6 +48,25 @@ type Metrics struct {
 	// ReportsReceived counts performance reports accepted from clients
 	// (harmony_reports_received_total).
 	ReportsReceived *obs.Counter
+	// SessionOutstanding is the number of configurations currently in
+	// flight across all pipelined (protocol v2) sessions
+	// (harmony_session_outstanding). Lockstep sessions, whose depth is at
+	// most one by construction, are not tracked.
+	SessionOutstanding *obs.Gauge
+	// BatchSize observes the pipeline depth at each v2 config dispatch —
+	// how many configurations were outstanding the moment one was handed
+	// out (harmony_session_batch_size). A distribution stuck at 1 means
+	// clients declare windows they never fill.
+	BatchSize *obs.Histogram
+	// AcceptRetries counts transient Accept failures the listener loop
+	// survived (harmony_accept_retries_total) — EMFILE/ENFILE pressure,
+	// aborted handshakes. A growing value is a capacity warning; before
+	// the retry loop these errors silently killed the accept loop.
+	AcceptRetries *obs.Counter
+	// OversizedLines counts wire lines over the 1 MiB frame cap
+	// (harmony_oversized_lines_total). Each one also costs a
+	// failure-budget charge and a protocol error reply.
+	OversizedLines *obs.Counter
 	// DrainSeconds observes Shutdown drain durations
 	// (harmony_shutdown_drain_seconds).
 	DrainSeconds *obs.Histogram
@@ -58,19 +77,23 @@ type Metrics struct {
 // no-ops), so callers can wire it unconditionally.
 func NewMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
-		SessionsStarted:   reg.Counter("harmony_sessions_started_total", "Connections accepted by the tuning server."),
-		SessionsActive:    reg.Gauge("harmony_sessions_active", "Currently live tuning sessions."),
-		SessionsCompleted: reg.Counter("harmony_sessions_completed_total", "Sessions that delivered a final best configuration."),
-		SessionFailures:   reg.Counter("harmony_session_failures_total", "Sessions that ended with a terminal error."),
-		SessionsSevered:   reg.Counter("harmony_sessions_severed_total", "Connections severed by the shutdown hard cutoff."),
-		Faults:            reg.Counter("harmony_session_faults_total", "Tolerated per-session faults (failure-budget spend)."),
-		ProtocolErrors:    reg.Counter("harmony_protocol_errors_total", "Protocol-level errors sent to clients."),
-		Deposits:          reg.Counter("harmony_deposits_total", "Tuning traces deposited into the experience store."),
-		PartialDeposits:   reg.Counter("harmony_partial_deposits_total", "Partial traces deposited on abnormal disconnect."),
-		WarmStarts:        reg.Counter("harmony_warm_starts_total", "Sessions warm-started from prior experience."),
-		ConfigsServed:     reg.Counter("harmony_configs_served_total", "Configurations served to clients for measurement."),
-		ReportsReceived:   reg.Counter("harmony_reports_received_total", "Performance reports accepted from clients."),
-		DrainSeconds:      reg.Histogram("harmony_shutdown_drain_seconds", "Shutdown drain durations in seconds.", []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}),
+		SessionsStarted:    reg.Counter("harmony_sessions_started_total", "Connections accepted by the tuning server."),
+		SessionsActive:     reg.Gauge("harmony_sessions_active", "Currently live tuning sessions."),
+		SessionsCompleted:  reg.Counter("harmony_sessions_completed_total", "Sessions that delivered a final best configuration."),
+		SessionFailures:    reg.Counter("harmony_session_failures_total", "Sessions that ended with a terminal error."),
+		SessionsSevered:    reg.Counter("harmony_sessions_severed_total", "Connections severed by the shutdown hard cutoff."),
+		Faults:             reg.Counter("harmony_session_faults_total", "Tolerated per-session faults (failure-budget spend)."),
+		ProtocolErrors:     reg.Counter("harmony_protocol_errors_total", "Protocol-level errors sent to clients."),
+		Deposits:           reg.Counter("harmony_deposits_total", "Tuning traces deposited into the experience store."),
+		PartialDeposits:    reg.Counter("harmony_partial_deposits_total", "Partial traces deposited on abnormal disconnect."),
+		WarmStarts:         reg.Counter("harmony_warm_starts_total", "Sessions warm-started from prior experience."),
+		ConfigsServed:      reg.Counter("harmony_configs_served_total", "Configurations served to clients for measurement."),
+		ReportsReceived:    reg.Counter("harmony_reports_received_total", "Performance reports accepted from clients."),
+		SessionOutstanding: reg.Gauge("harmony_session_outstanding", "Configurations currently in flight across pipelined sessions."),
+		BatchSize:          reg.Histogram("harmony_session_batch_size", "Pipeline depth at each v2 config dispatch.", []float64{1, 2, 4, 8, 16, 32}),
+		AcceptRetries:      reg.Counter("harmony_accept_retries_total", "Transient listener Accept failures survived by the retry loop."),
+		OversizedLines:     reg.Counter("harmony_oversized_lines_total", "Wire lines rejected for exceeding the 1 MiB frame cap."),
+		DrainSeconds:       reg.Histogram("harmony_shutdown_drain_seconds", "Shutdown drain durations in seconds.", []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}),
 	}
 }
 

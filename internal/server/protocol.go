@@ -5,7 +5,8 @@
 // configurations, and report observed performance).
 //
 // The wire protocol is line-delimited JSON over TCP. One connection hosts
-// one tuning session:
+// one tuning session. In the original lockstep exchange (protocol v1) the
+// client never has more than one configuration in flight:
 //
 //	C→S  {"op":"register","rsl":"{ harmonyBundle ... }","direction":"max"}
 //	S→C  {"op":"registered","names":["B","C"]}
@@ -16,6 +17,36 @@
 //	... fetch/report repeats ...
 //	C→S  {"op":"fetch"}
 //	S→C  {"op":"best","values":[4,5],"perf":80.1,"evals":57}
+//
+// # Pipelined exchange (protocol v2)
+//
+// A client that can measure several configurations concurrently declares a
+// pipeline window W at registration. The server then holds up to W
+// outstanding configurations, each stamped with a correlation id, and
+// accepts reports out of order, keyed by id. Fetches are credits: the
+// client may pipeline several before any report, and the server answers
+// each as soon as the kernel has a point ready (reports are not
+// acknowledged in v2 — the next config is the flow control):
+//
+//	C→S  {"op":"register","rsl":"...","window":4}
+//	S→C  {"op":"registered","names":["B","C"],"window":4}   (granted ≤ requested)
+//	C→S  {"op":"fetch"}                          (a credit)
+//	C→S  {"op":"fetch"}
+//	S→C  {"op":"config","id":0,"values":[3,4]}
+//	S→C  {"op":"config","id":1,"values":[5,4]}
+//	C→S  {"op":"report","id":1,"perf":70.5}      (out of order is fine)
+//	C→S  {"op":"fetch"}
+//	S→C  {"op":"config","id":2,"values":[5,6]}
+//	C→S  {"op":"report","id":0,"perf":63.2}
+//	... fetch credits and id-keyed reports interleave ...
+//	S→C  {"op":"best","values":[4,5],"perf":80.1,"evals":57}
+//
+// The correlation id is a *int on the wire envelope so that id 0 still
+// encodes (a plain int with omitempty would drop it). A registration
+// without "window" (or with window 1) selects the lockstep v1 loop, whose
+// exchanges remain byte-identical to prior releases; a v2 reply only
+// carries "window" when the granted window exceeds 1, so v1 clients never
+// see v2 fields.
 //
 // Parameter restriction (Appendix B) is handled server-side: for a
 // restricted specification the server searches normalized coordinates and
@@ -45,10 +76,22 @@ type message struct {
 	// kernel from the closest experience (§4.2).
 	Characteristics []float64 `json:"characteristics,omitempty"`
 
+	// Window (protocol v2) is the pipeline depth. On register it is the
+	// client-declared maximum number of outstanding configurations; on
+	// registered it is the depth the server granted. Absent means 1 — the
+	// lockstep v1 exchange.
+	Window int `json:"window,omitempty"`
+
 	// registered
 	Names []string `json:"names,omitempty"`
 	// Warm reports whether a prior experience seeded this session.
 	Warm bool `json:"warm,omitempty"`
+
+	// ID (protocol v2) correlates a config with its out-of-order report.
+	// It is a pointer so that id 0 still encodes: omitempty on a plain int
+	// would silently drop the first configuration's id and break report
+	// matching. Lockstep v1 messages leave it nil and stay byte-identical.
+	ID *int `json:"id,omitempty"`
 
 	// config / best
 	Values []int   `json:"values,omitempty"`

@@ -34,6 +34,12 @@ type Server struct {
 	// WriteTimeout bounds each reply write (0 = no limit), so a client that
 	// stops draining its socket cannot wedge a session goroutine forever.
 	WriteTimeout time.Duration
+	// MaxWindow caps the pipeline depth a client may declare at
+	// registration (protocol v2): sessions asking for more are granted this
+	// much. 0 means DefaultMaxWindow; negative (or 1) forces every session
+	// into the lockstep v1 exchange, which is also how tests exercise
+	// v2-client-versus-lockstep-server interop.
+	MaxWindow int
 	// FailureBudget is how many per-session faults (garbage lines,
 	// non-finite performance reports) the server tolerates before failing
 	// the session. 0 means the default of 3; negative means zero tolerance.
@@ -109,6 +115,22 @@ const (
 	DefaultExperienceMergeDist    = expdb.DefaultMergeDist
 	DefaultExperienceKeepRecords  = expdb.DefaultKeepRecords
 )
+
+// DefaultMaxWindow is the pipeline depth cap applied when Server.MaxWindow
+// is zero. It bounds both the per-session outstanding-configuration count
+// and the kernel's concurrent measurement fan-out.
+const DefaultMaxWindow = 32
+
+// maxWindow resolves the server's pipeline cap.
+func (s *Server) maxWindow() int {
+	switch {
+	case s.MaxWindow == 0:
+		return DefaultMaxWindow
+	case s.MaxWindow < 1:
+		return 1
+	}
+	return s.MaxWindow
+}
 
 // store resolves the experience backend, building the default in-memory
 // store (with the server's compaction knobs) on first use.
@@ -195,23 +217,47 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	s.mu.Unlock()
 
 	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				// handle logs its own end (structured, with session ID)
-				// and reports it through OnSessionEnd.
-				s.handle(conn) //nolint:errcheck
-			}()
-		}
-	}()
+	go s.acceptLoop(ln)
 	return ln.Addr(), nil
+}
+
+// acceptLoop accepts connections until the listener is closed. Transient
+// Accept errors — EMFILE/ENFILE under descriptor pressure, ECONNABORTED,
+// or anything else that is not the listener going away — are retried with
+// capped exponential backoff instead of silently killing the loop: a
+// server that stops accepting but still answers /healthz is the worst kind
+// of down. Only net.ErrClosed (Close/Shutdown closed the listener) ends
+// the loop.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed: the one legitimate exit
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			s.m().AcceptRetries.Inc()
+			s.logger().Warn("accept failed; retrying", "err", err, "backoff", backoff)
+			time.Sleep(backoff)
+			// Shutdown may have closed the listener while we slept; the
+			// next Accept returns net.ErrClosed and exits cleanly.
+			continue
+		}
+		backoff = 0
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			// handle logs its own end (structured, with session ID)
+			// and reports it through OnSessionEnd.
+			s.handle(conn) //nolint:errcheck
+		}()
+	}
 }
 
 // Shutdown gracefully stops the server: it stops accepting connections,
@@ -306,6 +352,17 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+// evalReq is one pending measurement crossing from the kernel to the
+// message loop: the client-facing configuration plus the reply channel the
+// requesting objective call blocks on. Carrying the reply per-request (the
+// channel is buffered so the loop never blocks on delivery) is what lets a
+// pipelined session resolve out-of-order reports to the right waiting
+// kernel goroutine.
+type evalReq struct {
+	cfg   search.Config
+	reply chan float64
+}
+
 // session is the bridge between the blocking search kernel and the
 // fetch/report message loop.
 type session struct {
@@ -317,14 +374,17 @@ type session struct {
 	penalty float64
 	// bestToWire maps the kernel's best configuration (which lives in the
 	// searched space — normalized coordinates for restricted specs) to the
-	// client-facing parameter values. Configurations flowing through cfgCh
+	// client-facing parameter values. Configurations flowing through evals
 	// are already client-facing.
 	bestToWire func(search.Config) []int
-	cfgCh      chan search.Config
-	perfCh     chan float64
-	resultCh   chan *search.Result
-	errCh      chan error
-	abort      chan struct{}
+	// window is the granted pipeline depth: 1 selects the lockstep v1
+	// loop, >1 the pipelined v2 loop with up to window outstanding
+	// configurations and a kernel measuring that many points concurrently.
+	window   int
+	evals    chan evalReq
+	resultCh chan *search.Result
+	errCh    chan error
+	abort    chan struct{}
 	// kernelDone closes when the kernel goroutine has fully unwound (and
 	// any partial-trace deposit has happened). The handler waits on it, so
 	// Server.Shutdown transitively waits for kernels too.
@@ -391,6 +451,39 @@ func (s *Server) handle(conn net.Conn) error {
 	return err
 }
 
+// loop bundles the per-connection wire helpers shared by the lockstep and
+// pipelined message loops.
+type loop struct {
+	scan     func() bool
+	send     func(m message) error
+	fail     func(msg string) error
+	tolerate func(what string) error
+	r        *bufio.Scanner
+}
+
+// oversizedMsg is the classification for a wire line over the scanner's
+// 1 MiB frame cap — sent to the client, charged to the failure budget, and
+// counted, instead of the old behaviour of silently aborting the session
+// with a bare bufio.ErrTooLong.
+const oversizedMsg = "wire line exceeds the 1 MiB frame cap"
+
+// scanEnd classifies the scanner's terminal state. A clean EOF stays nil
+// (a client vanishing between exchanges is not a protocol error); an
+// oversized line gets a protocol reply, a failure-budget charge and a
+// metric before killing the session — the stream cannot be resynchronized
+// mid-frame, but the death is no longer anonymous.
+func (s *Server) scanEnd(err error, lo loop) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, bufio.ErrTooLong) {
+		s.m().OversizedLines.Inc()
+		lo.tolerate(oversizedMsg) //nolint:errcheck // terminal either way
+		return lo.fail(oversizedMsg)
+	}
+	return err
+}
+
 // serve runs the message loop. It returns the session (nil when
 // registration never succeeded) and the terminal error.
 func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, log *slog.Logger) (*session, error) {
@@ -448,10 +541,14 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, log *slog.Logg
 		log.Warn("tolerated fault", "fault", end.Faults, "budget", budget, "what", what)
 		return nil
 	}
+	lo := loop{scan: scan, send: send, fail: fail, tolerate: tolerate, r: r}
 
 	// First message must register. Faults before a session exists are not
 	// worth tolerating — there is no state to protect yet.
 	if !scan() {
+		if err := s.scanEnd(r.Err(), lo); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("server: client closed before registering")
 	}
 	reg, err := decode(r.Bytes())
@@ -471,90 +568,221 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, log *slog.Logg
 	}
 	log.Info("session registered",
 		"app", reg.App, "dim", len(sess.names), "warm", sess.warm,
-		"improved", reg.Improved, "max_evals", reg.MaxEvals)
+		"improved", reg.Improved, "max_evals", reg.MaxEvals,
+		"window", sess.window)
 
-	if err := send(message{Op: "registered", Names: sess.names, Warm: sess.warm}); err != nil {
+	regReply := message{Op: "registered", Names: sess.names, Warm: sess.warm}
+	if sess.window > 1 {
+		// Only v2 sessions see v2 fields: a v1 registration (no window)
+		// gets the byte-identical v1 reply.
+		regReply.Window = sess.window
+	}
+	if err := send(regReply); err != nil {
 		return sess, err
 	}
 
-	awaitingReport := false
-	for scan() {
-		m, err := decode(r.Bytes())
+	if sess.window > 1 {
+		return sess, s.servePipelined(sess, end, lo)
+	}
+	return sess, s.serveLockstep(sess, end, lo)
+}
+
+// serveLockstep is the protocol v1 message loop: one fetch, one config,
+// one report, strictly alternating. Its exchanges are byte-identical to
+// prior releases — v1 clients must not be able to tell the pipelined
+// server apart from the old one.
+func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
+	// pending is the configuration awaiting its report, nil between
+	// exchanges.
+	var pending *evalReq
+	for lo.scan() {
+		m, err := decode(lo.r.Bytes())
 		if err != nil {
 			// Garbage bytes on the wire: skip the line and charge the
 			// budget instead of killing a session that may hold hours of
 			// tuning progress.
-			if terr := tolerate(err.Error()); terr != nil {
-				return sess, fail(terr.Error())
+			if terr := lo.tolerate(err.Error()); terr != nil {
+				return lo.fail(terr.Error())
 			}
 			continue
 		}
 		switch m.Op {
 		case "fetch":
-			if awaitingReport {
+			if pending != nil {
 				// The report never arrived (the measurement crashed, or the
 				// report line was garbage and got skipped): mark the pending
 				// point failed with the worst-case penalty so the simplex
 				// moves on, charge one fault, and serve the fetch.
-				if terr := tolerate("fetch while a report is pending — scoring the lost point as failed"); terr != nil {
-					return sess, fail(terr.Error())
+				if terr := lo.tolerate("fetch while a report is pending — scoring the lost point as failed"); terr != nil {
+					return lo.fail(terr.Error())
 				}
-				select {
-				case sess.perfCh <- sess.penalty:
-					awaitingReport = false
-				case err := <-sess.errCh:
-					return sess, fail(err.Error())
-				}
+				pending.reply <- sess.penalty
+				pending = nil
 			}
 			select {
-			case cfg := <-sess.cfgCh:
-				awaitingReport = true
+			case req := <-sess.evals:
+				pending = &req
 				s.m().ConfigsServed.Inc()
-				if err := send(message{Op: "config", Values: cfg}); err != nil {
-					return sess, err
+				if err := lo.send(message{Op: "config", Values: req.cfg}); err != nil {
+					return err
 				}
 			case res := <-sess.resultCh:
-				err := s.sendBest(send, sess, res)
+				err := s.sendBest(lo.send, sess, res)
 				if err == nil {
 					end.Completed = true
 				}
-				return sess, err
+				return err
 			case err := <-sess.errCh:
-				return sess, fail(err.Error())
+				return lo.fail(err.Error())
 			}
 		case "report":
-			if !awaitingReport {
-				return sess, fail("report without a pending configuration")
+			if pending == nil {
+				return lo.fail("report without a pending configuration")
 			}
-			awaitingReport = false
 			perf := m.Perf
 			if search.IsFailure(perf, sess.dir) {
 				// A non-finite (or absurd) report marks the pending point
 				// failed: worst-case penalty, one fault charged.
-				if terr := tolerate(fmt.Sprintf("non-finite performance report %v", perf)); terr != nil {
-					return sess, fail(terr.Error())
+				if terr := lo.tolerate(fmt.Sprintf("non-finite performance report %v", perf)); terr != nil {
+					return lo.fail(terr.Error())
 				}
 				perf = sess.penalty
 			} else {
 				perf = search.Sanitize(perf, sess.dir)
 			}
 			s.m().ReportsReceived.Inc()
-			select {
-			case sess.perfCh <- perf:
-			case err := <-sess.errCh:
-				return sess, fail(err.Error())
-			}
-			if err := send(message{Op: "ok"}); err != nil {
-				return sess, err
+			pending.reply <- perf
+			pending = nil
+			if err := lo.send(message{Op: "ok"}); err != nil {
+				return err
 			}
 		case "quit":
-			send(message{Op: "ok"})
-			return sess, nil
+			lo.send(message{Op: "ok"})
+			return nil
 		default:
-			return sess, fail(fmt.Sprintf("unknown op %q", m.Op))
+			return lo.fail(fmt.Sprintf("unknown op %q", m.Op))
 		}
 	}
-	return sess, r.Err()
+	return s.scanEnd(lo.r.Err(), lo)
+}
+
+// servePipelined is the protocol v2 message loop: the session holds up to
+// sess.window outstanding configurations, fetches are credits the client
+// may pipeline, and reports arrive out of order keyed by correlation id.
+// Reads move to a goroutine so a fetch that cannot be answered yet (the
+// kernel is between points) never blocks report processing.
+func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
+	m := s.m()
+	type line struct {
+		msg message
+		err error
+	}
+	lines := make(chan line)
+	scanDone := make(chan error, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for lo.scan() {
+			msg, err := decode(lo.r.Bytes())
+			select {
+			case lines <- line{msg, err}:
+			case <-stop:
+				return
+			}
+		}
+		scanDone <- lo.r.Err()
+	}()
+
+	outstanding := map[int]evalReq{}
+	credits := 0 // fetches received and not yet answered
+	nextID := 0
+	defer func() {
+		// A session dying with configurations in flight must not leak
+		// pipeline depth on the gauge.
+		for range outstanding {
+			m.SessionOutstanding.Dec()
+		}
+	}()
+	for {
+		// Arms are enabled only when legal: the kernel's next point needs
+		// a credit and window room; the final best needs a credit to
+		// answer (the kernel only finishes after every outstanding report
+		// arrived, so best never overtakes one).
+		var evalC chan evalReq
+		if credits > 0 && len(outstanding) < sess.window {
+			evalC = sess.evals
+		}
+		var resC chan *search.Result
+		if credits > 0 {
+			resC = sess.resultCh
+		}
+		select {
+		case ln := <-lines:
+			if ln.err != nil {
+				if terr := lo.tolerate(ln.err.Error()); terr != nil {
+					return lo.fail(terr.Error())
+				}
+				continue
+			}
+			switch ln.msg.Op {
+			case "fetch":
+				credits++
+			case "report":
+				if ln.msg.ID == nil {
+					if terr := lo.tolerate("report without id in a pipelined session"); terr != nil {
+						return lo.fail(terr.Error())
+					}
+					continue
+				}
+				req, ok := outstanding[*ln.msg.ID]
+				if !ok {
+					if terr := lo.tolerate(fmt.Sprintf("report for unknown id %d", *ln.msg.ID)); terr != nil {
+						return lo.fail(terr.Error())
+					}
+					continue
+				}
+				perf := ln.msg.Perf
+				if search.IsFailure(perf, sess.dir) {
+					if terr := lo.tolerate(fmt.Sprintf("non-finite performance report %v", perf)); terr != nil {
+						return lo.fail(terr.Error())
+					}
+					perf = sess.penalty
+				} else {
+					perf = search.Sanitize(perf, sess.dir)
+				}
+				delete(outstanding, *ln.msg.ID)
+				m.SessionOutstanding.Dec()
+				m.ReportsReceived.Inc()
+				req.reply <- perf // buffered: the kernel picks it up
+			case "quit":
+				lo.send(message{Op: "ok"})
+				return nil
+			default:
+				return lo.fail(fmt.Sprintf("unknown op %q", ln.msg.Op))
+			}
+		case req := <-evalC:
+			id := nextID
+			nextID++
+			credits--
+			outstanding[id] = req
+			m.ConfigsServed.Inc()
+			m.SessionOutstanding.Inc()
+			m.BatchSize.Observe(float64(len(outstanding)))
+			if err := lo.send(message{Op: "config", ID: &id, Values: req.cfg}); err != nil {
+				return err
+			}
+		case res := <-resC:
+			err := s.sendBest(lo.send, sess, res)
+			if err == nil {
+				end.Completed = true
+			}
+			return err
+		case err := <-sess.errCh:
+			return lo.fail(err.Error())
+		case err := <-scanDone:
+			return s.scanEnd(err, lo)
+		}
+	}
 }
 
 func (s *Server) sendBest(send func(message) error, sess *session, res *search.Result) error {
@@ -586,12 +814,20 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 		maxEvals = s.MaxEvalsCap
 	}
 
+	window := 1
+	if reg.Window > 1 {
+		window = reg.Window
+		if cap := s.maxWindow(); window > cap {
+			window = cap
+		}
+	}
+
 	sess := &session{
 		names:      spec.Names(),
 		dir:        dir,
 		penalty:    search.FailurePenalty(dir),
-		cfgCh:      make(chan search.Config),
-		perfCh:     make(chan float64),
+		window:     window,
+		evals:      make(chan evalReq),
 		resultCh:   make(chan *search.Result, 1),
 		errCh:      make(chan error, 1),
 		abort:      make(chan struct{}),
@@ -599,17 +835,30 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 	}
 
 	// The inversion objective: hand the configuration to the message loop
-	// and block until the client reports its performance.
+	// and block until the client reports its performance. Each call
+	// carries its own reply channel, so up to `window` of these may block
+	// concurrently (the kernel's parallel batch and speculation phases)
+	// and out-of-order reports resolve to the right caller.
 	blockMeasure := func(cfg search.Config) float64 {
+		req := evalReq{cfg: cfg, reply: make(chan float64, 1)}
 		select {
-		case sess.cfgCh <- cfg:
+		case sess.evals <- req:
 		case <-sess.abort:
 			panic(errAborted)
 		}
 		select {
-		case perf := <-sess.perfCh:
+		case perf := <-req.reply:
 			return perf
 		case <-sess.abort:
+			// The abort may race a reply the message loop already delivered
+			// (the reply channel is buffered): a measurement the client paid
+			// for must be committed, not discarded, so the partial trace
+			// keeps every reported point.
+			select {
+			case perf := <-req.reply:
+				return perf
+			default:
+			}
 			panic(errAborted)
 		}
 	}
@@ -699,7 +948,13 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 			Init:      init,
 			Direction: dir,
 			MaxEvals:  maxEvals,
-			Tracer:    tracer,
+			// A pipelined session turns the window into kernel-side
+			// concurrency: the initial simplex, shrink steps and the
+			// speculative candidate rounds evaluate up to window points
+			// at once through blockMeasure. window 1 is the sequential
+			// lockstep kernel, unchanged.
+			Parallel: sess.window,
+			Tracer:   tracer,
 		})
 		if err != nil {
 			sess.errCh <- err

@@ -172,12 +172,29 @@ func (m Mix) Normalized() []float64 {
 	return out
 }
 
-// Sample draws one interaction from the mix.
+// Sample draws one interaction from the mix. Hot loops that sample the
+// same mix repeatedly should hoist the normalization with Sampler.
 func (m Mix) Sample(rng *stats.RNG) Interaction {
-	probs := m.Normalized()
+	return m.Sampler().Sample(rng)
+}
+
+// Sampler precomputes a mix's probability vector so repeated draws skip
+// the per-call normalization and its allocation. Draws are identical to
+// Mix.Sample's for the same RNG stream.
+type Sampler struct {
+	probs []float64
+}
+
+// Sampler returns a reusable sampler over the mix's normalized weights.
+func (m Mix) Sampler() Sampler {
+	return Sampler{probs: m.Normalized()}
+}
+
+// Sample draws one interaction.
+func (s Sampler) Sample(rng *stats.RNG) Interaction {
 	u := rng.Float64()
 	acc := 0.0
-	for i, p := range probs {
+	for i, p := range s.probs {
 		acc += p
 		if u <= acc {
 			return Interaction(i)

@@ -213,12 +213,44 @@ func (c *Cluster) Objective(mix tpcw.Mix, vary bool) search.Objective {
 	})
 }
 
+// ObjectiveStable adapts the cluster to the parallel search paths: like
+// Objective(mix, true) each configuration sees measurement variation, but
+// the variation is derived from the configuration's own content (an FNV-1a
+// hash of its values) rather than from a shared call counter. Measurements
+// are therefore independent of call order and concurrency — the same
+// configuration always runs the same simulated minute, no matter which
+// EvalBatch worker or speculative round asks — which makes the objective
+// both safe for concurrent use and deterministic under search.EvalBatch /
+// Evaluator.Speculate. The sequential and parallel kernels see identical
+// values for identical probes.
+func (c *Cluster) ObjectiveStable(mix tpcw.Mix) search.Objective {
+	return search.ObjectiveFunc(func(cfg search.Config) float64 {
+		const (
+			fnvOffset = 14695981039346656037
+			fnvPrime  = 1099511628211
+		)
+		h := uint64(fnvOffset)
+		for _, v := range cfg {
+			h ^= uint64(int64(v))
+			h *= fnvPrime
+		}
+		opts := c.opts
+		opts.Seed = c.opts.Seed*1315423911 + h
+		res, err := NewCluster(opts).Run(cfg, mix)
+		if err != nil {
+			panic(err) // the space is fixed; a bad config is a bug
+		}
+		return res.WIPS
+	})
+}
+
 // simulation carries the state of one run.
 type simulation struct {
-	opts Options
-	cfg  config
-	mix  tpcw.Mix
-	rng  *stats.RNG
+	opts    Options
+	cfg     config
+	mix     tpcw.Mix
+	sampler tpcw.Sampler
+	rng     *stats.RNG
 
 	sched scheduler
 	proxy *station
@@ -239,6 +271,7 @@ type simulation struct {
 }
 
 func (s *simulation) run() Result {
+	s.sampler = s.mix.Sampler() // hoist the per-draw normalization
 	s.proxy = newStation("proxy", proxyServers, s.cfg.httpAccept)
 	s.app = newStation("app", s.cfg.ajpWorkers, s.cfg.ajpAccept)
 	s.db = newStation("db", s.cfg.dbConns, 4*s.cfg.dbConns+16)
@@ -309,7 +342,7 @@ func swapOver(used, cap float64) float64 {
 func (s *simulation) issue(b int) {
 	r := &request{
 		browser:  b,
-		inter:    s.mix.Sample(s.rng),
+		inter:    s.sampler.Sample(s.rng),
 		issuedAt: s.sched.now,
 	}
 	admitted, started := s.proxy.offer(s.sched.now, r)

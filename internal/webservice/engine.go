@@ -18,8 +18,6 @@
 // heap and bounded-queue multi-server stations.
 package webservice
 
-import "container/heap"
-
 // eventKind discriminates simulation events.
 type eventKind int
 
@@ -39,32 +37,44 @@ type event struct {
 	seq  int // tie-breaker for deterministic ordering
 }
 
-// eventHeap is a min-heap over (at, seq).
-type eventHeap []*event
+// eventKey is the heap's ordering record: pointer-free, so sift swaps are
+// plain memmoves with no GC write barriers. slot indexes the payload arena.
+type eventKey struct {
+	at   float64
+	seq  int32
+	slot int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func keyLess(a, b eventKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-// scheduler owns the clock and event heap.
+// eventPayload carries the pointerful half of an event, written once at
+// schedule time and read once at pop time — never moved by the heap.
+type eventPayload struct {
+	kind eventKind
+	req  *request
+	st   *station
+}
+
+// scheduler owns the clock and event queue. The queue is a hand-rolled
+// 4-ary min-heap over pointer-free keys with payloads parked in a
+// slot-recycling arena. The simulation schedules one event per request
+// hop, so this is the hottest path of every measurement: the previous
+// container/heap of *event spent about half of each simulated minute on
+// pointer-chasing comparisons, per-event allocations, interface boxing and
+// GC write barriers. Because seq is unique the (at, seq) order is total,
+// so the popped sequence — and therefore every simulation result — is
+// identical to any other correct priority queue's.
 type scheduler struct {
 	now  float64
-	heap eventHeap
-	seq  int
+	keys []eventKey
+	pay  []eventPayload
+	free []int32
+	seq  int32
 }
 
 func (s *scheduler) schedule(delay float64, kind eventKind, req *request, st *station) {
@@ -72,16 +82,67 @@ func (s *scheduler) schedule(delay float64, kind eventKind, req *request, st *st
 		delay = 0
 	}
 	s.seq++
-	heap.Push(&s.heap, &event{at: s.now + delay, kind: kind, req: req, st: st, seq: s.seq})
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot, s.free = s.free[n-1], s.free[:n-1]
+	} else {
+		slot = int32(len(s.pay))
+		s.pay = append(s.pay, eventPayload{})
+	}
+	s.pay[slot] = eventPayload{kind: kind, req: req, st: st}
+
+	// Sift up.
+	keys := append(s.keys, eventKey{at: s.now + delay, seq: s.seq, slot: slot})
+	for i := len(keys) - 1; i > 0; {
+		p := (i - 1) / 4
+		if !keyLess(keys[i], keys[p]) {
+			break
+		}
+		keys[i], keys[p] = keys[p], keys[i]
+		i = p
+	}
+	s.keys = keys
 }
 
-func (s *scheduler) next() (*event, bool) {
-	if len(s.heap) == 0 {
-		return nil, false
+func (s *scheduler) next() (event, bool) {
+	keys := s.keys
+	if len(keys) == 0 {
+		return event{}, false
 	}
-	e := heap.Pop(&s.heap).(*event)
-	s.now = e.at
-	return e, true
+	top := keys[0]
+	n := len(keys) - 1
+	keys[0] = keys[n]
+	keys = keys[:n]
+
+	// Sift down (4-ary: shallower trees mean fewer swaps per pop).
+	for i := 0; ; {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if keyLess(keys[j], keys[m]) {
+				m = j
+			}
+		}
+		if !keyLess(keys[m], keys[i]) {
+			break
+		}
+		keys[i], keys[m] = keys[m], keys[i]
+		i = m
+	}
+	s.keys = keys
+
+	p := s.pay[top.slot]
+	s.pay[top.slot] = eventPayload{} // release the pointers for the GC
+	s.free = append(s.free, top.slot)
+	s.now = top.at
+	return event{at: top.at, kind: p.kind, req: p.req, st: p.st, seq: int(top.seq)}, true
 }
 
 // station is a multi-server queueing station with a bounded FIFO queue.
