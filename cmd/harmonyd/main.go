@@ -25,6 +25,12 @@
 // deposited before a kill -9 still warm-starts its successors after the
 // next boot.
 //
+// And to save: -eval-cache wires the measure-once layer — exact hits from
+// prior runs and peer sessions are free, duplicate in-flight measurements
+// coalesce (shared scope), and -estimate-gate optionally answers
+// well-supported probes from the §4.3 triangulation plane fit instead of a
+// client round-trip.
+//
 // Usage:
 //
 //	harmonyd -addr :7854 -idle-timeout 5m -write-timeout 10s \
@@ -42,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"harmony/internal/evalcache"
 	"harmony/internal/expdb"
 	"harmony/internal/obs"
 	"harmony/internal/server"
@@ -60,8 +67,19 @@ func main() {
 	compactAbove := flag.Int("experience-compact-above", server.DefaultExperienceCompactAbove, "per-workload-class experience count above which compaction runs (negative = never)")
 	mergeDist := flag.Float64("experience-merge-dist", server.DefaultExperienceMergeDist, "squared-error radius merging near-identical workload classes during compaction")
 	keepRecords := flag.Int("experience-keep-records", server.DefaultExperienceKeepRecords, "best measurements each experience keeps through compaction")
+	evalCache := flag.String("eval-cache", "off", "measure-once evaluation cache scope: off, session (private per session, warm-filled from prior runs) or shared (cross-session exact hits + coalesced duplicate measurements)")
+	estimateGate := flag.Bool("estimate-gate", false, "answer well-supported probes from the triangulation plane fit instead of measuring (needs -eval-cache session|shared; trades trajectory identity for savings)")
+	gateMaxDist := flag.Float64("gate-max-dist", evalcache.DefaultGateMaxDist, "estimation gate: max normalized distance from the target to any fitted vertex")
+	gateMaxResidual := flag.Float64("gate-max-residual", evalcache.DefaultGateMaxRelResidual, "estimation gate: max plane-fit RMS residual relative to the vertex performance scale")
+	gateMinRecords := flag.Int("gate-min-records", 0, "estimation gate: distinct truths required before estimating (0 = 3*(dim+1))")
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	cacheScope, err := server.ParseCacheScope(*evalCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harmonyd:", err)
+		os.Exit(1)
+	}
 
 	s := server.NewServer()
 	s.MaxEvalsCap = *maxEvals
@@ -71,6 +89,13 @@ func main() {
 	s.ExperienceCompactAbove = *compactAbove
 	s.ExperienceMergeDist = *mergeDist
 	s.ExperienceKeepRecords = *keepRecords
+	s.EvalCache = cacheScope
+	s.EstimateGate = *estimateGate
+	s.GateOptions = evalcache.GateOptions{
+		MaxVertexDist:  *gateMaxDist,
+		MaxRelResidual: *gateMaxResidual,
+		MinRecords:     *gateMinRecords,
+	}
 
 	// The daemon is healthy once the listener is bound and until shutdown
 	// begins.
@@ -91,6 +116,11 @@ func main() {
 	s.Logger = rt.Logger
 	s.Metrics = server.NewMetrics(rt.Registry)
 	s.Tracer = rt.Tracer()
+	if cacheScope != server.CacheOff {
+		s.CacheMetrics = evalcache.NewMetrics(rt.Registry)
+		rt.Logger.Info("measure-once evaluation cache enabled",
+			"scope", cacheScope.String(), "estimate_gate", *estimateGate)
+	}
 
 	// The durable experience database: recovery (snapshot load, WAL
 	// replay, torn-tail truncation) happens here, before the listener

@@ -51,7 +51,8 @@ func main() {
 		budget   = flag.Int("budget", 120, "trajectory exploration budget")
 		improved = flag.Bool("improved", true, "use the evenly-distributed initial exploration (§4.1)")
 		workers  = flag.Int("workers", 1, "trajectory mode: concurrent measurements (the parallel simplex kernel; 1 = sequential)")
-		latency  = flag.Duration("latency", 0, "trajectory mode: added per-measurement latency, simulating a slow benchmark harness")
+		latency  = flag.Duration("latency", 0, "trajectory/cache-bench mode: added per-measurement latency, simulating a slow benchmark harness")
+		cacheB   = flag.Bool("cache-bench", false, "run the measure-once evaluation-cache benchmark and emit BENCH_eval_cache.json on stdout")
 	)
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -69,6 +70,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer rt.Close()
+
+	if *cacheB {
+		if err := cacheBench(rt, *target, *seed, *budget, *latency); err != nil {
+			rt.Logger.Error("cache bench failed", "err", err)
+			rt.Close()
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut {
 		if err := trajectory(rt, *target, *workload, *budget, *improved, *seed, *workers, *latency); err != nil {

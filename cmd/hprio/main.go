@@ -16,6 +16,10 @@
 //
 //	hprio -target webservice -workload ordering -repeats 3
 //	hprio -target synthetic -noise 0.10
+//
+// Each parameter's sweep is independent (all other parameters are held at
+// their defaults), so -workers N runs up to N sweeps concurrently without
+// changing the report's contents — only the wall-clock time.
 package main
 
 import (
@@ -44,6 +48,7 @@ func main() {
 		topN     = flag.Int("top", 0, "also print the top-n parameter indices")
 		literal  = flag.Bool("literal-deltav", false, "use the paper's literal argmax/argmin Δv′ (noise-fragile)")
 		pb       = flag.Bool("pb", false, "use Plackett–Burman factorial screening instead of one-at-a-time sweeps")
+		workers  = flag.Int("workers", 1, "parameter sweeps to run concurrently (report is identical to -workers 1)")
 	)
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -73,6 +78,11 @@ func main() {
 		}
 		space = model.Space()
 		obj = model.Objective(sc, true)
+		if *workers > 1 {
+			// The climate objective draws its jitter from a shared call
+			// counter: serialize it so the parallel sweeps stay race-free.
+			obj = search.Synchronized(obj)
+		}
 	case "webservice":
 		var mix tpcw.Mix
 		switch *workload {
@@ -86,7 +96,15 @@ func main() {
 			log.Fatalf("hprio: unknown workload %q", *workload)
 		}
 		space = webservice.Space()
-		obj = webservice.NewCluster(webservice.Options{Seed: *seed}).Objective(mix, true)
+		cluster := webservice.NewCluster(webservice.Options{Seed: *seed})
+		if *workers > 1 {
+			// Content-seeded variation: concurrent-safe and independent of
+			// sweep scheduling, so the parallel report matches a -workers 1
+			// run with the same flag.
+			obj = cluster.ObjectiveStable(mix)
+		} else {
+			obj = cluster.Objective(mix, true)
+		}
 	case "synthetic":
 		model, err := datagen.New(datagen.PaperSpec(*seed))
 		if err != nil {
@@ -98,6 +116,10 @@ func main() {
 			rng = stats.NewRNG(*seed)
 		}
 		obj = model.Objective(model.WorkloadSpace().DefaultConfig(), *noise, rng)
+		if *workers > 1 && rng != nil {
+			// The noise RNG is shared mutable state; serialize access.
+			obj = search.Synchronized(obj)
+		}
 	default:
 		log.Fatalf("hprio: unknown target %q", *target)
 	}

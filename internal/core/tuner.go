@@ -77,6 +77,13 @@ type Options struct {
 	TrainingVertices int
 	// RelTol is the kernel's convergence tolerance (default 1e-3).
 	RelTol float64
+	// External, when non-nil, is consulted before every real measurement
+	// (the measure-once layer: exact memo hits, in-flight coalescing and —
+	// when its estimation gate is enabled — plane-fit answers). Cached
+	// answers are committed to the trace exactly like measurements, so an
+	// exact-only external layer leaves the trajectory bit-identical while
+	// skipping repeat objective invocations. See internal/evalcache.
+	External search.ExternalCache
 	// Tracer, when non-nil, receives the session's typed event stream:
 	// phase markers separating the training stage (§4.2 historical
 	// seeding) from the live tuning stage, every seed injection, every
@@ -138,6 +145,7 @@ func (t *Tuner) Run(opts Options) (*Session, error) {
 	ev := search.NewEvaluator(space, obj)
 	ev.MaxEvals = opts.MaxEvals
 	ev.Tracer = opts.Tracer
+	ev.External = opts.External
 
 	// phase marks the training-vs-live stage boundaries in the event
 	// stream, so offline analysis can split a trace the way the paper's

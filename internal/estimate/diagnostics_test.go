@@ -1,0 +1,139 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/search"
+)
+
+// TestLatestInTimePrepared: the presorted Prepared path must pick the same
+// newest-first vertices as the per-call Estimate path — including when
+// records arrive out of Seq order.
+func TestLatestInTimePrepared(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	est.Policy = LatestInTime
+	est.K = 3
+	recs := []Record{
+		{Config: search.Config{8, 9}, Perf: 50, Seq: 12}, // newest three first and last
+		{Config: search.Config{2, 2}, Perf: 0, Seq: 0},
+		{Config: search.Config{3, 2}, Perf: 0, Seq: 1},
+		{Config: search.Config{8, 8}, Perf: 50, Seq: 10},
+		{Config: search.Config{2, 3}, Perf: 0, Seq: 2},
+		{Config: search.Config{9, 8}, Perf: 50, Seq: 11},
+	}
+	p, err := est.Prepare(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []search.Config{{2, 2}, {9, 9}, {5, 5}} {
+		got, err := p.Estimate(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-50) > 1e-6 {
+			t.Errorf("Prepared Estimate(%v) = %v, want 50 (latest records only)", target, got)
+		}
+		direct, err := est.Estimate(recs, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-direct) > 1e-9 {
+			t.Errorf("Prepared (%v) and direct (%v) estimates diverge at %v", got, direct, target)
+		}
+	}
+}
+
+// TestDiagnosticsExactFit: a square system through affine data fits
+// exactly — zero residual, no degeneracy, distances as constructed.
+func TestDiagnosticsExactFit(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	recs := affineRecords(s, 3, -2, 10, []search.Config{{4, 4}, {6, 4}, {4, 6}})
+	p, err := est.Prepare(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.EstimateDetailed(search.Config{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Degenerate {
+		t.Fatal("exact fit flagged degenerate")
+	}
+	if d.Vertices != 3 {
+		t.Fatalf("vertices = %d, want 3", d.Vertices)
+	}
+	if d.Residual > 1e-9 {
+		t.Fatalf("residual = %v, want ~0 for a square system", d.Residual)
+	}
+	// Farthest vertex: (6,4) or (4,6) at normalized distance sqrt(0.01+0.01).
+	wantDist := math.Sqrt(0.02)
+	if math.Abs(d.MaxVertexDist-wantDist) > 1e-9 {
+		t.Fatalf("max vertex dist = %v, want %v", d.MaxVertexDist, wantDist)
+	}
+	want := 3*0.5 - 2*0.5 + 10
+	if math.Abs(d.Value-want) > 1e-9 {
+		t.Fatalf("value = %v, want %v", d.Value, want)
+	}
+	if d.PerfScale <= 0 {
+		t.Fatalf("perf scale = %v, want > 0", d.PerfScale)
+	}
+}
+
+// TestDiagnosticsResidualOnCurvedSurface: an overdetermined fit through
+// non-planar data must report the misfit so a gate can refuse it.
+func TestDiagnosticsResidualOnCurvedSurface(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	est.K = 5
+	curved := func(cfg search.Config) float64 {
+		x := float64(cfg[0]) - 5
+		return x * x * 10
+	}
+	var recs []Record
+	for i, cfg := range []search.Config{{3, 5}, {4, 5}, {5, 5}, {6, 5}, {7, 4}} {
+		recs = append(recs, Record{Config: cfg, Perf: curved(cfg), Seq: i})
+	}
+	p, err := est.Prepare(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.EstimateDetailed(search.Config{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Degenerate {
+		t.Fatal("curved fit flagged degenerate")
+	}
+	if d.Residual <= 1 {
+		t.Fatalf("residual = %v, want a substantial misfit on a parabola", d.Residual)
+	}
+}
+
+// TestDiagnosticsDegenerateVertices: affinely dependent vertices flag the
+// fit degenerate and fall back to the weighted average.
+func TestDiagnosticsDegenerateVertices(t *testing.T) {
+	s := space2(t)
+	est := New(s)
+	recs := []Record{
+		{Config: search.Config{5, 0}, Perf: 10, Seq: 0},
+		{Config: search.Config{5, 5}, Perf: 20, Seq: 1},
+		{Config: search.Config{5, 10}, Perf: 30, Seq: 2},
+	}
+	p, err := est.Prepare(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.EstimateDetailed(search.Config{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Degenerate {
+		t.Fatal("collinear vertex set not flagged degenerate")
+	}
+	if d.Value < 10 || d.Value > 30 {
+		t.Fatalf("fallback value = %v, want within [10, 30]", d.Value)
+	}
+}

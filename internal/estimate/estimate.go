@@ -22,6 +22,7 @@ package estimate
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"harmony/internal/linalg"
@@ -111,6 +112,32 @@ func (e *Estimator) Estimate(records []Record, target search.Config) (float64, e
 	return e.fitAndEval(chosen, target)
 }
 
+// Diagnostics describe the support behind one estimate: how far the chosen
+// vertices sit from the target and how well the fitted hyperplane explains
+// them. Estimation gates (the measure-once layer's short-circuit) use them
+// to decide whether a computed value may stand in for a real measurement.
+type Diagnostics struct {
+	// Value is the estimated performance at the target.
+	Value float64
+	// Vertices is how many records supported the fit.
+	Vertices int
+	// MaxVertexDist is the largest normalized Euclidean distance from the
+	// target to any chosen vertex. Small means interpolation among close
+	// neighbours; large means extrapolation.
+	MaxVertexDist float64
+	// Residual is the RMS misfit of the hyperplane at the chosen vertices
+	// (0 for an exactly determined square system). Large means the local
+	// surface is not planar and the estimate should not be trusted.
+	Residual float64
+	// PerfScale is the largest |Perf| among the chosen vertices, for
+	// relative residual checks.
+	PerfScale float64
+	// Degenerate reports that the vertex set was affinely dependent and
+	// the rank-deficiency fallback (inverse-distance-weighted average) was
+	// used instead of a plane fit.
+	Degenerate bool
+}
+
 // fitAndEval fits the Figure 3 hyperplane through the chosen vertices and
 // evaluates it at target, falling back to the inverse-distance-weighted
 // average on a degenerate vertex set.
@@ -118,10 +145,24 @@ func (e *Estimator) Estimate(records []Record, target search.Config) (float64, e
 // The fit runs in normalized coordinates (better conditioned than raw
 // values when parameter ranges differ by orders of magnitude).
 func (e *Estimator) fitAndEval(chosen []Record, target search.Config) (float64, error) {
+	d, err := e.fitAndEvalDetailed(chosen, target)
+	return d.Value, err
+}
+
+// fitAndEvalDetailed is fitAndEval plus the gate-facing diagnostics.
+func (e *Estimator) fitAndEvalDetailed(chosen []Record, target search.Config) (Diagnostics, error) {
+	d := Diagnostics{Vertices: len(chosen)}
+	tn := e.Space.Normalized(target)
 	rows := make([][]float64, len(chosen))
 	b := make([]float64, len(chosen))
 	for i, r := range chosen {
 		norm := e.Space.Normalized(r.Config)
+		if dist := math.Sqrt(stats.SquaredError(norm, tn)); dist > d.MaxVertexDist {
+			d.MaxVertexDist = dist
+		}
+		if s := math.Abs(r.Perf); s > d.PerfScale {
+			d.PerfScale = s
+		}
 		rows[i] = append(norm, 1)
 		b[i] = r.Perf
 	}
@@ -129,12 +170,23 @@ func (e *Estimator) fitAndEval(chosen []Record, target search.Config) (float64, 
 	x, err := linalg.SolveLeastSquares(a, b)
 	if err != nil {
 		if errors.Is(err, linalg.ErrSingular) {
-			return e.weightedAverage(chosen, target), nil
+			d.Degenerate = true
+			d.Value = e.weightedAverage(chosen, target)
+			return d, nil
 		}
-		return 0, err
+		return d, err
 	}
-	tRow := append(e.Space.Normalized(target), 1)
-	return linalg.Dot(tRow, x), nil
+	// RMS residual of the fit at its own vertices: 0 when the system was
+	// square (exact interpolation), the least-squares misfit otherwise.
+	sum := 0.0
+	for i := range rows {
+		r := linalg.Dot(rows[i], x) - b[i]
+		sum += r * r
+	}
+	d.Residual = math.Sqrt(sum / float64(len(rows)))
+	tRow := append(tn, 1)
+	d.Value = linalg.Dot(tRow, x)
+	return d, nil
 }
 
 // selectVertices returns up to k records by the configured policy,
@@ -236,12 +288,19 @@ func (e *Estimator) Prepare(records []Record) (*Prepared, error) {
 
 // Estimate predicts the performance at target from the prepared records.
 func (p *Prepared) Estimate(target search.Config) (float64, error) {
+	d, err := p.EstimateDetailed(target)
+	return d.Value, err
+}
+
+// EstimateDetailed is Estimate plus the diagnostics an estimation gate
+// needs to decide whether the computed value may replace a measurement.
+func (p *Prepared) EstimateDetailed(target search.Config) (Diagnostics, error) {
 	e := p.e
 	if len(p.dedup) == 0 {
-		return 0, ErrNoRecords
+		return Diagnostics{}, ErrNoRecords
 	}
 	if !e.Space.Contains(target) {
-		return 0, fmt.Errorf("estimate: target %v not in space", target)
+		return Diagnostics{}, fmt.Errorf("estimate: target %v not in space", target)
 	}
 	k := e.K
 	if k <= 0 {
@@ -263,7 +322,7 @@ func (p *Prepared) Estimate(target search.Config) (float64, error) {
 	default:
 		chosen = e.selectVertices(p.dedup, target, k)
 	}
-	return e.fitAndEval(chosen, target)
+	return e.fitAndEvalDetailed(chosen, target)
 }
 
 // EstimateMany predicts each target in turn, sharing the record set — and,

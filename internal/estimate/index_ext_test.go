@@ -1,0 +1,54 @@
+package estimate_test
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/estimate"
+	"harmony/internal/expdb"
+	"harmony/internal/search"
+)
+
+// TestPreparedIndexMatchesSort: with the k-d tree index wired, the indexed
+// vertex selection must agree with the sort-based selection everywhere on
+// the grid. (External test package: expdb imports estimate, so this lives
+// outside the package to avoid the cycle.)
+func TestPreparedIndexMatchesSort(t *testing.T) {
+	s := search.MustSpace(
+		search.Param{Name: "x", Min: 0, Max: 10, Step: 1, Default: 5},
+		search.Param{Name: "y", Min: 0, Max: 10, Step: 1, Default: 5},
+	)
+	var recs []estimate.Record
+	seq := 0
+	for x := 0; x <= 10; x += 2 {
+		for y := 0; y <= 10; y += 2 {
+			recs = append(recs, estimate.Record{Config: search.Config{x, y}, Perf: float64(3*x - 2*y), Seq: seq})
+			seq++
+		}
+	}
+	plain := estimate.New(s)
+	indexed := estimate.New(s)
+	indexed.Index = expdb.NewVertexIndex
+
+	pPlain, err := plain.Prepare(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pIdx, err := indexed.Prepare(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x <= 10; x++ {
+		for y := 0; y <= 10; y++ {
+			target := search.Config{x, y}
+			a, errA := pPlain.Estimate(target)
+			b, errB := pIdx.Estimate(target)
+			if errA != nil || errB != nil {
+				t.Fatalf("estimate errors at %v: %v, %v", target, errA, errB)
+			}
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("indexed estimate %v != sorted estimate %v at %v", b, a, target)
+			}
+		}
+	}
+}

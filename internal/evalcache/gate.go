@@ -1,0 +1,234 @@
+package evalcache
+
+import (
+	"math"
+	"sync"
+
+	"harmony/internal/estimate"
+	"harmony/internal/expdb"
+	"harmony/internal/search"
+)
+
+// GateOptions tune the §4.3 estimation gate. Zero values select the
+// defaults; the gate is deliberately conservative out of the box — a wrong
+// estimate steers the simplex, so the gate only answers when the plane fit
+// is well-supported.
+type GateOptions struct {
+	// MaxVertexDist is the largest normalized Euclidean distance any chosen
+	// k-NN vertex may sit from the target (default DefaultGateMaxDist).
+	// Beyond it the plane would extrapolate, so the gate declines.
+	MaxVertexDist float64
+	// MaxRelResidual bounds the plane fit's RMS residual at its own
+	// vertices, relative to the vertex performance scale (default
+	// DefaultGateMaxRelResidual). A large residual means the local surface
+	// is not planar.
+	MaxRelResidual float64
+	// MinRecords is how many distinct observed configurations must exist
+	// before the gate attempts any estimate (default 3*(dim+1)).
+	MinRecords int
+	// K is the number of vertices fitted through (default dim+1, the
+	// paper's simplex size).
+	K int
+	// RefreshEvery is how many new observations accumulate before the
+	// spatial index is rebuilt (default DefaultGateRefreshEvery). Staleness
+	// only costs answerable estimates, never correctness.
+	RefreshEvery int
+	// MaxRecords bounds the gate's record set on a long-lived server
+	// (default DefaultGateMaxRecords); beyond it the oldest half is
+	// dropped.
+	MaxRecords int
+	// Policy selects the vertex policy (default estimate.NearestInSpace;
+	// estimate.LatestInTime suits drifting environments).
+	Policy estimate.NeighborPolicy
+}
+
+// Gate defaults.
+const (
+	DefaultGateMaxDist        = 0.15
+	DefaultGateMaxRelResidual = 0.05
+	DefaultGateRefreshEvery   = 8
+	DefaultGateMaxRecords     = 4096
+)
+
+func (o *GateOptions) fill(dim int) {
+	if o.MaxVertexDist == 0 {
+		o.MaxVertexDist = DefaultGateMaxDist
+	}
+	if o.MaxRelResidual == 0 {
+		o.MaxRelResidual = DefaultGateMaxRelResidual
+	}
+	if o.K <= 0 {
+		o.K = dim + 1
+	}
+	if o.MinRecords <= 0 {
+		o.MinRecords = 3 * (dim + 1)
+	}
+	if o.RefreshEvery <= 0 {
+		o.RefreshEvery = DefaultGateRefreshEvery
+	}
+	if o.MaxRecords <= 0 {
+		o.MaxRecords = DefaultGateMaxRecords
+	}
+}
+
+// Gate is the estimation-gated short-circuit: it accumulates measured
+// truths and answers probes from the triangulation estimator's plane fit
+// (§4.3) when — and only when — the fit's k-NN support is close and tight.
+// Safe for concurrent use; typically shared by every session in one
+// (app, spec) namespace.
+type Gate struct {
+	opts    GateOptions
+	metrics *Metrics
+
+	mu       sync.Mutex
+	est      *estimate.Estimator
+	recs     []estimate.Record
+	seen     map[string]bool // config keys already recorded (dedup)
+	prepared *estimate.Prepared
+	prepLen  int // len(recs) when prepared was built
+	seq      int
+}
+
+// NewGate returns a gate over the space. The estimator uses the expdb k-d
+// tree for vertex selection, so per-probe cost is O(k + log n) once the
+// index is built.
+func NewGate(space *search.Space, opts GateOptions, m *Metrics) *Gate {
+	opts.fill(space.Dim())
+	est := &estimate.Estimator{
+		Space:  space,
+		Policy: opts.Policy,
+		K:      opts.K,
+		Index:  expdb.NewVertexIndex,
+	}
+	return &Gate{opts: opts, metrics: m.orNop(), est: est, seen: map[string]bool{}}
+}
+
+// Observe records a measured truth. Estimated values must never be fed
+// back — the gate would otherwise fit planes through its own guesses.
+func (g *Gate) Observe(cfg search.Config, perf float64) {
+	if !isFinite(perf) {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := cfg.Key()
+	if g.seen[key] {
+		return // duplicates add no geometric information
+	}
+	g.seen[key] = true
+	g.recs = append(g.recs, estimate.Record{Config: cfg.Clone(), Perf: perf, Seq: g.seq})
+	g.seq++
+	if len(g.recs) > g.opts.MaxRecords {
+		// Drop the oldest half; the survivors keep their Seq ordering.
+		keep := g.recs[len(g.recs)/2:]
+		g.recs = append([]estimate.Record(nil), keep...)
+		g.seen = make(map[string]bool, len(g.recs))
+		for _, r := range g.recs {
+			g.seen[r.Config.Key()] = true
+		}
+		g.prepared, g.prepLen = nil, 0
+	}
+}
+
+// Len returns the number of recorded truths.
+func (g *Gate) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.recs)
+}
+
+// Estimate answers a probe from the plane fit when the fit is
+// well-supported: enough records, non-degenerate, every chosen vertex
+// within MaxVertexDist, residual within MaxRelResidual of the performance
+// scale, finite value. Otherwise ok is false and the caller must measure.
+func (g *Gate) Estimate(cfg search.Config) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.recs) < g.opts.MinRecords {
+		return 0, false // too little history; not even worth counting
+	}
+	if g.prepared == nil || len(g.recs)-g.prepLen >= g.opts.RefreshEvery {
+		p, err := g.est.Prepare(g.recs)
+		if err != nil {
+			g.metrics.GateRejects.Inc()
+			return 0, false
+		}
+		g.prepared, g.prepLen = p, len(g.recs)
+	}
+	d, err := g.prepared.EstimateDetailed(cfg)
+	switch {
+	case err != nil,
+		d.Degenerate,
+		d.Vertices < g.opts.K,
+		d.MaxVertexDist > g.opts.MaxVertexDist,
+		d.Residual > g.opts.MaxRelResidual*math.Max(d.PerfScale, 1e-12),
+		!isFinite(d.Value):
+		g.metrics.GateRejects.Inc()
+		return 0, false
+	}
+	g.metrics.Estimated.Inc()
+	return d.Value, true
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Layer binds a Cache (exact memo + singleflight) and an optional Gate to
+// one evaluator, implementing search.ExternalCache. Several sessions'
+// layers may share one Cache and Gate (the server's shared scope); the
+// layer itself is cheap per-session state.
+type Layer struct {
+	// Cache is the exact-hit memo (required).
+	Cache *Cache
+	// Gate, when non-nil, may answer memo misses with a §4.3 estimate.
+	// Exact-only mode (nil Gate) is trajectory-preserving; gated mode is
+	// not, and is therefore opt-in.
+	Gate *Gate
+	// Cancel, when non-nil, aborts waits on peer in-flight measurements
+	// (the server wires the session's abort channel). A canceled wait
+	// panics ErrCanceled, which the server's kernel recovery treats like a
+	// client disconnect.
+	Cancel <-chan struct{}
+}
+
+// Lookup implements search.ExternalCache: exact memo first, then the gate.
+func (l *Layer) Lookup(cfg search.Config) (perf float64, estimated, ok bool) {
+	key := cfg.Key()
+	if perf, ok := l.Cache.Lookup(key); ok {
+		return perf, false, true
+	}
+	if l.Gate != nil {
+		if perf, ok := l.Gate.Estimate(cfg); ok {
+			// Credit the estimated answer with the cache's mean measurement
+			// cost — the best available stand-in for "what this probe would
+			// have cost for real".
+			l.Cache.metrics.SavedSeconds.Add(l.Cache.MeanCost().Seconds())
+			return perf, true, true
+		}
+	}
+	return 0, false, false
+}
+
+// Measure implements search.ExternalCache: singleflight through the shared
+// cache, feeding the measured truth to the gate.
+func (l *Layer) Measure(cfg search.Config, measure func() float64) float64 {
+	perf, _, err := l.Cache.Do(cfg.Key(), measure, l.Cancel)
+	if err != nil {
+		panic(err) // ErrCanceled: the session is going away
+	}
+	if l.Gate != nil {
+		l.Gate.Observe(cfg, perf)
+	}
+	return perf
+}
+
+// Fill hydrates both the memo and the gate with a prior-run truth (the
+// warm fill at session registration).
+func (l *Layer) Fill(cfg search.Config, perf float64) {
+	l.Cache.Put(cfg.Key(), perf, 0)
+	l.Cache.metrics.Fills.Inc()
+	if l.Gate != nil {
+		l.Gate.Observe(cfg, perf)
+	}
+}

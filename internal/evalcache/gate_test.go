@@ -1,0 +1,141 @@
+package evalcache
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/obs"
+	"harmony/internal/search"
+)
+
+func gateSpace(t *testing.T) *search.Space {
+	t.Helper()
+	sp, err := search.NewSpace(
+		search.Param{Name: "x", Min: 0, Max: 100, Step: 1},
+		search.Param{Name: "y", Min: 0, Max: 100, Step: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// planar is the surface the gate should trust: an exact hyperplane.
+func planar(cfg search.Config) float64 {
+	return 2*float64(cfg[0]) + 3*float64(cfg[1]) + 5
+}
+
+// observeGrid feeds the gate a grid of truths around (cx, cy).
+func observeGrid(g *Gate, f func(search.Config) float64, cx, cy int) {
+	for _, dx := range []int{-10, -5, 0, 5, 10} {
+		for _, dy := range []int{-10, -5, 0, 5, 10} {
+			cfg := search.Config{cx + dx, cy + dy}
+			g.Observe(cfg, f(cfg))
+		}
+	}
+}
+
+func TestGateAnswersPlanarSurface(t *testing.T) {
+	sp := gateSpace(t)
+	m := NewMetrics(obs.NewRegistry())
+	g := NewGate(sp, GateOptions{}, m)
+	observeGrid(g, planar, 50, 50)
+
+	target := search.Config{52, 48}
+	got, ok := g.Estimate(target)
+	if !ok {
+		t.Fatal("gate declined a well-supported planar estimate")
+	}
+	want := planar(target)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("estimate = %v, want %v", got, want)
+	}
+	if m.Estimated.Value() != 1 {
+		t.Fatalf("estimated counter = %d, want 1", m.Estimated.Value())
+	}
+}
+
+func TestGateDeclinesWithTooLittleHistory(t *testing.T) {
+	sp := gateSpace(t)
+	g := NewGate(sp, GateOptions{}, nil) // MinRecords defaults to 3*(dim+1) = 9
+	for i := 0; i < 5; i++ {
+		cfg := search.Config{10 * i, 10 * i % 30}
+		g.Observe(cfg, planar(cfg))
+	}
+	if _, ok := g.Estimate(search.Config{20, 20}); ok {
+		t.Fatal("gate estimated from too little history")
+	}
+}
+
+func TestGateDeclinesFarFromSupport(t *testing.T) {
+	sp := gateSpace(t)
+	m := NewMetrics(obs.NewRegistry())
+	g := NewGate(sp, GateOptions{}, m)
+	observeGrid(g, planar, 10, 10) // support in one corner...
+
+	if _, ok := g.Estimate(search.Config{90, 90}); ok { // ...target in the other
+		t.Fatal("gate extrapolated far beyond its k-NN support")
+	}
+	if m.GateRejects.Value() == 0 {
+		t.Fatal("rejection was not counted")
+	}
+}
+
+// TestGateDeclinesNonPlanarSurface: with an overdetermined fit (K larger
+// than dim+1) a strongly curved surface leaves a residual the gate must
+// refuse to stand behind.
+func TestGateDeclinesNonPlanarSurface(t *testing.T) {
+	sp := gateSpace(t)
+	curved := func(cfg search.Config) float64 {
+		x := float64(cfg[0]) - 50
+		return x * x // parabola: no plane fits 6 of its points
+	}
+	g := NewGate(sp, GateOptions{K: 6}, nil)
+	observeGrid(g, curved, 50, 50)
+
+	if v, ok := g.Estimate(search.Config{52, 48}); ok {
+		t.Fatalf("gate trusted a non-planar fit (value %v)", v)
+	}
+}
+
+// TestGateDeclinesDegenerateSupport: truths that only span a line cannot
+// support a plane; the estimator flags the fit degenerate and the gate
+// must fall back to a real measurement.
+func TestGateDeclinesDegenerateSupport(t *testing.T) {
+	sp := gateSpace(t)
+	g := NewGate(sp, GateOptions{}, nil)
+	for i := 0; i < 12; i++ {
+		cfg := search.Config{i * 5, i * 5} // collinear: y = x
+		g.Observe(cfg, planar(cfg))
+	}
+	if _, ok := g.Estimate(search.Config{30, 30}); ok {
+		t.Fatal("gate estimated from an affinely dependent vertex set")
+	}
+}
+
+func TestGateDedupsAndBoundsRecords(t *testing.T) {
+	sp := gateSpace(t)
+	g := NewGate(sp, GateOptions{MaxRecords: 10}, nil)
+	for i := 0; i < 8; i++ {
+		g.Observe(search.Config{1, 1}, 9) // duplicates add nothing
+	}
+	if got := g.Len(); got != 1 {
+		t.Fatalf("len after duplicate observes = %d, want 1", got)
+	}
+	for i := 0; i < 30; i++ {
+		g.Observe(search.Config{i, 100 - i}, float64(i))
+	}
+	if got := g.Len(); got > 10 {
+		t.Fatalf("len = %d, want <= MaxRecords (10)", got)
+	}
+}
+
+func TestGateIgnoresNonFinite(t *testing.T) {
+	sp := gateSpace(t)
+	g := NewGate(sp, GateOptions{}, nil)
+	g.Observe(search.Config{1, 1}, math.NaN())
+	g.Observe(search.Config{2, 2}, math.Inf(1))
+	if g.Len() != 0 {
+		t.Fatalf("non-finite truths recorded: len = %d", g.Len())
+	}
+}

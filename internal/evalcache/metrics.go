@@ -1,0 +1,72 @@
+package evalcache
+
+import (
+	"harmony/internal/obs"
+)
+
+// Metrics is the measure-once layer's counter bundle, backed by an
+// obs.Registry. Every field is a nil-safe obs handle and a nil *Metrics is
+// itself valid, so an un-instrumented cache pays ~zero (one branch per
+// event).
+type Metrics struct {
+	// Hits counts probes answered from the exact config→perf memo
+	// (harmony_eval_cache_hits_total).
+	Hits *obs.Counter
+	// Misses counts probes the memo could not answer — they either go to
+	// the estimation gate or to a real measurement
+	// (harmony_eval_cache_misses_total).
+	Misses *obs.Counter
+	// Coalesced counts probes that piggybacked on another caller's
+	// in-flight measurement of the same configuration — the singleflight
+	// saves, within one pipelined window or across sessions
+	// (harmony_eval_cache_coalesced_total).
+	Coalesced *obs.Counter
+	// Estimated counts probes answered by the §4.3 estimation gate's plane
+	// fit instead of a real measurement
+	// (harmony_eval_cache_estimated_total).
+	Estimated *obs.Counter
+	// GateRejects counts estimation attempts the gate refused — too few
+	// records, vertices too far, residual too large, degenerate fit — each
+	// of which fell back to a real measurement
+	// (harmony_eval_cache_gate_rejects_total).
+	GateRejects *obs.Counter
+	// SavedSeconds accumulates the measurement wall-clock the layer saved:
+	// each exact hit and coalesced wait is credited with the original
+	// measurement's cost, each estimated answer with the cache's mean
+	// measurement cost (harmony_eval_cache_saved_measurement_seconds_total).
+	SavedSeconds *obs.FloatCounter
+	// Size is the number of distinct configurations resident in the memo
+	// (harmony_eval_cache_size). With several scoped caches alive the gauge
+	// carries their sum.
+	Size *obs.Gauge
+	// Fills counts configurations hydrated from the durable experience
+	// store at session registration (harmony_eval_cache_warm_fills_total).
+	Fills *obs.Counter
+}
+
+// NewMetrics registers the harmony_eval_cache_* family on reg and returns
+// the bundle. A nil registry yields a bundle of nil handles (all updates
+// no-ops), so callers can wire it unconditionally.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Hits:         reg.Counter("harmony_eval_cache_hits_total", "Probes answered from the exact config-perf memo."),
+		Misses:       reg.Counter("harmony_eval_cache_misses_total", "Probes the memo could not answer."),
+		Coalesced:    reg.Counter("harmony_eval_cache_coalesced_total", "Probes coalesced onto another caller's in-flight measurement."),
+		Estimated:    reg.Counter("harmony_eval_cache_estimated_total", "Probes answered by the estimation gate's plane fit."),
+		GateRejects:  reg.Counter("harmony_eval_cache_gate_rejects_total", "Estimation attempts the gate refused (fell back to measurement)."),
+		SavedSeconds: reg.FloatCounter("harmony_eval_cache_saved_measurement_seconds_total", "Measurement wall-clock seconds saved by cache hits, coalescing and estimation."),
+		Size:         reg.Gauge("harmony_eval_cache_size", "Distinct configurations resident in the eval cache memo."),
+		Fills:        reg.Counter("harmony_eval_cache_warm_fills_total", "Configurations hydrated from the durable experience store."),
+	}
+}
+
+// nopMetrics backs the nil fast path: all handles nil, all updates no-ops.
+var nopMetrics = &Metrics{}
+
+// m resolves a possibly-nil metrics bundle to a never-nil one.
+func (m *Metrics) orNop() *Metrics {
+	if m != nil {
+		return m
+	}
+	return nopMetrics
+}

@@ -441,6 +441,27 @@ func (s *Store) Close() error {
 	return err
 }
 
+// WalkRecords streams every stored (configuration, performance)
+// measurement under key to fn, experience by experience in storage order.
+// The records are copied out under the shard read lock before fn runs, so
+// fn may take as long as it likes (and may even call back into the store).
+// The evaluation cache's warm fill uses it to hydrate a fresh session with
+// every truth prior runs already paid for.
+func (s *Store) WalkRecords(key string, fn func(cfg search.Config, perf float64)) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	var recs []history.ConfigPerf
+	if ns := sh.ns[key]; ns != nil {
+		for _, e := range ns.db.Experiences {
+			recs = append(recs, e.Records...)
+		}
+	}
+	sh.mu.RUnlock()
+	for _, r := range recs {
+		fn(r.Config, r.Perf)
+	}
+}
+
 // Len returns the number of resident experiences across all namespaces.
 func (s *Store) Len() int { return int(s.experiences.Load()) }
 

@@ -1,0 +1,55 @@
+package expdb
+
+import (
+	"testing"
+
+	"harmony/internal/search"
+)
+
+// TestWalkRecords: the warm-fill iteration covers every record of every
+// experience under a key, survives a restart, and stays empty for foreign
+// keys.
+func TestWalkRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+
+	if _, err := s.Deposit("app/s1", "w1", []float64{0.8, 0.2}, search.Maximize, trace(10, 20, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deposit("app/s1", "w2", []float64{0.1, 0.9}, search.Maximize, trace(30, 40, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deposit("other/s2", "w3", []float64{0.5, 0.5}, search.Maximize, trace(1, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(st *Store, key string) int {
+		n := 0
+		st.WalkRecords(key, func(cfg search.Config, perf float64) {
+			if len(cfg) != 2 {
+				t.Errorf("walked config %v has wrong dimension", cfg)
+			}
+			n++
+		})
+		return n
+	}
+	if got := count(s, "app/s1"); got != 7 {
+		t.Fatalf("walked %d records under app/s1, want 7", got)
+	}
+	if got := count(s, "other/s2"); got != 2 {
+		t.Fatalf("walked %d records under other/s2, want 2", got)
+	}
+	if got := count(s, "missing"); got != 0 {
+		t.Fatalf("walked %d records under a missing key, want 0", got)
+	}
+
+	// A reopened store walks the recovered records too.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, nil)
+	defer s2.Close()
+	if got := count(s2, "app/s1"); got != 7 {
+		t.Fatalf("walked %d records after reopen, want 7", got)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFloatCounterBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.FloatCounter("test_saved_seconds_total", "seconds saved")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %v", c.Value())
+	}
+	c.Add(1.5)
+	c.Add(0.25)
+	if got := c.Value(); got != 1.75 {
+		t.Fatalf("value = %v, want 1.75", got)
+	}
+	// Monotone: non-positive and NaN deltas are ignored.
+	c.Add(-3)
+	c.Add(0)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 1.75 {
+		t.Fatalf("value after bad deltas = %v, want 1.75", got)
+	}
+	// Nil handle is a no-op, matching the other metric kinds.
+	var nilC *FloatCounter
+	nilC.Add(1)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "test_saved_seconds_total 1.75") {
+		t.Fatalf("exposition missing float counter:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "# TYPE test_saved_seconds_total counter") {
+		t.Fatalf("exposition missing counter TYPE line:\n%s", sb.String())
+	}
+}
+
+func TestFloatCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.FloatCounter("test_float_total", "x")
+			for i := 0; i < perG; i++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	want := float64(goroutines*perG) * 0.5
+	if got := reg.FloatCounter("test_float_total", "x").Value(); got != want {
+		t.Fatalf("value = %v, want %v", got, want)
+	}
+}
+
+func TestFloatCounterTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_mixed_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering an int counter as a float counter did not panic")
+		}
+	}()
+	reg.FloatCounter("test_mixed_total", "x")
+}

@@ -107,6 +107,59 @@ func (c *Counter) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", c.metricName, c.v.Load())
 }
 
+// FloatCounter is a monotonically increasing float metric — Prometheus
+// counters are floats, and some accumulations (seconds of measurement time
+// saved by a cache, bytes-as-fractions) are not integral. A nil
+// *FloatCounter is a valid no-op handle.
+type FloatCounter struct {
+	meta
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// FloatCounter returns (registering on first use) the named float counter.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, func() metric {
+		return &FloatCounter{meta: meta{metricName: name, metricHelp: help}}
+	})
+	c, ok := m.(*FloatCounter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+	}
+	return c
+}
+
+// Add increases the counter by delta (CAS loop). Negative, NaN and -Inf
+// deltas are ignored: counters are monotone.
+func (c *FloatCounter) Add(delta float64) {
+	if c == nil || delta <= 0 || math.IsNaN(delta) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total (0 on a nil handle).
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+func (c *FloatCounter) typeName() string { return "counter" }
+
+func (c *FloatCounter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", c.metricName, formatFloat(c.Value()))
+}
+
 // Gauge is a float metric that can go up and down. A nil *Gauge is a valid
 // no-op handle.
 type Gauge struct {

@@ -43,10 +43,39 @@ type Evaluation struct {
 	Index  int     // 0-based exploration order
 	Config Config  // the (snapped) configuration measured
 	Perf   float64 // observed performance
+	// Estimated reports that Perf came from the external layer's
+	// estimation gate (§4.3) rather than a real measurement. Estimated
+	// entries consume budget and steer the search like any committed
+	// evaluation, but they are not ground truth: experience deposits
+	// filter them out (see Trace.Measured).
+	Estimated bool
 }
 
 // Trace is the ordered history of explorations in one tuning session.
 type Trace []Evaluation
+
+// Measured returns the trace restricted to real measurements — entries the
+// estimation gate answered are dropped. Experience deposits use it so
+// estimates never masquerade as ground truth in the prior-run store. When
+// nothing was estimated the receiver itself is returned (no copy).
+func (t Trace) Measured() Trace {
+	estimated := 0
+	for _, e := range t {
+		if e.Estimated {
+			estimated++
+		}
+	}
+	if estimated == 0 {
+		return t
+	}
+	out := make(Trace, 0, len(t)-estimated)
+	for _, e := range t {
+		if !e.Estimated {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
 // Best returns the best evaluation under dir. It panics on an empty trace.
 func (t Trace) Best(dir Direction) Evaluation {
@@ -144,6 +173,29 @@ func (t Trace) InitialWindow(k int) Trace {
 	return t[:k]
 }
 
+// ExternalCache is the measure-once layer an Evaluator consults between
+// its own per-session bookkeeping and the real objective: a cross-session
+// config→perf memo with singleflight coalescing, optionally backed by the
+// §4.3 estimation gate (see the evalcache package).
+//
+// Contract: Lookup answers with a previously measured truth (estimated ==
+// false) or a gate estimate (estimated == true); Measure obtains the truth
+// for cfg, calling measure at most once across concurrent duplicate
+// requests (other callers of the same configuration share the one result)
+// and remembering it for future Lookups. Implementations must be safe for
+// concurrent use — EvalBatch and Speculate call them from worker
+// goroutines.
+//
+// Externally answered probes are committed to the trace exactly like
+// measurements (budget charge, trace index, tracer event), so with a
+// deterministic objective and exact-only answers the committed trajectory
+// is byte-identical to an uncached run — only the number of real objective
+// invocations drops.
+type ExternalCache interface {
+	Lookup(cfg Config) (perf float64, estimated, ok bool)
+	Measure(cfg Config, measure func() float64) float64
+}
+
 // Evaluator wraps an Objective with exploration counting, a snap-to-grid
 // step, a deduplication cache and trace recording. The cache mirrors the
 // tuning server's record of "all the parameter values together with the
@@ -164,6 +216,12 @@ type Evaluator struct {
 	// for parallel batches — so the stream is deterministic for
 	// deterministic objectives. Nil costs one branch per call.
 	Tracer Tracer
+	// External, when non-nil, is the measure-once layer consulted after a
+	// local cache miss and budget check: an external answer (prior truth,
+	// coalesced peer measurement, or gate estimate) is committed exactly
+	// like a fresh measurement. Ignored when DisableCache is set (the
+	// ablation mode re-measures everything by design).
+	External ExternalCache
 
 	cache map[string]float64
 	trace Trace
@@ -201,11 +259,32 @@ func (e *Evaluator) EvalConfig(cfg Config) (Config, float64, error) {
 	if e.MaxEvals > 0 && len(e.trace) >= e.MaxEvals {
 		return nil, 0, ErrBudget
 	}
-	perf := e.Objective.Measure(cfg)
-	e.cache[key] = perf
-	e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: perf})
-	emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: perf})
+	perf, estimated := e.measure(cfg)
+	e.commit(cfg, perf, estimated)
 	return cfg, perf, nil
+}
+
+// measure obtains the performance for cfg: through the external
+// measure-once layer when one is wired (exact hit, coalesced peer
+// measurement or gate estimate), through the real objective otherwise.
+// Safe to call from EvalBatch/Speculate worker goroutines.
+func (e *Evaluator) measure(cfg Config) (perf float64, estimated bool) {
+	if e.External == nil || e.DisableCache {
+		return e.Objective.Measure(cfg), false
+	}
+	if perf, est, ok := e.External.Lookup(cfg); ok {
+		return perf, est
+	}
+	return e.External.Measure(cfg, func() float64 { return e.Objective.Measure(cfg) }), false
+}
+
+// commit appends one evaluation to the cache and trace and emits its
+// tracer event. Must run on the evaluator's own goroutine (commit order is
+// the determinism guarantee).
+func (e *Evaluator) commit(cfg Config, perf float64, estimated bool) {
+	e.cache[cfg.Key()] = perf
+	e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: perf, Estimated: estimated})
+	emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: perf, Estimated: estimated})
 }
 
 // Seed injects an already-known (configuration, performance) pair without

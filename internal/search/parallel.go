@@ -81,8 +81,9 @@ func (e *Evaluator) EvalBatch(pts [][]float64, workers int) ([]Config, []float64
 		}
 	}
 	measured := make([]float64, allowed)
+	estimated := make([]bool, allowed)
 	panics := runWorkers(allowed, workers, func(i int) {
-		measured[i] = e.Objective.Measure(need[i])
+		measured[i], estimated[i] = e.measure(need[i])
 	})
 
 	// A panic in any worker must unwind the caller's goroutine, not crash
@@ -106,10 +107,7 @@ func (e *Evaluator) EvalBatch(pts [][]float64, workers int) ([]Config, []float64
 			}
 			continue
 		}
-		cfg := need[i]
-		e.cache[cfg.Key()] = measured[i]
-		e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: measured[i]})
-		emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: measured[i]})
+		e.commit(need[i], measured[i], estimated[i])
 	}
 	if repanic != nil {
 		panic(repanic)
@@ -169,8 +167,16 @@ func runWorkers(n, workers int, fn func(i int)) []any {
 // trace entries were appended, and the cache is untouched. Commit happens
 // selectively through EvalSpeculated. The zero value (or an empty
 // speculation) is valid and makes EvalSpeculated equivalent to Eval.
+//
+// When the evaluator carries an External measure-once layer, every value a
+// speculative round measures is remembered by that layer even if the round
+// never commits it — so a candidate measured, discarded, and probed again
+// iterations (or sessions) later costs nothing the second time. Before the
+// layer existed, discarded speculative measurements were simply re-measured
+// (the multipoint/pipelined path's duplicate-config double measurement).
 type Speculation struct {
 	perfs map[string]float64
+	est   map[string]bool // keys answered by the estimation gate
 }
 
 // Len reports how many distinct configurations the round measured.
@@ -196,7 +202,7 @@ func (s *Speculation) Len() int {
 // cache, whose re-measure-everything semantics have no speculative
 // equivalent) the round is empty and probes fall back to real evaluations.
 func (e *Evaluator) Speculate(pts [][]float64, workers int) *Speculation {
-	spec := &Speculation{perfs: map[string]float64{}}
+	spec := &Speculation{perfs: map[string]float64{}, est: map[string]bool{}}
 	if workers <= 1 || e.DisableCache {
 		return spec
 	}
@@ -211,6 +217,16 @@ func (e *Evaluator) Speculate(pts [][]float64, workers int) *Speculation {
 		seen[key] = true
 		if _, ok := e.cache[key]; ok {
 			continue
+		}
+		if e.External != nil {
+			// The measure-once layer may already know this candidate (a
+			// prior run, a peer session, or an earlier discarded round);
+			// answer it for free instead of queueing a measurement.
+			if perf, est, ok := e.External.Lookup(cfg); ok {
+				spec.perfs[key] = perf
+				spec.est[key] = est
+				continue
+			}
 		}
 		need = append(need, cfg)
 	}
@@ -227,8 +243,9 @@ func (e *Evaluator) Speculate(pts [][]float64, workers int) *Speculation {
 		return spec
 	}
 	perfs := make([]float64, len(need))
+	ests := make([]bool, len(need))
 	panics := runWorkers(len(need), workers, func(i int) {
-		perfs[i] = e.Objective.Measure(need[i])
+		perfs[i], ests[i] = e.measure(need[i])
 	})
 	for _, p := range panics {
 		if p != nil {
@@ -236,7 +253,9 @@ func (e *Evaluator) Speculate(pts [][]float64, workers int) *Speculation {
 		}
 	}
 	for i, cfg := range need {
-		spec.perfs[cfg.Key()] = perfs[i]
+		key := cfg.Key()
+		spec.perfs[key] = perfs[i]
+		spec.est[key] = ests[i]
 	}
 	return spec
 }
@@ -255,9 +274,7 @@ func (e *Evaluator) EvalSpeculated(pt []float64, spec *Speculation) (Config, flo
 				if e.MaxEvals > 0 && len(e.trace) >= e.MaxEvals {
 					return nil, 0, ErrBudget
 				}
-				e.cache[key] = perf
-				e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: perf})
-				emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: perf})
+				e.commit(cfg, perf, spec.est[key])
 				return cfg, perf, nil
 			}
 		}

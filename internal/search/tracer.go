@@ -66,6 +66,12 @@ type Event struct {
 	Perf float64 `json:"perf,omitempty"`
 	// Cached reports a cache hit (EventEval only).
 	Cached bool `json:"cached,omitempty"`
+	// Estimated reports that a committed evaluation's Perf came from the
+	// measure-once layer's estimation gate (§4.3) rather than a real
+	// measurement (EventEval only). Never set in exact-only cache mode, so
+	// the field's omitempty keeps exact-mode streams byte-identical to
+	// uncached ones.
+	Estimated bool `json:"estimated,omitempty"`
 	// Note carries free-form detail (which vertex a simplex op replaced,
 	// the fault description for budget charges, ...).
 	Note string `json:"note,omitempty"`

@@ -1,0 +1,115 @@
+package sensitivity
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"harmony/internal/search"
+)
+
+func parallelSpace(t *testing.T) *search.Space {
+	t.Helper()
+	return search.MustSpace(
+		search.Param{Name: "a", Min: 0, Max: 30, Step: 5, Default: 15},
+		search.Param{Name: "b", Min: 0, Max: 20, Step: 2, Default: 10},
+		search.Param{Name: "c", Min: 1, Max: 9, Step: 1, Default: 5},
+		search.Param{Name: "d", Min: 0, Max: 100, Step: 25, Default: 50},
+	)
+}
+
+// detObj is deterministic and concurrent-safe: pure function of the config.
+func detObj(cfg search.Config) float64 {
+	return 5*float64(cfg[0]) - 0.5*float64(cfg[1]*cfg[1]) + float64(cfg[2]) + 0.01*float64(cfg[3])
+}
+
+// TestParallelMatchesSequential: the parallel sweeps must reproduce the
+// sequential report bit for bit — order, sensitivities, eval count.
+func TestParallelMatchesSequential(t *testing.T) {
+	sp := parallelSpace(t)
+	seq, err := Analyze(sp, search.ObjectiveFunc(detObj), Options{Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := Analyze(sp, search.ObjectiveFunc(detObj), Options{Repeats: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Evals != seq.Evals {
+			t.Fatalf("workers=%d: evals = %d, want %d", workers, par.Evals, seq.Evals)
+		}
+		if !reflect.DeepEqual(par.Results, seq.Results) {
+			t.Fatalf("workers=%d: results diverged\npar: %+v\nseq: %+v", workers, par.Results, seq.Results)
+		}
+	}
+}
+
+// TestParallelBoundedConcurrency: the pool never runs more than Workers
+// measurements at once.
+func TestParallelBoundedConcurrency(t *testing.T) {
+	sp := parallelSpace(t)
+	const workers = 2
+	var mu sync.Mutex
+	inFlight, maxInFlight := 0, 0
+	obj := search.ObjectiveFunc(func(cfg search.Config) float64 {
+		mu.Lock()
+		inFlight++
+		if inFlight > maxInFlight {
+			maxInFlight = inFlight
+		}
+		mu.Unlock()
+		v := detObj(cfg)
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+		return v
+	})
+	if _, err := Analyze(sp, obj, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if maxInFlight > workers {
+		t.Fatalf("observed %d concurrent measurements, want <= %d", maxInFlight, workers)
+	}
+	if maxInFlight == 0 {
+		t.Fatal("no measurement ran")
+	}
+}
+
+// TestParallelSynchronizedObjective: a non-concurrent-safe objective
+// wrapped with search.Synchronized survives the parallel pool (run under
+// -race this is the soundness gate).
+func TestParallelSynchronizedObjective(t *testing.T) {
+	sp := parallelSpace(t)
+	calls := 0 // unsynchronized state: the wrapper must serialize access
+	obj := search.Synchronized(search.ObjectiveFunc(func(cfg search.Config) float64 {
+		calls++
+		return detObj(cfg)
+	}))
+	rep, err := Analyze(sp, obj, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != rep.Evals {
+		t.Fatalf("objective ran %d times, report says %d", calls, rep.Evals)
+	}
+}
+
+// TestParallelPanicPropagates: a measurement blowing up must unwind
+// Analyze's caller, not crash the process from a pool goroutine.
+func TestParallelPanicPropagates(t *testing.T) {
+	sp := parallelSpace(t)
+	obj := search.ObjectiveFunc(func(cfg search.Config) float64 {
+		if cfg[2] == 7 {
+			panic("measurement exploded")
+		}
+		return detObj(cfg)
+	})
+	defer func() {
+		if rec := recover(); rec != "measurement exploded" {
+			t.Fatalf("recovered %v, want the sweep's panic", rec)
+		}
+	}()
+	Analyze(sp, obj, Options{Workers: 4}) //nolint:errcheck
+	t.Fatal("Analyze returned despite a panicking sweep")
+}

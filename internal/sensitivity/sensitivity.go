@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"harmony/internal/search"
 	"harmony/internal/stats"
@@ -60,6 +61,14 @@ type Options struct {
 	Base search.Config
 	// DeltaV selects the sensitivity denominator (default DeltaVSpan).
 	DeltaV DeltaVMode
+	// Workers is how many parameter sweeps run concurrently (default 1,
+	// the sequential tool). Each parameter's sweep is one unit of work, so
+	// the useful maximum is the parameter count. The Objective must be
+	// safe for concurrent use when Workers > 1 — wrap it with
+	// search.Synchronized when it is not. For deterministic objectives the
+	// report (results order, sensitivities, Evals) is identical to the
+	// sequential run; only wall-clock changes.
+	Workers int
 }
 
 // ParamResult is the outcome of one parameter's sweep.
@@ -94,8 +103,14 @@ func Analyze(space *search.Space, obj search.Objective, opts Options) (*Report, 
 		return nil, fmt.Errorf("sensitivity: base configuration %v not in space", base)
 	}
 
-	rep := &Report{Space: space}
-	for i, p := range space.Params {
+	// One sweep per parameter; sweeps are independent (each holds the
+	// others at base), so they parallelize without changing any result.
+	// Results and eval counts land in per-parameter slots, keeping the
+	// report order-stable regardless of completion order.
+	results := make([]ParamResult, len(space.Params))
+	evals := make([]int, len(space.Params))
+	sweep := func(i int) {
+		p := space.Params[i]
 		values := p.Values()
 		sums := make([]float64, len(values))
 		for r := 0; r < opts.Repeats; r++ {
@@ -103,16 +118,68 @@ func Analyze(space *search.Space, obj search.Objective, opts Options) (*Report, 
 				cfg := base.Clone()
 				cfg[i] = v
 				sums[vi] += obj.Measure(cfg)
-				rep.Evals++
+				evals[i]++
 			}
 		}
 		means := make([]float64, len(values))
 		for vi := range sums {
 			means[vi] = sums[vi] / float64(opts.Repeats)
 		}
-		rep.Results = append(rep.Results, sweepResult(i, p, values, means, opts.Direction, opts.DeltaV))
+		results[i] = sweepResult(i, p, values, means, opts.Direction, opts.DeltaV)
+	}
+
+	workers := opts.Workers
+	if workers > len(space.Params) {
+		workers = len(space.Params)
+	}
+	if workers <= 1 {
+		for i := range space.Params {
+			sweep(i)
+		}
+	} else {
+		// A panic in any sweep (a measurement blowing up) re-raises on the
+		// caller's goroutine after every worker has stopped — the pool must
+		// never crash the process from an anonymous goroutine.
+		if p := runSweeps(len(space.Params), workers, sweep); p != nil {
+			panic(p)
+		}
+	}
+
+	rep := &Report{Space: space, Results: results}
+	for _, n := range evals {
+		rep.Evals += n
 	}
 	return rep, nil
+}
+
+// runSweeps runs fn(i) for i in [0, n) on up to `workers` goroutines,
+// waits for all of them, and returns the lowest-index panic value (nil
+// when every sweep completed cleanly).
+func runSweeps(n, workers int, fn func(i int)) any {
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics[i] = rec
+				}
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			return p
+		}
+	}
+	return nil
 }
 
 // sweepResult computes the sensitivity from one parameter's sweep means.

@@ -32,6 +32,14 @@ type Store interface {
 	// Flush forces durable backends to stable storage (no-op in memory).
 	// The graceful-shutdown drain calls it.
 	Flush() error
+	// WarmFill streams every stored (configuration, performance) truth
+	// under key to fn — the measure-once evaluation cache's hydration path
+	// at session registration. Unlike Match, which returns one experience
+	// for seeding, WarmFill covers the whole namespace: any configuration a
+	// prior run measured is a configuration this session need not pay for
+	// again. Implementations stream detached copies; fn runs without store
+	// locks held.
+	WarmFill(key string, fn func(cfg search.Config, perf float64))
 }
 
 // specKey derives the experience namespace key from the application name
@@ -127,6 +135,21 @@ func (s *memoryStore) Match(key string, chars []float64) (*history.Experience, b
 
 func (s *memoryStore) Flush() error { return nil }
 
+// WarmFill implements Store.
+func (s *memoryStore) WarmFill(key string, fn func(cfg search.Config, perf float64)) {
+	s.mu.Lock()
+	var recs []history.ConfigPerf
+	if ns := s.dbs[key]; ns != nil {
+		for _, e := range ns.db.Experiences {
+			recs = append(recs, e.Records...)
+		}
+	}
+	s.mu.Unlock()
+	for _, r := range recs {
+		fn(r.Config, r.Perf)
+	}
+}
+
 // DurableStore adapts an expdb.Store to the server's Store interface. A
 // failed deposit is logged and dropped rather than failing the session —
 // losing one trace to a disk hiccup beats killing a client mid-tune.
@@ -160,3 +183,8 @@ func (d *DurableStore) Match(key string, chars []float64) (*history.Experience, 
 
 // Flush implements Store.
 func (d *DurableStore) Flush() error { return d.DB.Flush() }
+
+// WarmFill implements Store.
+func (d *DurableStore) WarmFill(key string, fn func(cfg search.Config, perf float64)) {
+	d.DB.WalkRecords(key, fn)
+}

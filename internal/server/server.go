@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"harmony/internal/evalcache"
 	"harmony/internal/expdb"
 	"harmony/internal/obs"
 	"harmony/internal/rsl"
@@ -95,6 +96,27 @@ type Server struct {
 	// ExperienceKeepRecords is how many best measurements each experience
 	// keeps through compaction (0 = DefaultExperienceKeepRecords).
 	ExperienceKeepRecords int
+	// EvalCache selects the measure-once evaluation cache scope: CacheOff
+	// (the default) keeps the historical behaviour, CacheSession gives each
+	// session a private cache warm-filled from the experience store, and
+	// CacheShared additionally coalesces duplicate measurements across the
+	// live sessions of one (app, spec) namespace. Exact-only caching is
+	// trajectory-preserving for deterministic objectives. Set before Listen.
+	EvalCache CacheScope
+	// EstimateGate enables the §4.3 estimation-gated short-circuit on top
+	// of the exact-hit memo: probes whose k-NN support is close and tight
+	// are answered from the triangulation plane fit instead of a client
+	// round-trip. Gated answers steer the search (they are committed like
+	// measurements but flagged Estimated and excluded from experience
+	// deposits), so the gate is opt-in. Ignored when EvalCache is CacheOff.
+	EstimateGate bool
+	// GateOptions tune the estimation gate; zero values select the
+	// conservative defaults (see evalcache.GateOptions).
+	GateOptions evalcache.GateOptions
+	// CacheMetrics, when set, receives the harmony_eval_cache_* counter
+	// family (hits, misses, coalesced, estimated, saved seconds, size).
+	// Build it with evalcache.NewMetrics(registry); nil disables.
+	CacheMetrics *evalcache.Metrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -104,6 +126,10 @@ type Server struct {
 
 	// expOnce guards the lazy default construction of Experience.
 	expOnce sync.Once
+
+	// cacheMu guards caches, the shared-scope per-namespace registry.
+	cacheMu sync.Mutex
+	caches  map[string]*namespaceCache
 }
 
 // Defaults for the in-memory experience store's compaction knobs — the
@@ -922,18 +948,34 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 	ev.MaxEvals = maxEvals
 	tracer := search.StampSession(s.Tracer, id)
 	ev.Tracer = tracer
+	// The measure-once layer: exact hits (this session, peers, prior runs)
+	// and coalesced in-flight duplicates skip the client round-trip; the
+	// optional estimation gate answers well-supported probes from the §4.3
+	// plane fit. The layer keys by kernel-space configurations — the same
+	// coordinates experiences are stored in — so warm fills and live
+	// probes meet in one namespace. Cancel ties follower waits to this
+	// session's lifetime.
+	if layer := s.evalLayer(key, space, sess.abort); layer != nil {
+		ev.External = layer
+	}
 
 	go func() {
 		defer close(sess.kernelDone)
 		defer func() {
 			if rec := recover(); rec != nil {
-				if err, ok := rec.(error); ok && errors.Is(err, errAborted) {
+				err, isErr := rec.(error)
+				// evalcache.ErrCanceled is a follower wait cut short by this
+				// session's abort — the same "client went away" condition as
+				// errAborted, surfacing through the measure-once layer.
+				if isErr && (errors.Is(err, errAborted) || errors.Is(err, evalcache.ErrCanceled)) {
 					// Abnormal disconnect: deposit whatever was measured so
 					// the experience survives for future sessions (§4.2) —
 					// and say so: a silently dropped (or silently kept)
 					// partial trace is invisible to operators otherwise.
+					// Measured() keeps gate estimates out of the store: an
+					// estimate must never masquerade as prior-run truth.
 					tr := ev.Trace()
-					sess.deposited = store.Record(key, reg.Characteristics, dir, tr)
+					sess.deposited = store.Record(key, reg.Characteristics, dir, tr.Measured())
 					if sess.deposited {
 						s.m().PartialDeposits.Inc()
 					}
@@ -961,7 +1003,9 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 			return
 		}
 		// Deposit the session's tuning experience for future sessions.
-		sess.deposited = store.Record(key, reg.Characteristics, dir, res.Trace)
+		// Measured() drops estimation-gate answers — only ground truth
+		// enters the prior-run store.
+		sess.deposited = store.Record(key, reg.Characteristics, dir, res.Trace.Measured())
 		sess.resultCh <- res
 	}()
 	return sess, nil
