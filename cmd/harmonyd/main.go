@@ -72,6 +72,8 @@ func main() {
 	gateMaxDist := flag.Float64("gate-max-dist", evalcache.DefaultGateMaxDist, "estimation gate: max normalized distance from the target to any fitted vertex")
 	gateMaxResidual := flag.Float64("gate-max-residual", evalcache.DefaultGateMaxRelResidual, "estimation gate: max plane-fit RMS residual relative to the vertex performance scale")
 	gateMinRecords := flag.Int("gate-min-records", 0, "estimation gate: distinct truths required before estimating (0 = 3*(dim+1))")
+	maxWindow := flag.Int("max-window", 0, "pipeline depth cap granted to protocol v2/v3 clients (0 = default 32; 1 or negative forces lockstep)")
+	connShards := flag.Int("conn-shards", 0, "connection-table stripe count, rounded up to a power of two (0 = default 64); raise for very high session churn")
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -90,6 +92,8 @@ func main() {
 	s.ExperienceMergeDist = *mergeDist
 	s.ExperienceKeepRecords = *keepRecords
 	s.EvalCache = cacheScope
+	s.MaxWindow = *maxWindow
+	s.ConnShards = *connShards
 	s.EstimateGate = *estimateGate
 	s.GateOptions = evalcache.GateOptions{
 		MaxVertexDist:  *gateMaxDist,

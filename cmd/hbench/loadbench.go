@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harmony/internal/obs"
+	"harmony/internal/search"
+	"harmony/internal/server"
+)
+
+// loadRSL is the tuning space every load session registers: the classic
+// two-parameter quadratic from the paper's running example. The objective
+// is computed inline (no sleeps), so the bench measures the protocol and
+// server stack, not a simulated application.
+const loadRSL = `
+{ harmonyBundle x { int {0 60 1} } }
+{ harmonyBundle y { int {0 60 1} } }
+`
+
+// loadBenchReport is the BENCH_load.json artifact: the same session
+// schedule driven over the JSON (v2) and binary (v3) framings against a
+// live server, with throughput, fetch-latency percentiles, allocation
+// rates and error counts per mode. Regenerate with:
+//
+//	hbench -sessions 1000 > BENCH_load.json
+//
+// Wall-clock and latency fields vary by machine; the session/exchange
+// counts and the error columns are deterministic for a healthy run.
+type loadBenchReport struct {
+	Bench       string          `json:"bench"`
+	Sessions    int             `json:"sessions"`
+	EvalsPer    int             `json:"evals_per_session"`
+	Window      int             `json:"window"`
+	Concurrency int             `json:"concurrency"`
+	Addr        string          `json:"addr"` // "" = in-process server over loopback
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Modes       []loadBenchMode `json:"modes"`
+	// SpeedupV3 and AllocRatioV3 compare the binary framing against the
+	// JSON baseline when both modes ran: sessions/sec ratio (higher is
+	// better) and allocs/op ratio (lower is better).
+	SpeedupV3    float64 `json:"speedup_v3,omitempty"`
+	AllocRatioV3 float64 `json:"alloc_ratio_v3,omitempty"`
+}
+
+// loadBenchMode is one framing's outcome over the whole schedule.
+type loadBenchMode struct {
+	Proto          string  `json:"proto"` // v2-json | v3-binary
+	Completed      int     `json:"completed"`
+	WallMS         float64 `json:"wall_ms"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	Exchanges      int     `json:"exchanges"`
+	ExchangesPerSec float64 `json:"exchanges_per_sec"`
+	// Fetch-exchange latency percentiles in microseconds (one measurement
+	// round trip: report+fetch in, config out).
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// AllocsPerOp is the process-wide heap allocation count per exchange
+	// (client, wire and server stack together — the bench runs the server
+	// in-process unless -load-addr points elsewhere).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Error columns. A healthy run has zeros everywhere; the bench used to
+	// silently ignore dial failures, which made overload invisible — now
+	// every failed session is accounted to exactly one column.
+	DialErrors     int `json:"dial_errors"`
+	SessionErrors  int `json:"session_errors"`
+	ProtocolErrors int `json:"protocol_errors"`
+}
+
+// loadBench drives -sessions concurrent tuning sessions over each selected
+// framing and writes the comparison as JSON on stdout.
+func loadBench(rt *obs.Runtime, sessions, evals, window, concurrency int, proto, addr string) error {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if concurrency > sessions {
+		concurrency = sessions
+	}
+	rep := loadBenchReport{
+		Bench:       "load",
+		Sessions:    sessions,
+		EvalsPer:    evals,
+		Window:      window,
+		Concurrency: concurrency,
+		Addr:        addr,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	var protos []int
+	switch proto {
+	case "both":
+		protos = []int{2, 3}
+	case "2", "json":
+		protos = []int{2}
+	case "3", "binary":
+		protos = []int{3}
+	default:
+		return fmt.Errorf("load bench: unknown -load-proto %q (want both, 2 or 3)", proto)
+	}
+
+	for _, p := range protos {
+		mode, err := runLoadMode(rt, p, sessions, evals, window, concurrency, addr)
+		if err != nil {
+			return err
+		}
+		rep.Modes = append(rep.Modes, mode)
+		rt.Logger.Info("load mode complete", "proto", mode.Proto,
+			"sessions_per_sec", fmt.Sprintf("%.1f", mode.SessionsPerSec),
+			"p99_us", fmt.Sprintf("%.0f", mode.P99Micros),
+			"allocs_per_op", fmt.Sprintf("%.1f", mode.AllocsPerOp),
+			"dial_errors", mode.DialErrors, "session_errors", mode.SessionErrors)
+	}
+	if len(rep.Modes) == 2 && rep.Modes[0].SessionsPerSec > 0 && rep.Modes[0].AllocsPerOp > 0 {
+		rep.SpeedupV3 = rep.Modes[1].SessionsPerSec / rep.Modes[0].SessionsPerSec
+		rep.AllocRatioV3 = rep.Modes[1].AllocsPerOp / rep.Modes[0].AllocsPerOp
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runLoadMode runs the whole session schedule over one framing.
+func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency int, addr string) (loadBenchMode, error) {
+	name := "v2-json"
+	if proto >= 3 {
+		name = "v3-binary"
+	}
+	mode := loadBenchMode{Proto: name}
+
+	// In-process server over real loopback TCP unless -load-addr points at
+	// an external daemon.
+	if addr == "" {
+		s := server.NewServer()
+		a, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			return mode, fmt.Errorf("load bench: %w", err)
+		}
+		defer s.Close()
+		addr = a.String()
+	}
+
+	var (
+		completed  atomic.Int64
+		exchanges  atomic.Int64
+		dialErrs   atomic.Int64
+		sessErrs   atomic.Int64
+		protoErrs  atomic.Int64
+		latMu      sync.Mutex
+		latencies  []time.Duration
+		sem        = make(chan struct{}, concurrency)
+		wg         sync.WaitGroup
+	)
+
+	// Quiesce the heap so the allocation delta belongs to this mode alone.
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lats, n, err := runLoadSession(addr, proto, evals, window)
+			exchanges.Add(int64(n))
+			if len(lats) > 0 {
+				latMu.Lock()
+				latencies = append(latencies, lats...)
+				latMu.Unlock()
+			}
+			if err != nil {
+				// Every failed session lands in exactly one error column —
+				// dial failures used to vanish silently here.
+				switch {
+				case errors.Is(err, server.ErrServerGone) && n == 0 && len(lats) == 0:
+					dialErrs.Add(1)
+				case errors.Is(err, server.ErrProtocol):
+					protoErrs.Add(1)
+				default:
+					sessErrs.Add(1)
+				}
+				return
+			}
+			completed.Add(1)
+		}()
+	}
+	wg.Wait()
+
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	mode.Completed = int(completed.Load())
+	mode.WallMS = float64(wall) / float64(time.Millisecond)
+	if wall > 0 {
+		mode.SessionsPerSec = float64(mode.Completed) / wall.Seconds()
+		mode.ExchangesPerSec = float64(exchanges.Load()) / wall.Seconds()
+	}
+	mode.Exchanges = int(exchanges.Load())
+	if mode.Exchanges > 0 {
+		mode.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(mode.Exchanges)
+	}
+	mode.DialErrors = int(dialErrs.Load())
+	mode.SessionErrors = int(sessErrs.Load())
+	mode.ProtocolErrors = int(protoErrs.Load())
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		mode.P50Micros = float64(latencies[len(latencies)/2]) / float64(time.Microsecond)
+		mode.P99Micros = float64(latencies[len(latencies)*99/100]) / float64(time.Microsecond)
+	}
+	_ = rt
+	return mode, nil
+}
+
+// runLoadSession is one client: dial, register, tune the quadratic to its
+// eval budget, and time every measurement exchange. It returns the
+// exchange latencies, the exchange count, and the terminal error (nil on
+// a completed session).
+func runLoadSession(addr string, proto, evals, window int) ([]time.Duration, int, error) {
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer c.Close()
+	opts := server.RegisterOptions{MaxEvals: evals, Improved: true, Proto: proto, Window: window}
+	if _, err := c.Register(loadRSL, opts); err != nil {
+		return nil, 0, err
+	}
+
+	quad := func(cfg search.Config) float64 {
+		dx, dy := float64(cfg[0]-20), float64(cfg[1]-45)
+		return 1000 - dx*dx - dy*dy
+	}
+
+	if window > 1 {
+		// Pipelined drive: latency percentiles are not meaningful per
+		// exchange here (replies overlap), so only count exchanges.
+		n := 0
+		var mu sync.Mutex
+		_, err := c.TuneParallel(func(cfg search.Config) float64 {
+			mu.Lock()
+			n++
+			mu.Unlock()
+			return quad(cfg)
+		}, window)
+		return nil, n, err
+	}
+
+	lats := make([]time.Duration, 0, evals)
+	t0 := time.Now()
+	cfg, done, err := c.Fetch()
+	lats = append(lats, time.Since(t0))
+	n := 1
+	for err == nil && !done {
+		perf := quad(cfg)
+		t0 = time.Now()
+		cfg, done, err = c.ReportAndFetch(perf)
+		lats = append(lats, time.Since(t0))
+		n++
+	}
+	return lats, n, err
+}

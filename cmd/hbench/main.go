@@ -53,6 +53,13 @@ func main() {
 		workers  = flag.Int("workers", 1, "trajectory mode: concurrent measurements (the parallel simplex kernel; 1 = sequential)")
 		latency  = flag.Duration("latency", 0, "trajectory/cache-bench mode: added per-measurement latency, simulating a slow benchmark harness")
 		cacheB   = flag.Bool("cache-bench", false, "run the measure-once evaluation-cache benchmark and emit BENCH_eval_cache.json on stdout")
+
+		sessions  = flag.Int("sessions", 0, "load mode: drive this many tuning sessions against a live server (in-process unless -load-addr) and emit BENCH_load.json on stdout")
+		loadProto = flag.String("load-proto", "both", "load mode: framings to drive — both, 2 (JSON) or 3 (binary)")
+		loadAddr  = flag.String("load-addr", "", "load mode: address of an external harmonyd to drive over loopback (default: in-process server)")
+		loadConc  = flag.Int("load-concurrency", 64, "load mode: sessions in flight at once")
+		loadEvals = flag.Int("load-evals", 40, "load mode: measurement budget per session")
+		loadWin   = flag.Int("load-window", 1, "load mode: pipeline window per session (1 = lockstep)")
 	)
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -70,6 +77,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer rt.Close()
+
+	if *sessions > 0 {
+		if err := loadBench(rt, *sessions, *loadEvals, *loadWin, *loadConc, *loadProto, *loadAddr); err != nil {
+			rt.Logger.Error("load bench failed", "err", err)
+			rt.Close()
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cacheB {
 		if err := cacheBench(rt, *target, *seed, *budget, *latency); err != nil {

@@ -45,6 +45,7 @@ func main() {
 	expectWarm := flag.Bool("expect-warm", false, "exit 1 unless the server warm-starts this session")
 	timeout := flag.Duration("timeout", 5*time.Second, "dial and I/O timeout")
 	workers := flag.Int("workers", 1, "concurrent measurements over the pipelined protocol (1 = lockstep v1)")
+	proto := flag.Int("proto", 2, "wire framing generation: 2 = JSON lines, 3 = length-prefixed binary")
 	flag.Parse()
 
 	characteristics, err := parseChars(*chars)
@@ -68,6 +69,7 @@ func main() {
 		App:             *app,
 		Characteristics: characteristics,
 		Window:          window,
+		Proto:           *proto,
 	}); err != nil {
 		fatalf("register: %v", err)
 	}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// paddedUint64 is an atomic counter slot padded out to its own cache line,
+// so two shards hammering adjacent slots never false-share. 64 bytes is the
+// line size on every amd64/arm64 part we run on; the padding assumes the
+// slot starts line-aligned, which the slice allocator gives us for a
+// 64-byte element type.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// ShardedCounter is a monotonically increasing counter striped across
+// cache-line-padded slots. A plain Counter is one atomic word: at thousands
+// of concurrent sessions every Inc bounces the same cache line between
+// cores. A ShardedCounter lets each session pin a shard (any int — it is
+// masked down) so the hot path touches a line no other core owns; reads sum
+// the stripes. It registers and exposes exactly like a Counter: one
+// Prometheus sample carrying the total.
+//
+// A nil *ShardedCounter is a valid no-op handle.
+type ShardedCounter struct {
+	meta
+	slots []paddedUint64 // power-of-two length
+	mask  uint64
+}
+
+// ShardedCounter returns (registering on first use) the named sharded
+// counter with at least the requested stripe count (rounded up to a power
+// of two; values < 1 take 1). Re-registration returns the existing handle;
+// the stripe count of the first registration wins.
+func (r *Registry) ShardedCounter(name, help string, shards int) *ShardedCounter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, func() metric {
+		n := 1
+		for n < shards {
+			n <<= 1
+		}
+		return &ShardedCounter{
+			meta:  meta{metricName: name, metricHelp: help},
+			slots: make([]paddedUint64, n),
+			mask:  uint64(n - 1),
+		}
+	})
+	c, ok := m.(*ShardedCounter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+	}
+	return c
+}
+
+// Inc adds one on the given shard (masked into range; any int is safe).
+func (c *ShardedCounter) Inc(shard int) { c.Add(shard, 1) }
+
+// Add increases the shard's stripe by n (negative n is ignored: counters
+// are monotone).
+func (c *ShardedCounter) Add(shard, n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.slots[uint64(shard)&c.mask].v.Add(uint64(n))
+}
+
+// Value returns the summed total across all stripes (0 on a nil handle).
+// The sum is not a consistent snapshot under concurrent updates — like any
+// Prometheus counter scrape, it is monotone but may lag individual adds.
+func (c *ShardedCounter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.slots {
+		total += c.slots[i].v.Load()
+	}
+	return total
+}
+
+// Shards reports the stripe count (0 on a nil handle).
+func (c *ShardedCounter) Shards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.slots)
+}
+
+func (c *ShardedCounter) typeName() string { return "counter" }
+
+func (c *ShardedCounter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.metricName, c.Value())
+}

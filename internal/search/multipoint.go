@@ -2,7 +2,6 @@ package search
 
 import (
 	"fmt"
-	"sort"
 )
 
 // polishFrac is the simplex scale (fraction of each parameter's range) of
@@ -154,9 +153,7 @@ func nelderMeadMultiPoint(space *Space, ev *Evaluator, opts NelderMeadOptions, p
 	}
 
 	better := func(a, b float64) bool { return dir.Better(a, b) }
-	sortVerts := func() {
-		sort.SliceStable(verts, func(i, j int) bool { return better(verts[i].perf, verts[j].perf) })
-	}
+	sortVerts := func() { sortVertices(verts, better) }
 	sortVerts()
 
 	step := func(op string, iter int, perf float64, note string) {

@@ -2,7 +2,6 @@ package search
 
 import (
 	"fmt"
-	"sort"
 )
 
 // NelderMeadOptions configures the simplex search.
@@ -111,6 +110,22 @@ type Result struct {
 type vertex struct {
 	pt   []float64
 	perf float64
+}
+
+// sortVertices orders a simplex best-to-worst under better. It is a stable
+// insertion sort: the simplex has dim+1 vertices (a handful), and the kernel
+// re-sorts every iteration, so avoiding sort.SliceStable's per-call closure
+// and reflection swapper keeps the iteration allocation-free.
+func sortVertices(verts []vertex, better func(a, b float64) bool) {
+	for i := 1; i < len(verts); i++ {
+		v := verts[i]
+		j := i - 1
+		for j >= 0 && better(v.perf, verts[j].perf) {
+			verts[j+1] = verts[j]
+			j--
+		}
+		verts[j+1] = v
+	}
 }
 
 // NelderMead runs the adapted simplex search over the space.
@@ -249,9 +264,7 @@ func nelderMead(space *Space, ev *Evaluator, opts NelderMeadOptions) (*Result, e
 
 	// worse(a, b) orders vertices from best to worst under dir.
 	better := func(a, b float64) bool { return dir.Better(a, b) }
-	sortVerts := func() {
-		sort.SliceStable(verts, func(i, j int) bool { return better(verts[i].perf, verts[j].perf) })
-	}
+	sortVerts := func() { sortVertices(verts, better) }
 	sortVerts()
 
 	probe := func(spec *Speculation, pt []float64) (float64, bool) {

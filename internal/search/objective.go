@@ -3,6 +3,7 @@ package search
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Direction states whether larger or smaller objective values are better.
@@ -226,6 +227,22 @@ type Evaluator struct {
 	cache map[string]float64
 	trace Trace
 	hits  int
+	// keyBuf is EvalConfig's reusable key scratch: probing the cache with
+	// string(keyBuf) compiles to an allocation-free map lookup, so only a
+	// committed measurement materializes its key string. Safe because
+	// EvalConfig runs on the evaluator's own goroutine.
+	keyBuf []byte
+}
+
+// appendKey appends cfg's canonical key form (identical to Config.Key) to b.
+func appendKey(b []byte, c Config) []byte {
+	for i, v := range c {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return b
 }
 
 // NewEvaluator returns an Evaluator over the space and objective.
@@ -248,11 +265,13 @@ func (e *Evaluator) EvalConfig(cfg Config) (Config, float64, error) {
 	if !e.Space.Contains(cfg) {
 		return nil, 0, fmt.Errorf("search: configuration %v not in space", cfg)
 	}
-	key := cfg.Key()
+	e.keyBuf = appendKey(e.keyBuf[:0], cfg)
 	if !e.DisableCache {
-		if perf, ok := e.cache[key]; ok {
+		if perf, ok := e.cache[string(e.keyBuf)]; ok { // alloc-free lookup
 			e.hits++
-			emit(e.Tracer, Event{Type: EventEval, Index: -1, Config: cfg.Clone(), Perf: perf, Cached: true})
+			if e.Tracer != nil {
+				emit(e.Tracer, Event{Type: EventEval, Index: -1, Config: cfg.Clone(), Perf: perf, Cached: true})
+			}
 			return cfg, perf, nil
 		}
 	}
@@ -260,7 +279,7 @@ func (e *Evaluator) EvalConfig(cfg Config) (Config, float64, error) {
 		return nil, 0, ErrBudget
 	}
 	perf, estimated := e.measure(cfg)
-	e.commit(cfg, perf, estimated)
+	e.commitKeyed(cfg, string(e.keyBuf), perf, estimated)
 	return cfg, perf, nil
 }
 
@@ -282,9 +301,19 @@ func (e *Evaluator) measure(cfg Config) (perf float64, estimated bool) {
 // tracer event. Must run on the evaluator's own goroutine (commit order is
 // the determinism guarantee).
 func (e *Evaluator) commit(cfg Config, perf float64, estimated bool) {
-	e.cache[cfg.Key()] = perf
-	e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: cfg.Clone(), Perf: perf, Estimated: estimated})
-	emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: cfg.Clone(), Perf: perf, Estimated: estimated})
+	e.commitKeyed(cfg, cfg.Key(), perf, estimated)
+}
+
+// commitKeyed is commit with the map key precomputed (EvalConfig already
+// built it for the cache probe). The trace entry and the tracer event share
+// one clone — both treat the configuration as immutable.
+func (e *Evaluator) commitKeyed(cfg Config, key string, perf float64, estimated bool) {
+	e.cache[key] = perf
+	kept := cfg.Clone()
+	e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: kept, Perf: perf, Estimated: estimated})
+	if e.Tracer != nil {
+		emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: kept, Perf: perf, Estimated: estimated})
+	}
 }
 
 // Seed injects an already-known (configuration, performance) pair without

@@ -64,7 +64,9 @@ func (e *Evaluator) EvalBatch(pts [][]float64, workers int) ([]Config, []float64
 			need = append(need, cfgs[i])
 		} else {
 			e.hits++
-			emit(e.Tracer, Event{Type: EventEval, Index: -1, Config: cfgs[i].Clone(), Perf: perf, Cached: true})
+			if e.Tracer != nil {
+				emit(e.Tracer, Event{Type: EventEval, Index: -1, Config: cfgs[i].Clone(), Perf: perf, Cached: true})
+			}
 		}
 	}
 

@@ -105,6 +105,7 @@ func (c Config) Equal(other Config) bool {
 // Key returns a canonical string form usable as a map key.
 func (c Config) Key() string {
 	var b strings.Builder
+	b.Grow(8 * len(c)) // one allocation for typical values
 	for i, v := range c {
 		if i > 0 {
 			b.WriteByte(',')

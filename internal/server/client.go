@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math/rand"
 	"net"
@@ -35,11 +36,19 @@ var (
 // measurements in flight at once.
 type Client struct {
 	conn net.Conn
-	r    *bufio.Scanner
+	br   *bufio.Reader
 	w    *bufio.Writer
+	tr   transport
+	// proto is the wire framing generation in use: 2 for the JSON line
+	// protocol (the default), 3 after a binary-framing registration.
+	proto int
 	// wmu serializes writes: in a pipelined session several measurement
 	// workers send reports and fetch credits on the same connection.
 	wmu sync.Mutex
+	// pair is sendPair's scratch: a persistent backing array for the
+	// report+fetch coalesced write, so the per-measurement hot path never
+	// allocates a variadic slice. Touched only under wmu.
+	pair [2]message
 
 	// OpTimeout bounds each protocol exchange (one send plus the matching
 	// reply read). 0 means no deadline. Set it when the server could hang.
@@ -88,6 +97,14 @@ type RegisterOptions struct {
 	// grants at most its own cap; Client.Window reports the granted depth
 	// after Register. 0 or 1 keeps the lockstep v1 exchange.
 	Window int
+	// Proto selects the wire framing generation: 0 (or 2) keeps the
+	// line-oriented JSON framing whose bytes are pinned, 3 switches the
+	// connection to length-prefixed binary frames before the register
+	// message goes out (the client leads with the v3 magic preamble).
+	// Binary framing composes with Window: the session semantics are
+	// unchanged, only the encoding and the report acks differ. Register
+	// must be the connection's first exchange for the switch to be legal.
+	Proto int
 }
 
 // DialOptions configure connection establishment and per-operation
@@ -161,11 +178,10 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // ErrServerGone when every attempt failed.
 func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
 	opts.fill()
-	seed := opts.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
-	rng := rand.New(rand.NewSource(seed))
+	// The jitter source is built lazily: the common case is a first-attempt
+	// success, and seeding a rand.Rand per dial is measurable at
+	// thousand-session scale.
+	var rng *rand.Rand
 	log := opts.Logger
 	if log == nil {
 		log = obs.Nop()
@@ -174,6 +190,13 @@ func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			if rng == nil {
+				seed := opts.Seed
+				if seed == 0 {
+					seed = time.Now().UnixNano()
+				}
+				rng = rand.New(rand.NewSource(seed))
+			}
 			pause := opts.backoff(attempt-1, rng)
 			log.Warn("dial failed; backing off",
 				"addr", addr, "attempt", attempt, "of", attempts,
@@ -199,12 +222,36 @@ func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
 
 // NewClientConn wraps an established connection (any net.Conn — a TCP
 // socket, a TLS session, or a fault-injection wrapper in tests) as a
-// Client.
+// Client speaking the JSON line framing. Register with a Proto of 3 to
+// negotiate binary frames.
 func NewClientConn(conn net.Conn) *Client {
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}
+	c := &Client{
+		conn:  conn,
+		br:    bufio.NewReaderSize(conn, 16*1024),
+		w:     bufio.NewWriter(conn),
+		proto: 2,
+	}
+	c.tr = newJSONWire(c.br, c.w, c.beforeRead, c.beforeWrite)
+	return c
 }
+
+// beforeRead/beforeWrite are the transport deadline hooks; they read
+// OpTimeout at call time, so setting it after construction takes effect.
+func (c *Client) beforeRead() {
+	if c.OpTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.OpTimeout))
+	}
+}
+
+func (c *Client) beforeWrite() {
+	if c.OpTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.OpTimeout))
+	}
+}
+
+// Proto reports the wire framing generation in use: 2 for the JSON line
+// protocol, 3 after a binary-framing registration.
+func (c *Client) Proto() int { return c.proto }
 
 // closeQuitTimeout bounds the best-effort quit write in Close when no
 // OpTimeout is configured: closing against a server that stopped draining
@@ -249,47 +296,84 @@ func (c *Client) logTransport(op string, err error) {
 }
 
 func (c *Client) send(m message) error {
-	b, err := encode(m)
-	if err != nil {
-		return err
-	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if c.OpTimeout > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(c.OpTimeout))
-	}
-	if _, err := c.w.Write(b); err != nil {
-		c.logTransport("write "+m.Op, err)
-		return fmt.Errorf("%w: write: %v", ErrServerGone, err)
-	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.tr.send(m); err != nil {
 		c.logTransport("write "+m.Op, err)
 		return fmt.Errorf("%w: write: %v", ErrServerGone, err)
 	}
 	return nil
 }
 
-func (c *Client) recv() (message, error) {
-	if c.OpTimeout > 0 {
-		c.conn.SetReadDeadline(time.Now().Add(c.OpTimeout))
-	}
-	if !c.r.Scan() {
-		if err := c.r.Err(); err != nil {
-			c.logTransport("read", err)
-			if errors.Is(err, bufio.ErrTooLong) {
-				// An oversized frame is a broken conversation, not a dead
-				// transport: reconnect-and-retry cannot help, so classify
-				// it as a protocol error rather than ErrServerGone.
-				return message{}, fmt.Errorf("%w: server sent a line over the 1 MiB frame cap", ErrProtocol)
+// sendBatch queues several messages and flushes once — one socket write
+// for a v3 report+fetch exchange.
+func (c *Client) sendBatch(ms ...message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	bt, ok := c.tr.(batchTransport)
+	if !ok {
+		for _, m := range ms {
+			if err := c.tr.send(m); err != nil {
+				c.logTransport("write "+m.Op, err)
+				return fmt.Errorf("%w: write: %v", ErrServerGone, err)
 			}
-			return message{}, fmt.Errorf("%w: read: %v", ErrServerGone, err)
 		}
-		c.logTransport("read", errors.New("connection closed"))
-		return message{}, fmt.Errorf("%w: server closed the connection", ErrServerGone)
+		return nil
 	}
-	m, err := decode(c.r.Bytes())
+	if err := bt.sendBatch(ms...); err != nil {
+		c.logTransport("write batch", err)
+		return fmt.Errorf("%w: write: %v", ErrServerGone, err)
+	}
+	return nil
+}
+
+// sendPair coalesces exactly two messages into one flush through the
+// client-owned scratch pair — the allocation-free form of sendBatch for the
+// report+fetch exchange that dominates a tuning session.
+func (c *Client) sendPair(a, b message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	bt, ok := c.tr.(batchTransport)
+	if !ok {
+		for _, m := range []message{a, b} {
+			if err := c.tr.send(m); err != nil {
+				c.logTransport("write "+m.Op, err)
+				return fmt.Errorf("%w: write: %v", ErrServerGone, err)
+			}
+		}
+		return nil
+	}
+	c.pair[0], c.pair[1] = a, b
+	err := bt.sendBatch(c.pair[:]...)
+	c.pair[0], c.pair[1] = message{}, message{} // no stale slice references
 	if err != nil {
-		return message{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+		c.logTransport("write batch", err)
+		return fmt.Errorf("%w: write: %v", ErrServerGone, err)
+	}
+	return nil
+}
+
+func (c *Client) recv() (message, error) {
+	m, err := c.tr.recv()
+	if err != nil {
+		var g *garbageError
+		switch {
+		case errors.As(err, &g):
+			// Undecodable reply: the conversation is broken, not the
+			// transport — reconnect-and-retry cannot help.
+			return message{}, fmt.Errorf("%w: %v", ErrProtocol, g)
+		case errors.Is(err, errFrameTooBig):
+			c.logTransport("read", err)
+			return message{}, fmt.Errorf("%w: server sent a line over the 1 MiB frame cap", ErrProtocol)
+		case errors.Is(err, io.EOF):
+			c.logTransport("read", errors.New("connection closed"))
+			return message{}, fmt.Errorf("%w: server closed the connection", ErrServerGone)
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			c.logTransport("read", err)
+			return message{}, fmt.Errorf("%w: connection died mid-frame", ErrServerGone)
+		}
+		c.logTransport("read", err)
+		return message{}, fmt.Errorf("%w: read: %v", ErrServerGone, err)
 	}
 	if m.Op == "error" {
 		return message{}, fmt.Errorf("%w: server: %s", ErrProtocol, m.Msg)
@@ -303,6 +387,21 @@ func (c *Client) Register(rslText string, opts RegisterOptions) ([]string, error
 	dir := "max"
 	if opts.Minimize {
 		dir = "min"
+	}
+	if opts.Proto >= 3 {
+		// Switch to binary framing before the first byte goes out: the
+		// magic preamble is buffered ahead of the register frame and both
+		// leave in one write. The server has sent nothing yet (register is
+		// the first exchange), so the JSON reader is safely abandoned.
+		c.wmu.Lock()
+		if _, err := c.w.Write(v3Magic[:]); err != nil {
+			c.wmu.Unlock()
+			c.logTransport("write preamble", err)
+			return nil, fmt.Errorf("%w: write: %v", ErrServerGone, err)
+		}
+		c.tr = newBinWire(c.br, c.w, c.beforeRead, c.beforeWrite)
+		c.proto = 3
+		c.wmu.Unlock()
 	}
 	err := c.send(message{
 		Op: "register", RSL: rslText, Direction: dir,
@@ -352,6 +451,11 @@ func (c *Client) Fetch() (cfg search.Config, done bool, err error) {
 	if err := c.send(message{Op: "fetch"}); err != nil {
 		return nil, false, err
 	}
+	return c.fetchReply()
+}
+
+// fetchReply reads and classifies the server's answer to a fetch credit.
+func (c *Client) fetchReply() (cfg search.Config, done bool, err error) {
 	m, err := c.recv()
 	if err != nil {
 		return nil, false, err
@@ -367,9 +471,15 @@ func (c *Client) Fetch() (cfg search.Config, done bool, err error) {
 }
 
 // Report sends the measured performance of the last fetched configuration.
+// On the JSON framings it waits for the server's acknowledgement; binary
+// v3 does not acknowledge reports (the next config is the flow control),
+// so the call returns as soon as the report is written.
 func (c *Client) Report(perf float64) error {
 	if err := c.send(message{Op: "report", Perf: perf}); err != nil {
 		return err
+	}
+	if c.proto >= 3 {
+		return nil
 	}
 	m, err := c.recv()
 	if err != nil {
@@ -381,16 +491,38 @@ func (c *Client) Report(perf float64) error {
 	return nil
 }
 
+// ReportAndFetch reports the last configuration's performance and asks for
+// the next one as a single exchange. Over binary v3 framing the report and
+// the fetch leave in one socket write and only the config reply crosses
+// back — one write plus one read per measurement, half the syscalls of
+// Report-then-Fetch; over the JSON framings it degrades to exactly that
+// pair, byte-identical to prior releases.
+func (c *Client) ReportAndFetch(perf float64) (cfg search.Config, done bool, err error) {
+	if c.proto < 3 {
+		if err := c.Report(perf); err != nil {
+			return nil, false, err
+		}
+		return c.Fetch()
+	}
+	if err := c.sendPair(message{Op: "report", Perf: perf}, message{Op: "fetch"}); err != nil {
+		return nil, false, err
+	}
+	return c.fetchReply()
+}
+
 // BestResult returns the session's final answer once Fetch reported done.
 func (c *Client) BestResult() (*Best, bool) {
 	return c.best, c.best != nil
 }
 
 // Tune runs the whole fetch/measure/report loop against the given measure
-// function and returns the final answer.
+// function and returns the final answer. Each measurement after the first
+// fetch rides a ReportAndFetch exchange — on the JSON framings that is the
+// classic report/ok/fetch/config sequence unchanged; on binary v3 it is
+// one write and one read per configuration.
 func (c *Client) Tune(measure func(search.Config) float64) (*Best, error) {
+	cfg, done, err := c.Fetch()
 	for {
-		cfg, done, err := c.Fetch()
 		if err != nil {
 			return nil, err
 		}
@@ -398,9 +530,7 @@ func (c *Client) Tune(measure func(search.Config) float64) (*Best, error) {
 			best, _ := c.BestResult()
 			return best, nil
 		}
-		if err := c.Report(measure(cfg)); err != nil {
-			return nil, err
-		}
+		cfg, done, err = c.ReportAndFetch(measure(cfg))
 	}
 }
 
@@ -418,7 +548,7 @@ func (c *Client) FetchAsync() error {
 // do not ack reports (the next config is the flow control), and errors
 // surface on the next read.
 func (c *Client) ReportID(id int, perf float64) error {
-	return c.send(message{Op: "report", ID: &id, Perf: perf})
+	return c.send(message{Op: "report", id: id, hasID: true, Perf: perf})
 }
 
 // TuneParallel runs the whole tuning session with up to `workers`
@@ -472,8 +602,8 @@ func (c *Client) TuneParallel(measure func(search.Config) float64, workers int) 
 			switch m.Op {
 			case "config":
 				id := 0
-				if m.ID != nil {
-					id = *m.ID
+				if m.hasID {
+					id = m.id
 				}
 				select {
 				case jobs <- job{id: id, cfg: search.Config(m.Values)}:
@@ -511,17 +641,16 @@ func (c *Client) TuneParallel(measure func(search.Config) float64, workers int) 
 					return
 				case j := <-jobs:
 					perf := measure(j.cfg)
-					if err := c.ReportID(j.id, perf); err != nil {
+					// One flush for the report and the replenishing fetch
+					// credit — on binary v3 framing that is a single socket
+					// write per measurement.
+					err := c.sendPair(
+						message{Op: "report", id: j.id, hasID: true, Perf: perf},
+						message{Op: "fetch"},
+					)
+					if err != nil {
 						// A write racing the final best is benign: the
 						// session is already over.
-						select {
-						case <-done:
-						default:
-							fail(err)
-						}
-						return
-					}
-					if err := c.FetchAsync(); err != nil {
 						select {
 						case <-done:
 						default:

@@ -43,11 +43,13 @@ type Metrics struct {
 	// (harmony_warm_starts_total).
 	WarmStarts *obs.Counter
 	// ConfigsServed counts configurations handed to clients
-	// (harmony_configs_served_total).
-	ConfigsServed *obs.Counter
+	// (harmony_configs_served_total). It is striped: every session bumps
+	// the stripe matching its connection-table shard, so thousands of
+	// concurrent sessions never contend on one cache line. Value() sums.
+	ConfigsServed *obs.ShardedCounter
 	// ReportsReceived counts performance reports accepted from clients
-	// (harmony_reports_received_total).
-	ReportsReceived *obs.Counter
+	// (harmony_reports_received_total). Striped like ConfigsServed.
+	ReportsReceived *obs.ShardedCounter
 	// SessionOutstanding is the number of configurations currently in
 	// flight across all pipelined (protocol v2) sessions
 	// (harmony_session_outstanding). Lockstep sessions, whose depth is at
@@ -87,8 +89,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Deposits:           reg.Counter("harmony_deposits_total", "Tuning traces deposited into the experience store."),
 		PartialDeposits:    reg.Counter("harmony_partial_deposits_total", "Partial traces deposited on abnormal disconnect."),
 		WarmStarts:         reg.Counter("harmony_warm_starts_total", "Sessions warm-started from prior experience."),
-		ConfigsServed:      reg.Counter("harmony_configs_served_total", "Configurations served to clients for measurement."),
-		ReportsReceived:    reg.Counter("harmony_reports_received_total", "Performance reports accepted from clients."),
+		ConfigsServed:      reg.ShardedCounter("harmony_configs_served_total", "Configurations served to clients for measurement.", DefaultConnShards),
+		ReportsReceived:    reg.ShardedCounter("harmony_reports_received_total", "Performance reports accepted from clients.", DefaultConnShards),
 		SessionOutstanding: reg.Gauge("harmony_session_outstanding", "Configurations currently in flight across pipelined sessions."),
 		BatchSize:          reg.Histogram("harmony_session_batch_size", "Pipeline depth at each v2 config dispatch.", []float64{1, 2, 4, 8, 16, 32}),
 		AcceptRetries:      reg.Counter("harmony_accept_retries_total", "Transient listener Accept failures survived by the retry loop."),

@@ -48,6 +48,19 @@
 // carries "window" when the granted window exceeds 1, so v1 clients never
 // see v2 fields.
 //
+// # Binary framing (protocol v3)
+//
+// A client may open the connection with the 4-byte preamble 0x00 'H' 'M'
+// '3' to switch the whole conversation to length-prefixed binary frames
+// (see wire.go for the layout). The message vocabulary is unchanged — the
+// same ops, the same lockstep-or-pipelined session semantics selected by
+// the registered window — but hot-path frames (fetch/config/report)
+// encode and decode without JSON or allocation, and reports are not
+// acknowledged (as in v2, the next config is the flow control), so a
+// lockstep client coalesces report+fetch into one socket write. A
+// connection that starts with '{' speaks the JSON framing exactly as
+// before: v1/v2 bytes are pinned.
+//
 // Parameter restriction (Appendix B) is handled server-side: for a
 // restricted specification the server searches normalized coordinates and
 // always sends feasible decoded configurations to the client.
@@ -100,10 +113,22 @@ type message struct {
 
 	// error
 	Msg string `json:"msg,omitempty"`
+
+	// id/hasID are the transport-normalized correlation id, the form the
+	// message loops and the binary framing use. decode/encode translate to
+	// and from the pointer-encoded JSON field: on the JSON wire nothing
+	// changes, and the binary hot path never allocates a *int.
+	id    int
+	hasID bool
 }
 
-// encode renders a message as one JSON line.
+// encode renders a message as one JSON line. The normalized id is
+// materialized into the pointer-encoded wire field on a local copy, so
+// callers build messages with id/hasID on every framing.
 func encode(m message) ([]byte, error) {
+	if m.hasID && m.ID == nil {
+		m.ID = &m.id
+	}
 	b, err := json.Marshal(m)
 	if err != nil {
 		return nil, err
@@ -111,7 +136,7 @@ func encode(m message) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// decode parses one JSON line.
+// decode parses one JSON line and normalizes the correlation id.
 func decode(line []byte) (message, error) {
 	var m message
 	if err := json.Unmarshal(line, &m); err != nil {
@@ -119,6 +144,9 @@ func decode(line []byte) (message, error) {
 	}
 	if m.Op == "" {
 		return message{}, fmt.Errorf("server: message missing op")
+	}
+	if m.ID != nil {
+		m.id, m.hasID = *m.ID, true
 	}
 	return m, nil
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"sync"
@@ -117,12 +118,18 @@ type Server struct {
 	// family (hits, misses, coalesced, estimated, saved seconds, size).
 	// Build it with evalcache.NewMetrics(registry); nil disables.
 	CacheMetrics *evalcache.Metrics
+	// ConnShards is the live-connection table stripe count (0 =
+	// DefaultConnShards; rounded up to a power of two). Every connect,
+	// disconnect and hot-path counter update touches only its own stripe,
+	// so thousands of concurrent short sessions never serialize on one
+	// lock. Set it before Listen.
+	ConnShards int
 
-	mu       sync.Mutex
-	listener net.Listener
-	closed   bool
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
+	lnMu      sync.Mutex
+	listener  net.Listener
+	tableOnce sync.Once
+	connTab   *connTable
+	wg        sync.WaitGroup
 
 	// expOnce guards the lazy default construction of Experience.
 	expOnce sync.Once
@@ -206,10 +213,14 @@ type SessionEnd struct {
 
 // NewServer returns a server with defaults.
 func NewServer() *Server {
-	return &Server{
-		MaxEvalsCap: 10_000,
-		conns:       map[net.Conn]struct{}{},
-	}
+	return &Server{MaxEvalsCap: 10_000}
+}
+
+// tab resolves the sharded live-connection table, building it on first use
+// so ConnShards set before Listen takes effect.
+func (s *Server) tab() *connTable {
+	s.tableOnce.Do(func() { s.connTab = newConnTable(s.ConnShards) })
+	return s.connTab
 }
 
 // logger resolves the server's structured logger: Logger when set, the
@@ -233,14 +244,14 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.lnMu.Lock()
+	if s.tab().Closed() {
+		s.lnMu.Unlock()
 		ln.Close()
 		return nil, errors.New("server: already closed")
 	}
 	s.listener = ln
-	s.mu.Unlock()
+	s.lnMu.Unlock()
 
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
@@ -293,10 +304,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // returns nil when everything drained in time and ctx.Err() after a cutoff.
 func (s *Server) Shutdown(ctx context.Context) error {
 	start := time.Now()
-	s.mu.Lock()
-	s.closed = true
+	s.tab().MarkClosed()
+	s.lnMu.Lock()
 	ln := s.listener
-	s.mu.Unlock()
+	s.lnMu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
@@ -317,12 +328,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	// Hard cutoff: sever every remaining connection. Handlers unwind, the
 	// kernel goroutines deposit partial traces, and the wait completes.
-	s.mu.Lock()
-	severed := len(s.conns)
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
+	severed := s.tab().Close()
 	<-done
 	drain := time.Since(start)
 	s.m().SessionsSevered.Add(severed)
@@ -357,26 +363,6 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// track registers a live connection for Shutdown's hard cutoff. It reports
-// false when the server is already shutting down.
-func (s *Server) track(conn net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	if s.conns == nil {
-		s.conns = map[net.Conn]struct{}{}
-	}
-	s.conns[conn] = struct{}{}
-	return true
-}
-
-func (s *Server) untrack(conn net.Conn) {
-	s.mu.Lock()
-	delete(s.conns, conn)
-	s.mu.Unlock()
-}
 
 // evalReq is one pending measurement crossing from the kernel to the
 // message loop: the client-facing configuration plus the reply channel the
@@ -388,6 +374,14 @@ type evalReq struct {
 	cfg   search.Config
 	reply chan float64
 }
+
+// replyChanPool recycles evalReq reply channels across measurements and
+// sessions — one per evaluation otherwise, which is the single hottest
+// allocation site on the measurement path. A channel may be returned only
+// when it is provably empty and unreferenced: consumed by the kernel, or
+// never handed to the message loop. The abort-without-reply path drops the
+// channel instead — a late delivery may still be in flight there.
+var replyChanPool = sync.Pool{New: func() any { return make(chan float64, 1) }}
 
 // session is the bridge between the blocking search kernel and the
 // fetch/report message loop.
@@ -427,11 +421,12 @@ var errAborted = errors.New("server: session aborted")
 // handle runs one connection's session and reports its end to the
 // OnSessionEnd hook, the metrics bundle and the structured logger.
 func (s *Server) handle(conn net.Conn) error {
-	if !s.track(conn) {
+	token, ok := s.tab().Track(conn)
+	if !ok {
 		conn.Close()
 		return errors.New("server: shutting down")
 	}
-	defer s.untrack(conn)
+	defer s.tab().Untrack(token)
 	defer conn.Close()
 
 	id := obs.NewID()
@@ -443,7 +438,9 @@ func (s *Server) handle(conn net.Conn) error {
 	log.Debug("session started")
 
 	end := SessionEnd{ID: id}
-	sess, err := s.serve(conn, &end, id, log)
+	// The connection token doubles as the metric stripe: hot-path counters
+	// land on the same shard the session table uses.
+	sess, err := s.serve(conn, &end, id, int(token), log)
 	if sess != nil {
 		// Unblock the kernel and wait for it to unwind; an abnormal
 		// disconnect deposits the partial trace before kernelDone closes,
@@ -480,65 +477,118 @@ func (s *Server) handle(conn net.Conn) error {
 // loop bundles the per-connection wire helpers shared by the lockstep and
 // pipelined message loops.
 type loop struct {
-	scan     func() bool
+	tr       transport
 	send     func(m message) error
 	fail     func(msg string) error
 	tolerate func(what string) error
-	r        *bufio.Scanner
+	// proto is the negotiated framing generation: 2 for the JSON line
+	// protocol (v1/v2 share it; the registered window picks the loop),
+	// 3 for binary frames.
+	proto int
+	// shard is the metric stripe for the hot-path counters.
+	shard int
 }
 
-// oversizedMsg is the classification for a wire line over the scanner's
-// 1 MiB frame cap — sent to the client, charged to the failure budget, and
-// counted, instead of the old behaviour of silently aborting the session
-// with a bare bufio.ErrTooLong.
+// acks reports whether this framing acknowledges reports and quits. v3
+// does not: as in the pipelined v2 exchange, the next config is the flow
+// control, which lets clients coalesce report+fetch into one write.
+func (lo loop) acks() bool { return lo.proto < 3 }
+
+// oversizedMsg is the classification for a wire unit (JSON line or v3
+// frame length claim) over the 1 MiB cap — sent to the client, charged to
+// the failure budget, and counted, instead of silently aborting the
+// session.
 const oversizedMsg = "wire line exceeds the 1 MiB frame cap"
 
-// scanEnd classifies the scanner's terminal state. A clean EOF stays nil
-// (a client vanishing between exchanges is not a protocol error); an
-// oversized line gets a protocol reply, a failure-budget charge and a
-// metric before killing the session — the stream cannot be resynchronized
-// mid-frame, but the death is no longer anonymous.
-func (s *Server) scanEnd(err error, lo loop) error {
-	if err == nil {
+// recvEnd classifies a terminal recv error. A clean EOF stays nil (a
+// client vanishing between exchanges is not a protocol error); an
+// oversized line or frame claim gets a protocol reply, a failure-budget
+// charge and a metric before killing the session; a connection dying
+// mid-frame is reported as such.
+func (s *Server) recvEnd(err error, lo loop) error {
+	switch {
+	case err == nil, errors.Is(err, io.EOF):
 		return nil
-	}
-	if errors.Is(err, bufio.ErrTooLong) {
+	case errors.Is(err, errFrameTooBig):
 		s.m().OversizedLines.Inc()
 		lo.tolerate(oversizedMsg) //nolint:errcheck // terminal either way
 		return lo.fail(oversizedMsg)
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("server: connection died mid-frame")
 	}
 	return err
 }
 
+// errBadPreamble rejects a connection whose first bytes are neither a JSON
+// line nor the v3 magic.
+var errBadPreamble = errors.New("server: unrecognized wire preamble (want a JSON line or the v3 magic)")
+
+// negotiate sniffs the connection's first byte to pick the framing: '{'
+// (any JSON line) selects the v1/v2 line protocol, the 0x00-led magic
+// selects binary v3. Nothing is consumed on the JSON path, so the line
+// scanner sees the stream from its first byte.
+func negotiate(br *bufio.Reader, w *bufio.Writer, beforeRead, beforeWrite func()) (transport, int, error) {
+	if beforeRead != nil {
+		beforeRead()
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.EOF
+		}
+		return nil, 0, err
+	}
+	if first[0] != v3Magic[0] {
+		return newJSONWire(br, w, beforeRead, beforeWrite), 2, nil
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, 0, io.EOF
+	}
+	if magic != v3Magic {
+		return nil, 0, errBadPreamble
+	}
+	return newBinWire(br, w, beforeRead, beforeWrite), 3, nil
+}
+
 // serve runs the message loop. It returns the session (nil when
 // registration never succeeded) and the terminal error.
-func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, log *slog.Logger) (*session, error) {
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 64*1024), 1024*1024)
+func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, log *slog.Logger) (*session, error) {
+	// 16 KiB holds any hot-path unit with room to spare (frames and lines
+	// are tens of bytes; only register envelopes run longer) and keeps the
+	// per-connection footprint small at thousand-session scale.
+	br := bufio.NewReaderSize(conn, 16*1024)
 	w := bufio.NewWriter(conn)
-	scan := func() bool {
+	beforeRead := func() {
 		if s.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
 		}
-		return r.Scan()
 	}
-
-	send := func(m message) error {
-		b, err := encode(m)
-		if err != nil {
-			return err
-		}
+	beforeWrite := func() {
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		if _, err := w.Write(b); err != nil {
-			return err
-		}
-		return w.Flush()
 	}
+
+	tr, proto, err := negotiate(br, w, beforeRead, beforeWrite)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("server: client closed before registering")
+		}
+		if errors.Is(err, errBadPreamble) {
+			s.m().ProtocolErrors.Inc()
+			// The peer speaks neither framing; answer in JSON, the lingua
+			// franca every generation understands, before hanging up.
+			(&jsonWire{w: w, beforeWrite: beforeWrite}).send(message{Op: "error", Msg: err.Error()}) //nolint:errcheck
+			return nil, err
+		}
+		return nil, err
+	}
+
+	send := tr.send
 	fail := func(msg string) error {
 		s.m().ProtocolErrors.Inc()
-		send(message{Op: "error", Msg: msg})
+		send(message{Op: "error", Msg: msg}) //nolint:errcheck
 		return errors.New(msg)
 	}
 
@@ -567,19 +617,23 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, log *slog.Logg
 		log.Warn("tolerated fault", "fault", end.Faults, "budget", budget, "what", what)
 		return nil
 	}
-	lo := loop{scan: scan, send: send, fail: fail, tolerate: tolerate, r: r}
+	lo := loop{tr: tr, send: send, fail: fail, tolerate: tolerate, proto: proto, shard: shard}
 
 	// First message must register. Faults before a session exists are not
 	// worth tolerating — there is no state to protect yet.
-	if !scan() {
-		if err := s.scanEnd(r.Err(), lo); err != nil {
+	reg, err := tr.recv()
+	if err != nil {
+		var g *garbageError
+		switch {
+		case errors.As(err, &g):
+			return nil, fail(g.Error())
+		case errors.Is(err, io.EOF):
+			return nil, fmt.Errorf("server: client closed before registering")
+		}
+		if err := s.recvEnd(err, lo); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("server: client closed before registering")
-	}
-	reg, err := decode(r.Bytes())
-	if err != nil {
-		return nil, fail(err.Error())
 	}
 	if reg.Op != "register" {
 		return nil, fail("first message must be register")
@@ -614,27 +668,36 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, log *slog.Logg
 }
 
 // serveLockstep is the protocol v1 message loop: one fetch, one config,
-// one report, strictly alternating. Its exchanges are byte-identical to
-// prior releases — v1 clients must not be able to tell the pipelined
-// server apart from the old one.
+// one report, strictly alternating. Its JSON exchanges are byte-identical
+// to prior releases — v1 clients must not be able to tell the pipelined
+// server apart from the old one. Over v3 framing the same loop runs
+// without report/quit acks (lo.acks()): the next config is the flow
+// control, so a client coalesces report+fetch into one write.
 func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
-	// pending is the configuration awaiting its report, nil between
-	// exchanges.
-	var pending *evalReq
-	for lo.scan() {
-		m, err := decode(lo.r.Bytes())
+	// pending is the configuration awaiting its report; havePending marks
+	// the gap between config out and report in. A value, not a pointer —
+	// taking a pointer into the received request would heap-allocate one
+	// per exchange.
+	var pending evalReq
+	var havePending bool
+	for {
+		m, err := lo.tr.recv()
 		if err != nil {
-			// Garbage bytes on the wire: skip the line and charge the
-			// budget instead of killing a session that may hold hours of
-			// tuning progress.
-			if terr := lo.tolerate(err.Error()); terr != nil {
-				return lo.fail(terr.Error())
+			var g *garbageError
+			if errors.As(err, &g) {
+				// Garbage on the wire: skip the line or frame and charge
+				// the budget instead of killing a session that may hold
+				// hours of tuning progress.
+				if terr := lo.tolerate(g.Error()); terr != nil {
+					return lo.fail(terr.Error())
+				}
+				continue
 			}
-			continue
+			return s.recvEnd(err, lo)
 		}
 		switch m.Op {
 		case "fetch":
-			if pending != nil {
+			if havePending {
 				// The report never arrived (the measurement crashed, or the
 				// report line was garbage and got skipped): mark the pending
 				// point failed with the worst-case penalty so the simplex
@@ -643,12 +706,12 @@ func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
 					return lo.fail(terr.Error())
 				}
 				pending.reply <- sess.penalty
-				pending = nil
+				havePending = false
 			}
 			select {
 			case req := <-sess.evals:
-				pending = &req
-				s.m().ConfigsServed.Inc()
+				pending, havePending = req, true
+				s.m().ConfigsServed.Inc(lo.shard)
 				if err := lo.send(message{Op: "config", Values: req.cfg}); err != nil {
 					return err
 				}
@@ -662,7 +725,7 @@ func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
 				return lo.fail(err.Error())
 			}
 		case "report":
-			if pending == nil {
+			if !havePending {
 				return lo.fail("report without a pending configuration")
 			}
 			perf := m.Perf
@@ -676,20 +739,23 @@ func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
 			} else {
 				perf = search.Sanitize(perf, sess.dir)
 			}
-			s.m().ReportsReceived.Inc()
+			s.m().ReportsReceived.Inc(lo.shard)
 			pending.reply <- perf
-			pending = nil
-			if err := lo.send(message{Op: "ok"}); err != nil {
-				return err
+			havePending = false
+			if lo.acks() {
+				if err := lo.send(message{Op: "ok"}); err != nil {
+					return err
+				}
 			}
 		case "quit":
-			lo.send(message{Op: "ok"})
+			if lo.acks() {
+				lo.send(message{Op: "ok"}) //nolint:errcheck // closing anyway
+			}
 			return nil
 		default:
 			return lo.fail(fmt.Sprintf("unknown op %q", m.Op))
 		}
 	}
-	return s.scanEnd(lo.r.Err(), lo)
 }
 
 // servePipelined is the protocol v2 message loop: the session holds up to
@@ -704,19 +770,33 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 		err error
 	}
 	lines := make(chan line)
-	scanDone := make(chan error, 1)
+	recvDone := make(chan error, 1)
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
-		for lo.scan() {
-			msg, err := decode(lo.r.Bytes())
+		for {
+			msg, err := lo.tr.recv()
+			if err != nil {
+				var g *garbageError
+				if errors.As(err, &g) {
+					// Tolerable: hand it to the main loop for a budget
+					// charge and keep reading.
+					select {
+					case lines <- line{err: g}:
+						continue
+					case <-stop:
+						return
+					}
+				}
+				recvDone <- err
+				return
+			}
 			select {
-			case lines <- line{msg, err}:
+			case lines <- line{msg: msg}:
 			case <-stop:
 				return
 			}
 		}
-		scanDone <- lo.r.Err()
 	}()
 
 	outstanding := map[int]evalReq{}
@@ -754,15 +834,15 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 			case "fetch":
 				credits++
 			case "report":
-				if ln.msg.ID == nil {
+				if !ln.msg.hasID {
 					if terr := lo.tolerate("report without id in a pipelined session"); terr != nil {
 						return lo.fail(terr.Error())
 					}
 					continue
 				}
-				req, ok := outstanding[*ln.msg.ID]
+				req, ok := outstanding[ln.msg.id]
 				if !ok {
-					if terr := lo.tolerate(fmt.Sprintf("report for unknown id %d", *ln.msg.ID)); terr != nil {
+					if terr := lo.tolerate(fmt.Sprintf("report for unknown id %d", ln.msg.id)); terr != nil {
 						return lo.fail(terr.Error())
 					}
 					continue
@@ -776,12 +856,14 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 				} else {
 					perf = search.Sanitize(perf, sess.dir)
 				}
-				delete(outstanding, *ln.msg.ID)
+				delete(outstanding, ln.msg.id)
 				m.SessionOutstanding.Dec()
-				m.ReportsReceived.Inc()
+				m.ReportsReceived.Inc(lo.shard)
 				req.reply <- perf // buffered: the kernel picks it up
 			case "quit":
-				lo.send(message{Op: "ok"})
+				if lo.acks() {
+					lo.send(message{Op: "ok"}) //nolint:errcheck // closing anyway
+				}
 				return nil
 			default:
 				return lo.fail(fmt.Sprintf("unknown op %q", ln.msg.Op))
@@ -791,10 +873,10 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 			nextID++
 			credits--
 			outstanding[id] = req
-			m.ConfigsServed.Inc()
+			m.ConfigsServed.Inc(lo.shard)
 			m.SessionOutstanding.Inc()
 			m.BatchSize.Observe(float64(len(outstanding)))
-			if err := lo.send(message{Op: "config", ID: &id, Values: req.cfg}); err != nil {
+			if err := lo.send(message{Op: "config", id: id, hasID: true, Values: req.cfg}); err != nil {
 				return err
 			}
 		case res := <-resC:
@@ -805,8 +887,8 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 			return err
 		case err := <-sess.errCh:
 			return lo.fail(err.Error())
-		case err := <-scanDone:
-			return s.scanEnd(err, lo)
+		case err := <-recvDone:
+			return s.recvEnd(err, lo)
 		}
 	}
 }
@@ -866,14 +948,17 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 	// concurrently (the kernel's parallel batch and speculation phases)
 	// and out-of-order reports resolve to the right caller.
 	blockMeasure := func(cfg search.Config) float64 {
-		req := evalReq{cfg: cfg, reply: make(chan float64, 1)}
+		req := evalReq{cfg: cfg, reply: replyChanPool.Get().(chan float64)}
 		select {
 		case sess.evals <- req:
 		case <-sess.abort:
+			// Never reached the message loop: the channel is still empty.
+			replyChanPool.Put(req.reply)
 			panic(errAborted)
 		}
 		select {
 		case perf := <-req.reply:
+			replyChanPool.Put(req.reply)
 			return perf
 		case <-sess.abort:
 			// The abort may race a reply the message loop already delivered
@@ -882,8 +967,11 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 			// keeps every reported point.
 			select {
 			case perf := <-req.reply:
+				replyChanPool.Put(req.reply)
 				return perf
 			default:
+				// The loop may still deliver a late reply into this channel;
+				// it cannot be recycled.
 			}
 			panic(errAborted)
 		}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultConnShards is the session-table stripe count applied when
+// Server.ConnShards is zero. 64 stripes keep the expected per-stripe
+// occupancy around 16 connections at the 1k-session design point and the
+// lock-collision probability for two concurrent connect/disconnect events
+// under 2%, while costing ~6 KiB of table — see DESIGN.md for the
+// arithmetic. The count is rounded up to a power of two so shard selection
+// is a mask, not a modulo.
+const DefaultConnShards = 64
+
+// connTable tracks live connections for Shutdown's hard cutoff. It
+// replaces the single server mutex that every connect and disconnect used
+// to cross: at thousands of concurrent short sessions the accept path,
+// thousands of handler exits and Shutdown all serialized on one lock. The
+// table stripes connections over independently locked shards keyed by a
+// monotone token, so track/untrack on different shards never contend, and
+// the closed flag is a lock-free atomic checked on the hot path.
+type connTable struct {
+	closed atomic.Bool
+	seq    atomic.Uint64
+	shards []connShard
+	mask   uint64
+}
+
+// connShard is one stripe: its own lock, its own map. The pad keeps
+// neighbouring stripes' locks off one cache line.
+type connShard struct {
+	mu    sync.Mutex
+	conns map[uint64]net.Conn
+	_     [40]byte
+}
+
+// newConnTable builds a table with at least n stripes (n < 1 takes
+// DefaultConnShards), rounded up to a power of two.
+func newConnTable(n int) *connTable {
+	if n < 1 {
+		n = DefaultConnShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &connTable{shards: make([]connShard, size), mask: uint64(size - 1)}
+	for i := range t.shards {
+		t.shards[i].conns = map[uint64]net.Conn{}
+	}
+	return t
+}
+
+// shardOf maps a token to its stripe. Tokens are sequential, so
+// consecutive connections land on consecutive stripes — the uniform
+// best case for a striped table.
+func (t *connTable) shardOf(token uint64) *connShard {
+	return &t.shards[token&t.mask]
+}
+
+// Track registers a live connection and returns its token. It reports
+// false when the table is closed (the server is shutting down).
+func (t *connTable) Track(conn net.Conn) (uint64, bool) {
+	if t.closed.Load() {
+		return 0, false
+	}
+	token := t.seq.Add(1)
+	sh := t.shardOf(token)
+	sh.mu.Lock()
+	sh.conns[token] = conn
+	sh.mu.Unlock()
+	// A Close racing this Track may have swept the shard between the
+	// closed check and the insert; re-check and undo so no connection
+	// leaks past the cutoff. (If the sweep got there first it already
+	// closed conn — the caller's own Close is idempotent.)
+	if t.closed.Load() {
+		sh.mu.Lock()
+		delete(sh.conns, token)
+		sh.mu.Unlock()
+		return 0, false
+	}
+	return token, true
+}
+
+// Untrack removes a connection by its Track token.
+func (t *connTable) Untrack(token uint64) {
+	sh := t.shardOf(token)
+	sh.mu.Lock()
+	delete(sh.conns, token)
+	sh.mu.Unlock()
+}
+
+// Close marks the table closed (new Tracks fail) and severs every tracked
+// connection, returning how many it closed.
+func (t *connTable) Close() int {
+	t.closed.Store(true)
+	severed := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for token, conn := range sh.conns {
+			conn.Close()
+			delete(sh.conns, token)
+			severed++
+		}
+		sh.mu.Unlock()
+	}
+	return severed
+}
+
+// MarkClosed flips the closed flag without severing anything — the drain
+// phase of a graceful shutdown.
+func (t *connTable) MarkClosed() { t.closed.Store(true) }
+
+// Closed reports whether the table has been closed.
+func (t *connTable) Closed() bool { return t.closed.Load() }
+
+// Len counts tracked connections across all stripes (not a consistent
+// snapshot under concurrent churn; intended for tests and introspection).
+func (t *connTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.conns)
+		sh.mu.Unlock()
+	}
+	return n
+}

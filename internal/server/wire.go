@@ -1,0 +1,427 @@
+package server
+
+// The wire layer: one transport interface over two framings.
+//
+// Protocols v1 and v2 share the line-oriented JSON framing (jsonWire) whose
+// bytes are pinned by interop tests and must never change. Protocol v3
+// (binWire) is a length-prefixed binary framing for the fetch/report hot
+// path, negotiated per connection by a 4-byte preamble:
+//
+//	magic     := 0x00 'H' 'M' '3'            (a JSON line can never start with 0x00)
+//	frame     := length uint32-LE | opcode byte | body
+//	length    := len(opcode+body), 1 ≤ length ≤ 1 MiB (the same cap as JSON lines)
+//
+// Hot-path opcodes carry fixed binary bodies and encode/decode without
+// allocating (the reader and writer own reusable scratch buffers; varints
+// via binary.AppendUvarint):
+//
+//	fetch  (0x03)  empty
+//	config (0x04)  hasID byte | id uvarint | n uvarint | n × value varint
+//	report (0x05)  hasID byte | id uvarint | perf float64-LE-bits
+//	ok     (0x06)  empty
+//	quit   (0x09)  empty
+//	error  (0x08)  raw UTF-8 message
+//
+// Cold-path opcodes — register (0x01), registered (0x02), best (0x07) —
+// wrap the JSON message envelope in a frame: they run once per session, and
+// keeping them JSON means every field (RSL, characteristics, window, warm)
+// rides along without a parallel binary schema.
+//
+// Unlike v1, v3 does not acknowledge reports (v2 never did): the next
+// config is the flow control, which lets a lockstep client coalesce
+// report+fetch into a single socket write and halves the syscalls per
+// exchange.
+//
+// Decode errors are classified, not collapsed: a *garbageError means the
+// stream is still in sync (the bad line or frame was consumed whole) and
+// the session may charge a fault and continue; errFrameTooBig is an
+// untrusted length claim, terminal on both framings; io.ErrUnexpectedEOF is
+// a connection dying mid-frame.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// v3Magic is the per-connection preamble that selects binary framing. The
+// leading zero byte is the discriminator: every v1/v2 exchange begins with
+// a '{' JSON line, so the first byte of a connection cleanly separates the
+// framings.
+var v3Magic = [4]byte{0x00, 'H', 'M', '3'}
+
+// maxFrame caps one wire unit on both framings: the JSON scanner's line
+// buffer and the v3 frame length claim.
+const maxFrame = 1 << 20
+
+// v3 opcodes. The values are wire protocol: never renumber.
+const (
+	opRegister   = 0x01
+	opRegistered = 0x02
+	opFetch      = 0x03
+	opConfig     = 0x04
+	opReport     = 0x05
+	opOK         = 0x06
+	opBest       = 0x07
+	opError      = 0x08
+	opQuit       = 0x09
+)
+
+// garbageError marks a tolerable decode problem: the offending line or
+// frame was consumed whole, the stream is still in sync, and the session
+// can charge its failure budget and continue.
+type garbageError struct{ reason string }
+
+func (e *garbageError) Error() string { return e.reason }
+
+// errFrameTooBig is a line or frame over the 1 MiB cap. A JSON stream
+// cannot be resynchronized past it; a binary length claim that large is
+// not worth trusting either. Terminal on both framings.
+var errFrameTooBig = errors.New(oversizedMsg)
+
+// transport abstracts one connection's message framing. recv blocks for
+// the next message; its error is nil, a *garbageError (tolerable, in
+// sync), io.EOF (clean close between messages), io.ErrUnexpectedEOF (death
+// mid-frame), errFrameTooBig, or a fatal transport error.
+type transport interface {
+	recv() (message, error)
+	send(m message) error
+}
+
+// batchTransport is the coalescing extension: queue several messages and
+// flush once — one socket write for a v3 report+fetch exchange.
+type batchTransport interface {
+	sendBatch(ms ...message) error
+}
+
+// jsonWire is the v1/v2 line-oriented JSON framing. Its bytes are pinned:
+// encode/decode are the same functions prior releases used.
+type jsonWire struct {
+	sc          *bufio.Scanner
+	w           *bufio.Writer
+	beforeRead  func() // deadline hooks; nil means none
+	beforeWrite func()
+}
+
+func newJSONWire(r io.Reader, w *bufio.Writer, beforeRead, beforeWrite func()) *jsonWire {
+	sc := bufio.NewScanner(r)
+	// Start small — hot-path lines are tens of bytes — and let the scanner
+	// grow on demand up to the 1 MiB cap. A large fixed buffer here costs
+	// real zeroing time per connection at thousand-session scale.
+	sc.Buffer(make([]byte, 4*1024), maxFrame)
+	return &jsonWire{sc: sc, w: w, beforeRead: beforeRead, beforeWrite: beforeWrite}
+}
+
+func (t *jsonWire) recv() (message, error) {
+	if t.beforeRead != nil {
+		t.beforeRead()
+	}
+	if !t.sc.Scan() {
+		err := t.sc.Err()
+		switch {
+		case err == nil:
+			return message{}, io.EOF
+		case errors.Is(err, bufio.ErrTooLong):
+			return message{}, errFrameTooBig
+		}
+		return message{}, err
+	}
+	m, err := decode(t.sc.Bytes())
+	if err != nil {
+		return message{}, &garbageError{reason: err.Error()}
+	}
+	return m, nil
+}
+
+func (t *jsonWire) send(m message) error {
+	b, err := encode(m)
+	if err != nil {
+		return err
+	}
+	if t.beforeWrite != nil {
+		t.beforeWrite()
+	}
+	if _, err := t.w.Write(b); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// sendBatch on the JSON framing exists for interface symmetry: the v1
+// exchange acknowledges reports, so callers never coalesce there, but a
+// caller that does gets correct (line-per-message) bytes.
+func (t *jsonWire) sendBatch(ms ...message) error {
+	if t.beforeWrite != nil {
+		t.beforeWrite()
+	}
+	for _, m := range ms {
+		b, err := encode(m)
+		if err != nil {
+			return err
+		}
+		if _, err := t.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return t.w.Flush()
+}
+
+// binWire is the v3 binary framing over a shared frame reader/writer pair.
+type binWire struct {
+	fr          frameReader
+	fw          frameWriter
+	beforeRead  func()
+	beforeWrite func()
+}
+
+func newBinWire(r *bufio.Reader, w *bufio.Writer, beforeRead, beforeWrite func()) *binWire {
+	return &binWire{
+		fr:          frameReader{r: r},
+		fw:          frameWriter{w: w},
+		beforeRead:  beforeRead,
+		beforeWrite: beforeWrite,
+	}
+}
+
+func (t *binWire) recv() (message, error) {
+	if t.beforeRead != nil {
+		t.beforeRead()
+	}
+	return t.fr.read()
+}
+
+func (t *binWire) send(m message) error {
+	if t.beforeWrite != nil {
+		t.beforeWrite()
+	}
+	if err := t.fw.append(m); err != nil {
+		return err
+	}
+	return t.fw.w.Flush()
+}
+
+func (t *binWire) sendBatch(ms ...message) error {
+	if t.beforeWrite != nil {
+		t.beforeWrite()
+	}
+	for _, m := range ms {
+		if err := t.fw.append(m); err != nil {
+			return err
+		}
+	}
+	return t.fw.w.Flush()
+}
+
+// frameReader decodes v3 frames. The body scratch buffer is reused across
+// frames, so steady-state hot-path reads (fetch, report) allocate nothing;
+// decode copies every value that outlives the call (config values, error
+// strings, JSON envelopes) out of the scratch.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func (fr *frameReader) read() (message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return message{}, io.ErrUnexpectedEOF // died mid-header
+		}
+		return message{}, err // io.EOF between frames is a clean close
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		// Nothing was consumed beyond the header: still in sync.
+		return message{}, &garbageError{reason: "v3 frame with zero length"}
+	}
+	if n > maxFrame {
+		return message{}, errFrameTooBig
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	body := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return message{}, io.ErrUnexpectedEOF // died mid-frame
+		}
+		return message{}, err
+	}
+	return decodeFrame(body)
+}
+
+// decodeFrame parses one complete frame body (opcode + payload). All
+// errors are *garbageError: the frame was already consumed, so the caller
+// may tolerate and continue.
+func decodeFrame(body []byte) (message, error) {
+	op, rest := body[0], body[1:]
+	switch op {
+	case opFetch, opOK, opQuit:
+		if len(rest) != 0 {
+			return message{}, &garbageError{reason: fmt.Sprintf("v3 opcode 0x%02x with unexpected %d-byte body", op, len(rest))}
+		}
+		switch op {
+		case opFetch:
+			return message{Op: "fetch"}, nil
+		case opOK:
+			return message{Op: "ok"}, nil
+		}
+		return message{Op: "quit"}, nil
+
+	case opConfig:
+		m := message{Op: "config"}
+		rest, ok := decodeID(&m, rest)
+		if !ok {
+			return message{}, &garbageError{reason: "v3 config frame: malformed id"}
+		}
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || n > uint64(len(rest)-k) {
+			// Each value costs at least one byte, so a count beyond the
+			// remaining bytes is a lie — reject before allocating.
+			return message{}, &garbageError{reason: "v3 config frame: malformed value count"}
+		}
+		rest = rest[k:]
+		vals := make([]int, n)
+		for i := range vals {
+			v, k := binary.Varint(rest)
+			if k <= 0 {
+				return message{}, &garbageError{reason: "v3 config frame: malformed value"}
+			}
+			vals[i] = int(v)
+			rest = rest[k:]
+		}
+		if len(rest) != 0 {
+			return message{}, &garbageError{reason: "v3 config frame: trailing bytes"}
+		}
+		m.Values = vals
+		return m, nil
+
+	case opReport:
+		m := message{Op: "report"}
+		rest, ok := decodeID(&m, rest)
+		if !ok {
+			return message{}, &garbageError{reason: "v3 report frame: malformed id"}
+		}
+		if len(rest) != 8 {
+			return message{}, &garbageError{reason: "v3 report frame: bad perf length"}
+		}
+		m.Perf = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		return m, nil
+
+	case opError:
+		return message{Op: "error", Msg: string(rest)}, nil
+
+	case opRegister, opRegistered, opBest:
+		m, err := decode(rest)
+		if err != nil {
+			return message{}, &garbageError{reason: err.Error()}
+		}
+		want := map[byte]string{opRegister: "register", opRegistered: "registered", opBest: "best"}[op]
+		if m.Op != want {
+			return message{}, &garbageError{reason: fmt.Sprintf("v3 opcode 0x%02x carries op %q, want %q", op, m.Op, want)}
+		}
+		return m, nil
+	}
+	return message{}, &garbageError{reason: fmt.Sprintf("unknown v3 opcode 0x%02x", op)}
+}
+
+// decodeID parses the hasID byte and optional uvarint id shared by config
+// and report frames.
+func decodeID(m *message, rest []byte) ([]byte, bool) {
+	if len(rest) == 0 || rest[0] > 1 {
+		return nil, false
+	}
+	has := rest[0] == 1
+	rest = rest[1:]
+	if !has {
+		return rest, true
+	}
+	id, k := binary.Uvarint(rest)
+	if k <= 0 || id > math.MaxInt32 {
+		return nil, false
+	}
+	m.id, m.hasID = int(id), true
+	return rest[k:], true
+}
+
+// frameWriter encodes v3 frames into a reusable scratch buffer before
+// committing header+body to the bufio.Writer, so steady-state hot-path
+// sends (config, report, fetch) allocate nothing.
+type frameWriter struct {
+	w       *bufio.Writer
+	scratch []byte
+}
+
+// append encodes m as one frame onto the buffered writer without flushing.
+// The frame is assembled whole in the scratch buffer — 4 reserved header
+// bytes, then opcode and payload — so one Write commits it and nothing
+// escapes to the heap.
+func (fw *frameWriter) append(m message) error {
+	if cap(fw.scratch) < 4 {
+		fw.scratch = make([]byte, 0, 256)
+	}
+	body := fw.scratch[:4] // length placeholder, filled below
+	switch m.Op {
+	case "fetch":
+		body = append(body, opFetch)
+	case "ok":
+		body = append(body, opOK)
+	case "quit":
+		body = append(body, opQuit)
+	case "error":
+		body = append(body, opError)
+		body = append(body, m.Msg...)
+	case "config":
+		body = append(body, opConfig)
+		body = appendID(body, m)
+		body = binary.AppendUvarint(body, uint64(len(m.Values)))
+		for _, v := range m.Values {
+			body = binary.AppendVarint(body, int64(v))
+		}
+	case "report":
+		body = append(body, opReport)
+		body = appendID(body, m)
+		body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Perf))
+	case "register", "registered", "best":
+		var op byte
+		switch m.Op {
+		case "register":
+			op = opRegister
+		case "registered":
+			op = opRegistered
+		default:
+			op = opBest
+		}
+		jm := m
+		if jm.hasID {
+			jm.ID = &jm.id // materialize the pointer form for the JSON envelope
+		}
+		b, err := json.Marshal(jm)
+		if err != nil {
+			return err
+		}
+		body = append(body, op)
+		body = append(body, b...)
+	default:
+		return fmt.Errorf("server: cannot encode op %q as a v3 frame", m.Op)
+	}
+	fw.scratch = body[:0]
+	if len(body)-4 > maxFrame {
+		return errFrameTooBig
+	}
+	binary.LittleEndian.PutUint32(body, uint32(len(body)-4))
+	_, err := fw.w.Write(body)
+	return err
+}
+
+func appendID(body []byte, m message) []byte {
+	if !m.hasID {
+		return append(body, 0)
+	}
+	body = append(body, 1)
+	return binary.AppendUvarint(body, uint64(m.id))
+}
