@@ -29,7 +29,13 @@
 // prior runs and peer sessions are free, duplicate in-flight measurements
 // coalesce (shared scope), and -estimate-gate optionally answers
 // well-supported probes from the §4.3 triangulation plane fit instead of a
-// client round-trip.
+// client round-trip. -gate-truth-check-every keeps the gate honest by
+// re-measuring a sample of its answers and publishing the absolute error.
+//
+// And to steer: -ctl mounts the control plane on the observability
+// endpoint — a REST/JSON API (/api/v1/sessions, /api/v1/expdb/...,
+// retune), a Server-Sent-Events stream of the live tuning-event trace
+// (/api/v1/events) and an embedded dashboard (/dashboard/).
 //
 // Usage:
 //
@@ -48,9 +54,11 @@ import (
 	"syscall"
 	"time"
 
+	"harmony/internal/ctlplane"
 	"harmony/internal/evalcache"
 	"harmony/internal/expdb"
 	"harmony/internal/obs"
+	"harmony/internal/search"
 	"harmony/internal/server"
 )
 
@@ -72,6 +80,9 @@ func main() {
 	gateMaxDist := flag.Float64("gate-max-dist", evalcache.DefaultGateMaxDist, "estimation gate: max normalized distance from the target to any fitted vertex")
 	gateMaxResidual := flag.Float64("gate-max-residual", evalcache.DefaultGateMaxRelResidual, "estimation gate: max plane-fit RMS residual relative to the vertex performance scale")
 	gateMinRecords := flag.Int("gate-min-records", 0, "estimation gate: distinct truths required before estimating (0 = 3*(dim+1))")
+	gateTruthEvery := flag.Int("gate-truth-check-every", 16, "estimation gate calibration: re-measure every Nth gated answer per session and record the absolute error (0 = never)")
+	ctl := flag.Bool("ctl", false, "mount the control plane (REST API, SSE event stream, dashboard) on the observability endpoint (needs -obs-addr)")
+	ctlReplay := flag.Int("ctl-replay", ctlplane.DefaultRingSize, "control plane: trace events retained for SSE replay/catch-up")
 	maxWindow := flag.Int("max-window", 0, "pipeline depth cap granted to protocol v2/v3 clients (0 = default 32; 1 or negative forces lockstep)")
 	connShards := flag.Int("conn-shards", 0, "connection-table stripe count, rounded up to a power of two (0 = default 64); raise for very high session churn")
 	obsCfg := obs.BindFlags(flag.CommandLine)
@@ -96,9 +107,14 @@ func main() {
 	s.ConnShards = *connShards
 	s.EstimateGate = *estimateGate
 	s.GateOptions = evalcache.GateOptions{
-		MaxVertexDist:  *gateMaxDist,
-		MaxRelResidual: *gateMaxResidual,
-		MinRecords:     *gateMinRecords,
+		MaxVertexDist:   *gateMaxDist,
+		MaxRelResidual:  *gateMaxResidual,
+		MinRecords:      *gateMinRecords,
+		TruthCheckEvery: *gateTruthEvery,
+	}
+	if *ctl && obsCfg.Addr == "" {
+		fmt.Fprintln(os.Stderr, "harmonyd: -ctl needs -obs-addr (the control plane mounts on the observability endpoint)")
+		os.Exit(1)
 	}
 
 	// The daemon is healthy once the listener is bound and until shutdown
@@ -120,6 +136,18 @@ func main() {
 	s.Logger = rt.Logger
 	s.Metrics = server.NewMetrics(rt.Registry)
 	s.Tracer = rt.Tracer()
+
+	// Control plane: the SSE hub joins the trace fan-out (it never blocks
+	// the kernel — slow subscribers drop), and the REST API + dashboard
+	// mount on the observability mux. Health checks for the deeper
+	// subsystems are registered below as those subsystems come up.
+	var hub *ctlplane.Hub
+	if *ctl {
+		hub = ctlplane.NewHub(*ctlReplay, rt.Registry)
+		defer hub.Close()
+		s.Tracer = search.MultiTracer(s.Tracer, hub)
+		rt.HTTP.Health.Register("accept_loop", s.AcceptLiveness)
+	}
 	if cacheScope != server.CacheOff {
 		s.CacheMetrics = evalcache.NewMetrics(rt.Registry)
 		rt.Logger.Info("measure-once evaluation cache enabled",
@@ -156,6 +184,14 @@ func main() {
 		s.Experience = server.NewDurableStore(expStore, rt.Logger)
 		rt.Logger.Info("durable experience database open",
 			"dir", *dataDir, "fsync", policy.String(), "experiences", expStore.Len())
+		if hub != nil {
+			rt.HTTP.Health.Register("expdb_wal", func() error {
+				if lag := expStore.FlushLag(); lag > time.Minute {
+					return fmt.Errorf("WAL unflushed for %s", lag.Round(time.Second))
+				}
+				return nil
+			})
+		}
 	}
 
 	bound, err := s.Listen(*addr)
@@ -166,6 +202,15 @@ func main() {
 	}
 	close(listening)
 	rt.Logger.Info("harmony server listening", "addr", bound.String())
+
+	if hub != nil {
+		// Mounting after Serve started is safe: ServeMux registration is
+		// mutex-guarded, and until this point /api/v1 was a plain 404.
+		api := &ctlplane.API{Sessions: s, Experience: s.ExperienceStore(), Hub: hub, Logger: rt.Logger}
+		api.Register(rt.HTTP.Mux)
+		rt.Logger.Info("control plane mounted",
+			"addr", rt.HTTP.Addr.String(), "endpoints", "/api/v1/... /dashboard/")
+	}
 
 	// Graceful shutdown: the first signal drains in-flight sessions with a
 	// hard cutoff after -drain-timeout; a second signal kills the process.

@@ -1,0 +1,257 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"harmony/internal/expdb"
+	"harmony/internal/history"
+	"harmony/internal/search"
+	"harmony/internal/server"
+)
+
+type fakeSessions struct {
+	snaps   []server.SessionSnapshot
+	retuned []string
+	retune  error
+}
+
+func (f *fakeSessions) SessionSnapshots() []server.SessionSnapshot { return f.snaps }
+
+func (f *fakeSessions) SessionSnapshot(id string) (server.SessionSnapshot, bool) {
+	for _, s := range f.snaps {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return server.SessionSnapshot{}, false
+}
+
+func (f *fakeSessions) Retune(id string) error {
+	if f.retune != nil {
+		return f.retune
+	}
+	f.retuned = append(f.retuned, id)
+	return nil
+}
+
+type fakeExperience struct {
+	infos  []expdb.NamespaceInfo
+	recs   map[string][]history.ConfigPerf
+	pruned []string
+}
+
+func (f *fakeExperience) Namespaces() []expdb.NamespaceInfo { return f.infos }
+
+func (f *fakeExperience) BrowseRecords(key string, offset, limit int) ([]history.ConfigPerf, int) {
+	all := f.recs[key]
+	total := len(all)
+	if offset >= total {
+		return nil, total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	return all[offset:end], total
+}
+
+func (f *fakeExperience) Prune(key string) (int, error) {
+	f.pruned = append(f.pruned, key)
+	return len(f.recs[key]), nil
+}
+
+func apiServer(t *testing.T, sess *fakeSessions, exp *fakeExperience) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	a := &API{Sessions: sess, Experience: exp, Hub: NewHub(8, nil)}
+	a.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	t.Cleanup(a.Hub.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, wantCode int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding GET %s: %v", url, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, wantCode int, into any) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s = %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding POST %s: %v", url, err)
+		}
+	}
+}
+
+func TestAPISessionsListAndDetail(t *testing.T) {
+	sess := &fakeSessions{snaps: []server.SessionSnapshot{
+		{ID: "s1", Status: server.StatusRunning, App: "gemm", Evals: 12, BestPerf: 3.5, HaveBest: true},
+		{ID: "s2", Status: server.StatusCompleted, App: "gemm", Evals: 80},
+	}}
+	srv := apiServer(t, sess, &fakeExperience{})
+
+	var list struct {
+		Sessions []server.SessionSnapshot `json:"sessions"`
+		Running  int                      `json:"running"`
+	}
+	getJSON(t, srv.URL+"/api/v1/sessions", http.StatusOK, &list)
+	if len(list.Sessions) != 2 || list.Running != 1 {
+		t.Fatalf("list = %d sessions, running %d; want 2 and 1", len(list.Sessions), list.Running)
+	}
+
+	var one server.SessionSnapshot
+	getJSON(t, srv.URL+"/api/v1/sessions/s1", http.StatusOK, &one)
+	if one.App != "gemm" || one.Evals != 12 || !one.HaveBest {
+		t.Errorf("detail = %+v, want the s1 snapshot", one)
+	}
+	getJSON(t, srv.URL+"/api/v1/sessions/nope", http.StatusNotFound, nil)
+}
+
+func TestAPIRetune(t *testing.T) {
+	sess := &fakeSessions{snaps: []server.SessionSnapshot{{ID: "s1", Status: server.StatusRunning}}}
+	srv := apiServer(t, sess, &fakeExperience{})
+
+	postJSON(t, srv.URL+"/api/v1/sessions/s1/retune", http.StatusAccepted, nil)
+	if len(sess.retuned) != 1 || sess.retuned[0] != "s1" {
+		t.Fatalf("retuned = %v, want [s1]", sess.retuned)
+	}
+
+	sess.retune = server.ErrSessionUnknown
+	postJSON(t, srv.URL+"/api/v1/sessions/zzz/retune", http.StatusNotFound, nil)
+	sess.retune = server.ErrSessionDone
+	postJSON(t, srv.URL+"/api/v1/sessions/s1/retune", http.StatusConflict, nil)
+}
+
+func TestAPINamespacesAndBrowse(t *testing.T) {
+	exp := &fakeExperience{
+		infos: []expdb.NamespaceInfo{{Key: "gemm/abcd", Experiences: 2, Records: 5}},
+		recs: map[string][]history.ConfigPerf{
+			"gemm/abcd": {
+				{Config: search.Config{1, 2}, Perf: 10, Seq: 0},
+				{Config: search.Config{3, 4}, Perf: 8, Seq: 1},
+				{Config: search.Config{5, 6}, Perf: 6, Seq: 2},
+			},
+		},
+	}
+	srv := apiServer(t, &fakeSessions{}, exp)
+
+	var nsResp struct {
+		Namespaces []struct {
+			Key        string `json:"key"`
+			Records    int    `json:"records"`
+			PruneToken string `json:"prune_token"`
+		} `json:"namespaces"`
+	}
+	getJSON(t, srv.URL+"/api/v1/expdb/namespaces", http.StatusOK, &nsResp)
+	if len(nsResp.Namespaces) != 1 || nsResp.Namespaces[0].Records != 5 || nsResp.Namespaces[0].PruneToken == "" {
+		t.Fatalf("namespaces = %+v, want one entry with a prune token", nsResp.Namespaces)
+	}
+
+	var page recordPage
+	getJSON(t, srv.URL+"/api/v1/expdb/records?ns=gemm/abcd&offset=1&limit=1", http.StatusOK, &page)
+	if page.Total != 3 || len(page.Records) != 1 || page.Records[0].Perf != 8 {
+		t.Fatalf("page = %+v, want total 3 and the middle record", page)
+	}
+
+	getJSON(t, srv.URL+"/api/v1/expdb/records", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/api/v1/expdb/records?ns=x&offset=-1", http.StatusBadRequest, nil)
+}
+
+func TestAPIPruneTokenFlow(t *testing.T) {
+	exp := &fakeExperience{
+		infos: []expdb.NamespaceInfo{{Key: "gemm/abcd", Experiences: 2, Records: 5}},
+		recs:  map[string][]history.ConfigPerf{"gemm/abcd": {{Perf: 1}, {Perf: 2}}},
+	}
+	srv := apiServer(t, &fakeSessions{}, exp)
+
+	// No token, wrong token, unknown namespace: all refused, nothing pruned.
+	postJSON(t, srv.URL+"/api/v1/expdb/prune?ns=gemm/abcd", http.StatusBadRequest, nil)
+	postJSON(t, srv.URL+"/api/v1/expdb/prune?ns=gemm/abcd&token=deadbeef", http.StatusConflict, nil)
+	postJSON(t, srv.URL+"/api/v1/expdb/prune?ns=nope&token=deadbeef", http.StatusNotFound, nil)
+	if len(exp.pruned) != 0 {
+		t.Fatalf("refused prunes still removed namespaces: %v", exp.pruned)
+	}
+
+	// The token from the listing is the confirmation.
+	token := pruneToken(exp.infos[0])
+	var ok struct {
+		Removed int `json:"experiences_removed"`
+	}
+	postJSON(t, srv.URL+"/api/v1/expdb/prune?ns=gemm/abcd&token="+token, http.StatusOK, &ok)
+	if len(exp.pruned) != 1 || exp.pruned[0] != "gemm/abcd" || ok.Removed != 2 {
+		t.Fatalf("prune with valid token: pruned=%v removed=%d", exp.pruned, ok.Removed)
+	}
+
+	// A token goes stale when the namespace changes between list and prune.
+	exp.infos[0].Records = 6
+	postJSON(t, srv.URL+"/api/v1/expdb/prune?ns=gemm/abcd&token="+token, http.StatusConflict, nil)
+}
+
+func TestDashboardServedAndRootRedirect(t *testing.T) {
+	srv := apiServer(t, &fakeSessions{}, &fakeExperience{})
+
+	resp, err := http.Get(srv.URL + "/dashboard/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /dashboard/ = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "Harmony control plane") {
+		t.Error("dashboard HTML missing its title — wrong embed?")
+	}
+
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	r2, err := noRedirect.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusFound || r2.Header.Get("Location") != "/dashboard/" {
+		t.Errorf("GET / = %d -> %q, want 302 to /dashboard/", r2.StatusCode, r2.Header.Get("Location"))
+	}
+
+	// Unknown paths still 404 (the dashboard is not a catch-all).
+	r3, err := http.Get(srv.URL + "/definitely-not-here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /definitely-not-here = %d, want 404", r3.StatusCode)
+	}
+}

@@ -1,0 +1,29 @@
+package ctlplane
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+// staticFS embeds the dashboard. Single file, zero build step, zero
+// third-party code: the chart is hand-rolled SVG driven by the same REST
+// and SSE endpoints any other client would use.
+//
+//go:embed static
+var staticFS embed.FS
+
+// registerDashboard mounts the embedded dashboard at /dashboard/ and
+// redirects the bare root there. The exact-root pattern ("/{$}") keeps the
+// mux's default 404 for unknown paths instead of a catch-all.
+func registerDashboard(mux *http.ServeMux) {
+	sub, err := fs.Sub(staticFS, "static")
+	if err != nil {
+		// Impossible with a well-formed embed; fail closed, not loudly.
+		return
+	}
+	mux.Handle("GET /dashboard/", http.StripPrefix("/dashboard/", http.FileServerFS(sub)))
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/dashboard/", http.StatusFound)
+	})
+}

@@ -1,0 +1,294 @@
+// Package ctlplane is the tuning server's control plane: a stdlib-only
+// REST/JSON API over the live session registry and experience store, a
+// Server-Sent-Events stream of the typed tuning-event trace, and an
+// embedded single-file dashboard. It mounts on the observability mux
+// (obs.HTTPServer.Mux) so one opt-in listener carries metrics, health,
+// profiles and the control plane.
+//
+// The package depends on the server only through read-mostly snapshot
+// interfaces; nothing here can hold a server lock across a JSON encode,
+// and the event stream is fed through a bounded fan-out that drops on
+// slow consumers rather than ever back-pressuring the tuning hot path.
+package ctlplane
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"harmony/internal/obs"
+	"harmony/internal/search"
+)
+
+// sseEvent is one event as staged for subscribers: the trace event plus
+// its hub sequence number (the SSE id:, so clients can ask for replay
+// without duplicates after a reconnect).
+type sseEvent struct {
+	Seq   uint64
+	Event search.Event
+}
+
+// subscriber is one attached SSE client. Its channel is buffered; when the
+// buffer is full the hub drops the event for this subscriber and counts it
+// instead of blocking — the producer is the tuning kernel's trace stream,
+// which must never wait on a stalled TCP connection.
+type subscriber struct {
+	ch      chan sseEvent
+	session string // "" = all sessions
+	dropped int
+}
+
+// Hub fans the server's trace stream out to SSE subscribers. It implements
+// search.Tracer, so wiring is one MultiTracer entry; Emit is safe for
+// concurrent use by many sessions.
+//
+// A bounded ring retains the most recent events for replay (?replay=N and
+// reconnect catch-up): new subscribers can backfill a chart without the
+// server keeping unbounded history.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	ring   []sseEvent // capacity ringCap, oldest-first once wrapped
+	next   uint64     // sequence number of the next event
+	closed bool
+
+	ringCap int
+	bufCap  int
+	dropped *obs.Counter
+}
+
+// DefaultRingSize is the replay-ring capacity when NewHub gets ringSize 0.
+const DefaultRingSize = 1024
+
+// subscriberBuffer is each subscriber's channel depth. A consumer that
+// falls further behind than this loses events (counted, and reported on
+// its stream as a "dropped" comment) rather than slowing the producers.
+const subscriberBuffer = 256
+
+// NewHub builds a hub retaining ringSize events for replay (0 means
+// DefaultRingSize). reg may be nil; when set, drops are counted on
+// ctlplane_sse_dropped_total.
+func NewHub(ringSize int, reg *obs.Registry) *Hub {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Hub{
+		subs:    map[*subscriber]struct{}{},
+		ringCap: ringSize,
+		bufCap:  subscriberBuffer,
+		dropped: reg.Counter("ctlplane_sse_dropped_total",
+			"Trace events dropped by the control plane's SSE fan-out because a subscriber was too slow."),
+	}
+}
+
+// Emit implements search.Tracer: stage the event in the replay ring and
+// offer it to every matching subscriber without ever blocking.
+func (h *Hub) Emit(e search.Event) {
+	if h == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	ev := sseEvent{Seq: h.next, Event: e}
+	h.next++
+	if len(h.ring) < h.ringCap {
+		h.ring = append(h.ring, ev)
+	} else {
+		h.ring[int(ev.Seq)%h.ringCap] = ev
+	}
+	var droppedNow int
+	for sub := range h.subs {
+		if sub.session != "" && sub.session != e.Session {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+			droppedNow++
+		}
+	}
+	h.mu.Unlock()
+	h.dropped.Add(droppedNow)
+}
+
+// subscribe attaches a client. session filters the live feed ("" = all);
+// replay asks for up to that many retained events (filtered the same way)
+// to be returned for immediate delivery before the live feed. The caller
+// must call unsubscribe exactly once.
+func (h *Hub) subscribe(session string, replay int) (*subscriber, []sseEvent, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, nil, false
+	}
+	sub := &subscriber{ch: make(chan sseEvent, h.bufCap), session: session}
+	h.subs[sub] = struct{}{}
+
+	var backlog []sseEvent
+	if replay > 0 {
+		ordered := h.ringOrdered()
+		for _, ev := range ordered {
+			if session != "" && session != ev.Event.Session {
+				continue
+			}
+			backlog = append(backlog, ev)
+		}
+		if len(backlog) > replay {
+			backlog = backlog[len(backlog)-replay:]
+		}
+	}
+	return sub, backlog, true
+}
+
+// ringOrdered returns the retained events oldest-first. Callers hold h.mu.
+func (h *Hub) ringOrdered() []sseEvent {
+	if len(h.ring) < h.ringCap {
+		return h.ring
+	}
+	out := make([]sseEvent, 0, len(h.ring))
+	start := int(h.next) % h.ringCap
+	out = append(out, h.ring[start:]...)
+	out = append(out, h.ring[:start]...)
+	return out
+}
+
+func (h *Hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.mu.Unlock()
+}
+
+// Close detaches every subscriber (their streams end) and makes further
+// Emit calls no-ops. Safe to call more than once.
+func (h *Hub) Close() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		close(sub.ch)
+		delete(h.subs, sub)
+	}
+	h.mu.Unlock()
+}
+
+// keepaliveInterval is how often an idle SSE stream emits a comment so
+// intermediaries don't time the connection out.
+const keepaliveInterval = 15 * time.Second
+
+// ServeHTTP streams the trace as Server-Sent Events:
+//
+//	GET /api/v1/events?session=<id>&replay=<n>
+//
+// Each SSE message carries the hub sequence number as its id: and the
+// search.Event JSON as its data:. ?session filters to one session;
+// ?replay=N (capped at the ring size) backfills the most recent retained
+// events before going live. When the client is too slow, events are
+// dropped (never buffered unboundedly) and the stream notes the running
+// per-subscriber drop count as a ": dropped=N" comment.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	session := r.URL.Query().Get("session")
+	replay := 0
+	if v := r.URL.Query().Get("replay"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "replay must be a non-negative integer")
+			return
+		}
+		replay = n
+	}
+	sub, backlog, ok := h.subscribe(session, replay)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "event stream shut down")
+		return
+	}
+	defer h.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	for _, ev := range backlog {
+		if !writeSSE(w, ev) {
+			return
+		}
+	}
+	fl.Flush()
+
+	keepalive := time.NewTicker(keepaliveInterval)
+	defer keepalive.Stop()
+	reported := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev, open := <-sub.ch:
+			if !open {
+				return // hub closed
+			}
+			if !writeSSE(w, ev) {
+				return
+			}
+			// Drain whatever else is queued before flushing once.
+			for more := true; more; {
+				select {
+				case ev, open = <-sub.ch:
+					if !open {
+						return
+					}
+					if !writeSSE(w, ev) {
+						return
+					}
+				default:
+					more = false
+				}
+			}
+			if d := h.subDropped(sub); d != reported {
+				reported = d
+				fmt.Fprintf(w, ": dropped=%d\n\n", d)
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func (h *Hub) subDropped(sub *subscriber) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return sub.dropped
+}
+
+// writeSSE frames one event; a false return means the client went away.
+func writeSSE(w http.ResponseWriter, ev sseEvent) bool {
+	data, err := encodeJSON(ev.Event)
+	if err != nil {
+		return true // skip the unencodable event, keep the stream
+	}
+	_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, data)
+	return err == nil
+}

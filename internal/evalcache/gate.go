@@ -40,6 +40,13 @@ type GateOptions struct {
 	// Policy selects the vertex policy (default estimate.NearestInSpace;
 	// estimate.LatestInTime suits drifting environments).
 	Policy estimate.NeighborPolicy
+	// TruthCheckEvery, when positive, re-measures every Nth gate-answered
+	// probe per session to calibrate the estimator: the gate's answer is
+	// held aside, a real measurement is paid, and |measured - estimated|
+	// lands on the harmony_estimate_abs_error histogram. 0 (the default)
+	// disables calibration. The field rides GateOptions for plumbing but is
+	// consumed by Layer, which owns per-session pacing.
+	TruthCheckEvery int
 }
 
 // Gate defaults.
@@ -190,6 +197,19 @@ type Layer struct {
 	// panics ErrCanceled, which the server's kernel recovery treats like a
 	// client disconnect.
 	Cancel <-chan struct{}
+	// TruthCheckEvery, when positive, forces every Nth gate-answered probe
+	// of this layer to a real measurement anyway: Lookup declines the
+	// estimate (holding it aside), Measure pays the round-trip, and the
+	// absolute error between the two is observed on the metrics bundle's
+	// EstimateAbsError histogram. The measured truth enters the memo and
+	// the gate as usual, so a truth check is never wasted work.
+	TruthCheckEvery int
+
+	// calMu guards the calibration pacing state below (layers are shared by
+	// the evaluator's worker goroutines).
+	calMu   sync.Mutex
+	gated   int
+	pending map[string]float64 // cfg key -> declined estimate, awaiting truth
 }
 
 // Lookup implements search.ExternalCache: exact memo first, then the gate.
@@ -200,6 +220,12 @@ func (l *Layer) Lookup(cfg search.Config) (perf float64, estimated, ok bool) {
 	}
 	if l.Gate != nil {
 		if perf, ok := l.Gate.Estimate(cfg); ok {
+			if l.takeTruthCheck(key, perf) {
+				// Calibration: decline the estimate so the evaluator pays a
+				// real measurement; Measure correlates it back by key. No
+				// wall-clock is credited — none was saved.
+				return 0, false, false
+			}
 			// Credit the estimated answer with the cache's mean measurement
 			// cost — the best available stand-in for "what this probe would
 			// have cost for real".
@@ -210,15 +236,49 @@ func (l *Layer) Lookup(cfg search.Config) (perf float64, estimated, ok bool) {
 	return 0, false, false
 }
 
+// takeTruthCheck paces calibration: it reports whether this gate-answered
+// probe is the layer's Nth and must be measured for real, parking the
+// estimate until Measure resolves it.
+func (l *Layer) takeTruthCheck(key string, est float64) bool {
+	if l.TruthCheckEvery <= 0 {
+		return false
+	}
+	l.calMu.Lock()
+	defer l.calMu.Unlock()
+	l.gated++
+	if l.gated%l.TruthCheckEvery != 0 {
+		return false
+	}
+	if l.pending == nil {
+		l.pending = map[string]float64{}
+	}
+	l.pending[key] = est
+	return true
+}
+
 // Measure implements search.ExternalCache: singleflight through the shared
 // cache, feeding the measured truth to the gate.
 func (l *Layer) Measure(cfg search.Config, measure func() float64) float64 {
-	perf, _, err := l.Cache.Do(cfg.Key(), measure, l.Cancel)
+	key := cfg.Key()
+	perf, _, err := l.Cache.Do(key, measure, l.Cancel)
 	if err != nil {
 		panic(err) // ErrCanceled: the session is going away
 	}
 	if l.Gate != nil {
 		l.Gate.Observe(cfg, perf)
+	}
+	if l.TruthCheckEvery > 0 {
+		l.calMu.Lock()
+		est, pending := l.pending[key]
+		if pending {
+			delete(l.pending, key)
+		}
+		l.calMu.Unlock()
+		if pending {
+			m := l.Cache.metrics
+			m.TruthChecks.Inc()
+			m.EstimateAbsError.Observe(math.Abs(perf - est))
+		}
 	}
 	return perf
 }

@@ -139,3 +139,78 @@ func TestGateIgnoresNonFinite(t *testing.T) {
 		t.Fatalf("non-finite truths recorded: len = %d", g.Len())
 	}
 }
+
+// TestLayerTruthCheckCalibration: with TruthCheckEvery set, every Nth
+// gate-answered probe is declined at Lookup and re-measured for real; the
+// absolute error lands on the calibration histogram and the measured truth
+// still enters the memo and the gate.
+func TestLayerTruthCheckCalibration(t *testing.T) {
+	sp := gateSpace(t)
+	m := NewMetrics(obs.NewRegistry())
+	g := NewGate(sp, GateOptions{}, m)
+	observeGrid(g, planar, 50, 50)
+
+	layer := &Layer{Cache: New(0, 0, m), Gate: g, TruthCheckEvery: 2}
+
+	// 1st gated answer: estimated normally.
+	if _, estimated, ok := layer.Lookup(search.Config{52, 48}); !ok || !estimated {
+		t.Fatalf("first gated probe: ok=%v estimated=%v, want both true", ok, estimated)
+	}
+
+	// 2nd gated answer: the truth check declines so a real measurement is
+	// paid. The real surface is the plane plus a bias, so the error is the
+	// bias exactly.
+	target := search.Config{47, 53}
+	if _, _, ok := layer.Lookup(target); ok {
+		t.Fatal("truth-checked probe was answered from the gate; want a forced miss")
+	}
+	const bias = 0.75
+	measured := 0
+	got := layer.Measure(target, func() float64 {
+		measured++
+		return planar(target) + bias
+	})
+	if measured != 1 || got != planar(target)+bias {
+		t.Fatalf("truth check measured %d times, got %v", measured, got)
+	}
+	if v := m.TruthChecks.Value(); v != 1 {
+		t.Fatalf("harmony_estimate_truth_checks_total = %d, want 1", v)
+	}
+	if c := m.EstimateAbsError.Count(); c != 1 {
+		t.Fatalf("abs-error observations = %d, want 1", c)
+	}
+	if s := m.EstimateAbsError.Sum(); math.Abs(s-bias) > 1e-9 {
+		t.Fatalf("abs-error sum = %v, want the bias %v", s, bias)
+	}
+
+	// The measured truth is memoized: the same config is now an exact hit,
+	// not another estimate or measurement.
+	if _, estimated, ok := layer.Lookup(target); !ok || estimated {
+		t.Fatalf("post-check lookup: ok=%v estimated=%v, want exact hit", ok, estimated)
+	}
+
+	// A plain measurement with no pending check must not observe errors.
+	layer.Measure(search.Config{10, 10}, func() float64 { return 1 })
+	if c := m.EstimateAbsError.Count(); c != 1 {
+		t.Fatalf("plain measurement polluted calibration: %d observations", c)
+	}
+}
+
+// TestLayerTruthCheckDisabledByDefault: zero TruthCheckEvery never
+// declines a gate answer.
+func TestLayerTruthCheckDisabledByDefault(t *testing.T) {
+	sp := gateSpace(t)
+	m := NewMetrics(obs.NewRegistry())
+	g := NewGate(sp, GateOptions{}, m)
+	observeGrid(g, planar, 50, 50)
+	layer := &Layer{Cache: New(0, 0, m), Gate: g}
+
+	for i := 0; i < 5; i++ {
+		if _, estimated, ok := layer.Lookup(search.Config{51 + i, 49}); !ok || !estimated {
+			t.Fatalf("probe %d: ok=%v estimated=%v, want gated answers throughout", i, ok, estimated)
+		}
+	}
+	if v := m.TruthChecks.Value(); v != 0 {
+		t.Fatalf("truth checks ran with TruthCheckEvery=0: %d", v)
+	}
+}

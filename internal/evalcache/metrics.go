@@ -42,6 +42,15 @@ type Metrics struct {
 	// Fills counts configurations hydrated from the durable experience
 	// store at session registration (harmony_eval_cache_warm_fills_total).
 	Fills *obs.Counter
+	// TruthChecks counts estimation-gate answers that were re-measured for
+	// calibration (Layer.TruthCheckEvery). Truth-checked probes tick both
+	// Estimated and TruthChecks but pay a real measurement
+	// (harmony_estimate_truth_checks_total).
+	TruthChecks *obs.Counter
+	// EstimateAbsError observes |measured - estimated| for every truth
+	// check — the estimator's live calibration curve, in the objective's
+	// own units (harmony_estimate_abs_error).
+	EstimateAbsError *obs.Histogram
 }
 
 // NewMetrics registers the harmony_eval_cache_* family on reg and returns
@@ -57,6 +66,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		SavedSeconds: reg.FloatCounter("harmony_eval_cache_saved_measurement_seconds_total", "Measurement wall-clock seconds saved by cache hits, coalescing and estimation."),
 		Size:         reg.Gauge("harmony_eval_cache_size", "Distinct configurations resident in the eval cache memo."),
 		Fills:        reg.Counter("harmony_eval_cache_warm_fills_total", "Configurations hydrated from the durable experience store."),
+		TruthChecks:  reg.Counter("harmony_estimate_truth_checks_total", "Estimation-gate answers re-measured for calibration."),
+		EstimateAbsError: reg.Histogram("harmony_estimate_abs_error",
+			"Absolute error of the estimation gate at calibration truth checks, in objective units.",
+			[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100, 1e3, 1e4}),
 	}
 }
 

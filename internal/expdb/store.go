@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -460,6 +461,104 @@ func (s *Store) WalkRecords(key string, fn func(cfg search.Config, perf float64)
 	for _, r := range recs {
 		fn(r.Config, r.Perf)
 	}
+}
+
+// WalkRecordsPage copies out the half-open record range [offset,
+// offset+limit) under key, in the same storage order WalkRecords streams,
+// plus the namespace's total record count. It is the control plane's
+// browse path: the copy happens under the shard read lock, encoding
+// happens with no store lock held, and a limit of 0 returns only the
+// total. Offsets past the end yield an empty page.
+func (s *Store) WalkRecordsPage(key string, offset, limit int) (page []history.ConfigPerf, total int) {
+	if offset < 0 {
+		offset = 0
+	}
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ns := sh.ns[key]
+	if ns == nil {
+		return nil, 0
+	}
+	for _, e := range ns.db.Experiences {
+		for _, r := range e.Records {
+			if total >= offset && len(page) < limit {
+				page = append(page, history.ConfigPerf{Config: r.Config.Clone(), Perf: r.Perf, Seq: r.Seq})
+			}
+			total++
+		}
+	}
+	return page, total
+}
+
+// NamespaceInfo summarizes one (app, spec) namespace for the control
+// plane's experience browser.
+type NamespaceInfo struct {
+	// Key is the namespace key ("app/spec-signature" on the server).
+	Key string `json:"key"`
+	// Experiences is the resident experience (workload-class) count.
+	Experiences int `json:"experiences"`
+	// Records is the total stored (configuration, performance) count.
+	Records int `json:"records"`
+}
+
+// Namespaces lists every resident namespace with its sizes, sorted by key
+// so pages and prune tokens are stable across calls.
+func (s *Store) Namespaces() []NamespaceInfo {
+	var out []NamespaceInfo
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for key, ns := range sh.ns {
+			info := NamespaceInfo{Key: key, Experiences: ns.db.Len()}
+			for _, e := range ns.db.Experiences {
+				info.Records += len(e.Records)
+			}
+			out = append(out, info)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Prune removes a whole namespace — every experience deposited under key —
+// and folds the deletion into a snapshot so it survives restarts (without
+// the fold, WAL replay would resurrect the pruned records). It returns the
+// number of experiences removed; pruning an absent namespace removes zero
+// and skips the snapshot.
+func (s *Store) Prune(key string) (int, error) {
+	if s.closed.Load() {
+		return 0, fmt.Errorf("expdb: store closed")
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	ns := sh.ns[key]
+	removed := 0
+	if ns != nil {
+		removed = ns.db.Len()
+		delete(sh.ns, key)
+		s.namespaces.Add(-1)
+		s.experiences.Add(int64(-removed))
+	}
+	sh.mu.Unlock()
+	if ns == nil {
+		return 0, nil
+	}
+	s.opts.Metrics.IndexSize.Set(float64(s.experiences.Load()))
+	s.opts.Metrics.Namespaces.Set(float64(s.namespaces.Load()))
+	if err := s.Snapshot(); err != nil {
+		return removed, fmt.Errorf("expdb: pruned %q in memory but snapshot failed (a restart may resurrect it): %w", key, err)
+	}
+	return removed, nil
+}
+
+// FlushLag reports how long acknowledged deposits have been exposed to a
+// hard crash (always zero under SyncAlways) — the /healthz WAL check.
+func (s *Store) FlushLag() time.Duration {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.flushLag()
 }
 
 // Len returns the number of resident experiences across all namespaces.

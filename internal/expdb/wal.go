@@ -37,6 +37,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"time"
 
 	"harmony/internal/history"
 )
@@ -183,6 +184,11 @@ type wal struct {
 	nextLSN uint64
 	// records counts appends since open/reset — the snapshot cadence input.
 	records int
+	// dirtySince is when the oldest unfsynced append happened (zero when
+	// every acknowledged record is on stable storage). Only SyncNone ever
+	// sets it; /healthz surfaces the lag so an operator notices a store
+	// that would lose deposits on a hard crash.
+	dirtySince time.Time
 }
 
 // openWAL opens (creating if needed) the log for appending. nextLSN is one
@@ -215,6 +221,8 @@ func (w *wal) append(key string, exp *history.Experience) (uint64, error) {
 		if err := w.f.Sync(); err != nil {
 			return 0, fmt.Errorf("expdb: WAL fsync: %w", err)
 		}
+	} else if w.dirtySince.IsZero() {
+		w.dirtySince = time.Now()
 	}
 	w.nextLSN++
 	w.records++
@@ -229,7 +237,23 @@ func (w *wal) flush() error {
 	if w.f == nil {
 		return nil
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirtySince = time.Time{}
+	return nil
+}
+
+// flushLag reports how long the oldest acknowledged-but-unfsynced append
+// has been exposed to a hard crash (zero when the log is clean — always
+// the case under SyncAlways).
+func (w *wal) flushLag() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dirtySince.IsZero() {
+		return 0
+	}
+	return time.Since(w.dirtySince)
 }
 
 // reset truncates the log after a snapshot has made its contents
@@ -245,6 +269,7 @@ func (w *wal) resetLocked() error {
 		return err
 	}
 	w.records = 0
+	w.dirtySince = time.Time{}
 	return nil
 }
 
@@ -259,5 +284,6 @@ func (w *wal) close() error {
 		err = cerr
 	}
 	w.f = nil
+	w.dirtySince = time.Time{}
 	return err
 }

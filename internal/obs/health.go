@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health is the upgraded /healthz surface: instead of a bare status it
+// reports build identity (module version, VCS revision, Go runtime),
+// process uptime, and a set of named per-subsystem checks (expdb WAL
+// flush lag, accept-loop liveness, ...) so an operator — or an orchestra-
+// tor's readiness probe — can tell *which* part of the daemon is sick.
+//
+// Checks may be registered at any time, including after the endpoint is
+// serving: registration is mutex-guarded and each request re-runs every
+// check. A nil *Health serves the permanently healthy degenerate report.
+type Health struct {
+	start time.Time
+
+	mu     sync.Mutex
+	checks []healthCheck
+}
+
+type healthCheck struct {
+	name string
+	fn   func() error
+}
+
+// NewHealth returns a Health whose uptime clock starts now. ready, when
+// non-nil, is installed as the "ready" check — the legacy single-function
+// health gate every binary already wires.
+func NewHealth(ready func() error) *Health {
+	h := &Health{start: time.Now()}
+	if ready != nil {
+		h.Register("ready", ready)
+	}
+	return h
+}
+
+// Register adds (or replaces, by name) a named subsystem check. fn runs on
+// every /healthz request and must be safe for concurrent use; returning
+// nil means healthy.
+func (h *Health) Register(name string, fn func() error) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.checks {
+		if h.checks[i].name == name {
+			h.checks[i].fn = fn
+			return
+		}
+	}
+	h.checks = append(h.checks, healthCheck{name: name, fn: fn})
+}
+
+// healthReport is the /healthz JSON shape. Status stays the first field
+// and keeps its historical "ok"/"unhealthy" values so existing probes
+// (grep '"status":"ok"') keep working.
+type healthReport struct {
+	Status string `json:"status"`
+	// Error surfaces the first failing check's message — the field the
+	// pre-upgrade endpoint carried, preserved for compatibility.
+	Error         string            `json:"error,omitempty"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Build         buildReport       `json:"build"`
+	Checks        map[string]string `json:"checks,omitempty"`
+}
+
+type buildReport struct {
+	Go       string `json:"go"`
+	Module   string `json:"module,omitempty"`
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+}
+
+// buildInfo is read once: the binary cannot change under a running
+// process.
+var buildInfoOnce = sync.OnceValue(func() buildReport {
+	b := buildReport{Go: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// report runs every check and assembles the response body.
+func (h *Health) report() (healthReport, int) {
+	rep := healthReport{Status: "ok", Build: buildInfoOnce()}
+	code := http.StatusOK
+	if h == nil {
+		return rep, code
+	}
+	rep.UptimeSeconds = time.Since(h.start).Seconds()
+	h.mu.Lock()
+	checks := append([]healthCheck(nil), h.checks...)
+	h.mu.Unlock()
+	sort.Slice(checks, func(i, j int) bool { return checks[i].name < checks[j].name })
+	if len(checks) > 0 {
+		rep.Checks = make(map[string]string, len(checks))
+	}
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			rep.Checks[c.name] = err.Error()
+			rep.Status = "unhealthy"
+			code = http.StatusServiceUnavailable
+			if rep.Error == "" {
+				rep.Error = err.Error()
+			}
+		} else {
+			rep.Checks[c.name] = "ok"
+		}
+	}
+	return rep, code
+}
+
+// ServeHTTP implements http.Handler for /healthz.
+func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rep, code := h.report()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(rep) //nolint:errcheck // best effort to a flaky scraper
+}

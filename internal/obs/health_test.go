@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func healthzBody(t *testing.T, h *Health) (int, map[string]any, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var body map[string]any
+	raw := rec.Body.String()
+	if err := json.Unmarshal([]byte(raw), &body); err != nil {
+		t.Fatalf("healthz body is not JSON: %v\n%s", err, raw)
+	}
+	return rec.Code, body, raw
+}
+
+func TestHealthReportShape(t *testing.T) {
+	h := NewHealth(nil)
+	code, body, raw := healthzBody(t, h)
+	if code != 200 || body["status"] != "ok" {
+		t.Fatalf("empty health = %d %v, want 200 ok", code, body)
+	}
+	// The historical probe contract: the literal substring survives.
+	if !strings.Contains(raw, `"status":"ok"`) {
+		t.Errorf("body %q lost the \"status\":\"ok\" literal older probes grep for", raw)
+	}
+	build, ok := body["build"].(map[string]any)
+	if !ok || build["go"] == "" {
+		t.Errorf("build info missing from %v", body)
+	}
+	if _, ok := body["uptime_seconds"].(float64); !ok {
+		t.Errorf("uptime missing from %v", body)
+	}
+}
+
+func TestHealthNamedChecks(t *testing.T) {
+	failing := errors.New("wal stuck")
+	var broken bool
+	h := NewHealth(func() error { return nil })
+	h.Register("expdb_wal", func() error {
+		if broken {
+			return failing
+		}
+		return nil
+	})
+
+	code, body, _ := healthzBody(t, h)
+	if code != 200 {
+		t.Fatalf("all checks passing = %d, want 200", code)
+	}
+	checks := body["checks"].(map[string]any)
+	if checks["ready"] != "ok" || checks["expdb_wal"] != "ok" {
+		t.Errorf("checks = %v, want both ok", checks)
+	}
+
+	broken = true
+	code, body, _ = healthzBody(t, h)
+	if code != 503 || body["status"] != "unhealthy" {
+		t.Fatalf("failing check = %d %v, want 503 unhealthy", code, body["status"])
+	}
+	checks = body["checks"].(map[string]any)
+	if checks["expdb_wal"] != "wal stuck" || checks["ready"] != "ok" {
+		t.Errorf("checks = %v, want the failing one named with its error", checks)
+	}
+	if body["error"] != "wal stuck" {
+		t.Errorf("error field = %v, want the first failure surfaced", body["error"])
+	}
+
+	// Re-registering by name replaces the check.
+	h.Register("expdb_wal", func() error { return nil })
+	if code, _, _ := healthzBody(t, h); code != 200 {
+		t.Errorf("replaced check still failing: %d", code)
+	}
+}
+
+func TestHealthNilIsAlwaysHealthy(t *testing.T) {
+	var h *Health
+	h.Register("x", func() error { return errors.New("ignored") })
+	rep, code := h.report()
+	if code != 200 || rep.Status != "ok" {
+		t.Errorf("nil Health = %d %s, want 200 ok", code, rep.Status)
+	}
+}

@@ -9,32 +9,25 @@ import (
 	"time"
 )
 
-// Handler builds the observability mux:
+// NewMux builds the observability mux:
 //
 //	/metrics        Prometheus text exposition of reg
-//	/healthz        200 {"status":"ok"} while healthy() returns nil,
-//	                503 {"status":"unhealthy","error":...} otherwise
+//	/healthz        the health report (200 {"status":"ok",...} while every
+//	                registered check passes, 503 otherwise)
 //	/debug/pprof/*  the standard runtime profiles (explicitly wired, not
 //	                via the package's DefaultServeMux side effect)
 //
-// healthy may be nil (always healthy); reg may be nil (empty exposition).
-func Handler(reg *Registry, healthy func() error) http.Handler {
+// health may be nil (always healthy); reg may be nil (empty exposition).
+// The returned mux is shared deliberately: ServeMux registration is
+// mutex-guarded, so a binary may Handle additional routes (a control-plane
+// API, a dashboard) after the endpoint has started serving.
+func NewMux(reg *Registry, health *Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if healthy != nil {
-			if err := healthy(); err != nil {
-				w.WriteHeader(http.StatusServiceUnavailable)
-				fmt.Fprintf(w, "{\"status\":\"unhealthy\",\"error\":%q}\n", err.Error())
-				return
-			}
-		}
-		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
+	mux.Handle("/healthz", health)
 	// pprof: wire the handlers onto our mux so importing net/http/pprof's
 	// DefaultServeMux registration is never relied on, and the profiles are
 	// only reachable through the opt-in observability listener.
@@ -46,12 +39,24 @@ func Handler(reg *Registry, healthy func() error) http.Handler {
 	return mux
 }
 
+// Handler builds the observability mux with a single readiness gate —
+// the original endpoint surface, kept for callers that don't need named
+// per-subsystem checks. healthy may be nil (always healthy).
+func Handler(reg *Registry, healthy func() error) http.Handler {
+	return NewMux(reg, NewHealth(healthy))
+}
+
 // HTTPServer is a running observability endpoint.
 type HTTPServer struct {
 	// Addr is the bound listen address (useful with ":0").
 	Addr net.Addr
-	srv  *http.Server
-	done chan struct{}
+	// Mux is the live routing table. Registering additional routes after
+	// Serve returned is safe — ServeMux guards its table with a mutex.
+	Mux *http.ServeMux
+	// Health is the /healthz report; subsystems register named checks on it.
+	Health *Health
+	srv    *http.Server
+	done   chan struct{}
 }
 
 // Serve starts the observability endpoint on addr ("" is rejected — the
@@ -65,10 +70,14 @@ func Serve(addr string, reg *Registry, healthy func() error) (*HTTPServer, error
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
+	health := NewHealth(healthy)
+	mux := NewMux(reg, health)
 	s := &HTTPServer{
-		Addr: ln.Addr(),
+		Addr:   ln.Addr(),
+		Mux:    mux,
+		Health: health,
 		srv: &http.Server{
-			Handler:           Handler(reg, healthy),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 		done: make(chan struct{}),

@@ -52,6 +52,14 @@ type NelderMeadOptions struct {
 	// collapsed simplex at no cost when the first run already used the
 	// budget.
 	Restarts int
+	// ExtraRestart, when non-nil, is polled once the search (including the
+	// planned Restarts) has converged with budget remaining; returning true
+	// funds one more reduced-scale restart around the incumbent best, then
+	// the hook is polled again. The server's control plane wires an
+	// operator's re-tune request here, so a live session can be steered
+	// back into exploration without a protocol change. Each extra restart
+	// is announced by an EventPhase "retune" on the trace stream.
+	ExtraRestart func() bool
 
 	// Standard Nelder–Mead coefficients; zero values take the textbook
 	// defaults (reflection 1, expansion 2, contraction 0.5, shrink 0.5).
@@ -175,6 +183,27 @@ func nelderMeadWithRestarts(space *Space, ev *Evaluator, opts NelderMeadOptions)
 			return nil, err
 		}
 		res = next // the shared trace already spans all restarts
+		scale /= 2
+	}
+	// Operator-driven extra restarts: polled only after convergence, so a
+	// re-tune request arriving mid-run takes effect at the next natural
+	// stopping point. Budget exhaustion ends the loop exactly like the
+	// planned restarts above.
+	for opts.ExtraRestart != nil && res.Converged && len(res.BestConfig) > 0 {
+		if !opts.ExtraRestart() {
+			break
+		}
+		emit(opts.Tracer, Event{Type: EventPhase, Op: "retune", Perf: res.BestPerf})
+		restartOpts := opts
+		restartOpts.Init = scaledInit{
+			center: space.Continuous(res.BestConfig),
+			frac:   scale,
+		}
+		next, err := nelderMead(space, ev, restartOpts)
+		if err != nil {
+			return nil, err
+		}
+		res = next
 		scale /= 2
 	}
 	return res, nil

@@ -18,6 +18,14 @@ const (
 	Minimize
 )
 
+// String implements fmt.Stringer with the wire spellings ("max" / "min").
+func (d Direction) String() string {
+	if d == Minimize {
+		return "min"
+	}
+	return "max"
+}
+
 // Better reports whether a is strictly better than b under the direction.
 func (d Direction) Better(a, b float64) bool {
 	if d == Maximize {

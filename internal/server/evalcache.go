@@ -93,7 +93,8 @@ func (s *Server) evalLayer(key string, space *search.Space, cancel <-chan struct
 	case CacheSession:
 		nc := s.newNamespaceCache(space)
 		s.warmFill(key, space, nc)
-		return &evalcache.Layer{Cache: nc.cache, Gate: nc.gate, Cancel: cancel}
+		return &evalcache.Layer{Cache: nc.cache, Gate: nc.gate, Cancel: cancel,
+			TruthCheckEvery: s.GateOptions.TruthCheckEvery}
 	case CacheShared:
 		s.cacheMu.Lock()
 		nc := s.caches[key]
@@ -112,7 +113,8 @@ func (s *Server) evalLayer(key string, space *search.Space, cancel <-chan struct
 			// cold) cache — fills are hints, not correctness.
 			s.warmFill(key, space, nc)
 		}
-		return &evalcache.Layer{Cache: nc.cache, Gate: nc.gate, Cancel: cancel}
+		return &evalcache.Layer{Cache: nc.cache, Gate: nc.gate, Cancel: cancel,
+			TruthCheckEvery: s.GateOptions.TruthCheckEvery}
 	}
 	return nil
 }

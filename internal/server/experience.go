@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"log/slog"
+	"sort"
 	"sync"
 
 	"harmony/internal/expdb"
@@ -40,6 +41,16 @@ type Store interface {
 	// again. Implementations stream detached copies; fn runs without store
 	// locks held.
 	WarmFill(key string, fn func(cfg search.Config, perf float64))
+	// Namespaces lists every resident (app, spec) namespace with its sizes
+	// — the control plane's experience browser. Sorted by key.
+	Namespaces() []expdb.NamespaceInfo
+	// BrowseRecords copies out the record range [offset, offset+limit)
+	// under key plus the namespace's total record count. Detached copies;
+	// encoding never holds store locks.
+	BrowseRecords(key string, offset, limit int) (page []history.ConfigPerf, total int)
+	// Prune removes a whole namespace, durably for durable backends. It
+	// returns the number of experiences removed.
+	Prune(key string) (int, error)
 }
 
 // specKey derives the experience namespace key from the application name
@@ -150,6 +161,57 @@ func (s *memoryStore) WarmFill(key string, fn func(cfg search.Config, perf float
 	}
 }
 
+// Namespaces implements Store.
+func (s *memoryStore) Namespaces() []expdb.NamespaceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]expdb.NamespaceInfo, 0, len(s.dbs))
+	for key, ns := range s.dbs {
+		info := expdb.NamespaceInfo{Key: key, Experiences: ns.db.Len()}
+		for _, e := range ns.db.Experiences {
+			info.Records += len(e.Records)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// BrowseRecords implements Store.
+func (s *memoryStore) BrowseRecords(key string, offset, limit int) (page []history.ConfigPerf, total int) {
+	if offset < 0 {
+		offset = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns := s.dbs[key]
+	if ns == nil {
+		return nil, 0
+	}
+	for _, e := range ns.db.Experiences {
+		for _, r := range e.Records {
+			if total >= offset && len(page) < limit {
+				page = append(page, history.ConfigPerf{Config: r.Config.Clone(), Perf: r.Perf, Seq: r.Seq})
+			}
+			total++
+		}
+	}
+	return page, total
+}
+
+// Prune implements Store.
+func (s *memoryStore) Prune(key string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns := s.dbs[key]
+	if ns == nil {
+		return 0, nil
+	}
+	removed := ns.db.Len()
+	delete(s.dbs, key)
+	return removed, nil
+}
+
 // DurableStore adapts an expdb.Store to the server's Store interface. A
 // failed deposit is logged and dropped rather than failing the session —
 // losing one trace to a disk hiccup beats killing a client mid-tune.
@@ -188,3 +250,14 @@ func (d *DurableStore) Flush() error { return d.DB.Flush() }
 func (d *DurableStore) WarmFill(key string, fn func(cfg search.Config, perf float64)) {
 	d.DB.WalkRecords(key, fn)
 }
+
+// Namespaces implements Store.
+func (d *DurableStore) Namespaces() []expdb.NamespaceInfo { return d.DB.Namespaces() }
+
+// BrowseRecords implements Store.
+func (d *DurableStore) BrowseRecords(key string, offset, limit int) ([]history.ConfigPerf, int) {
+	return d.DB.WalkRecordsPage(key, offset, limit)
+}
+
+// Prune implements Store.
+func (d *DurableStore) Prune(key string) (int, error) { return d.DB.Prune(key) }

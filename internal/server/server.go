@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/evalcache"
@@ -124,12 +125,30 @@ type Server struct {
 	// so thousands of concurrent short sessions never serialize on one
 	// lock. Set it before Listen.
 	ConnShards int
+	// SessionHistory is how many finished sessions the state registry
+	// retains for the control plane's session browser (0 =
+	// DefaultSessionHistory; negative disables retention). Running
+	// sessions are always visible.
+	SessionHistory int
 
 	lnMu      sync.Mutex
 	listener  net.Listener
 	tableOnce sync.Once
 	connTab   *connTable
 	wg        sync.WaitGroup
+
+	// stateMu guards the session-state registry (running map + finished
+	// ring). Hot-path updates never take it: each session writes through
+	// its own sessionState.
+	stateMu  sync.RWMutex
+	states   map[string]*sessionState
+	doneRing []*sessionState
+	doneNext int
+
+	// acceptStalled is the unix-nano timestamp of the first Accept failure
+	// of the current retry streak (0 while accepts succeed) — the
+	// accept-loop liveness input for /healthz.
+	acceptStalled atomic.Int64
 
 	// expOnce guards the lazy default construction of Experience.
 	expOnce sync.Once
@@ -188,6 +207,11 @@ func (s *Server) store() Store {
 	})
 	return s.Experience
 }
+
+// ExperienceStore exposes the resolved experience backend (building the
+// default in-memory store on first use) — the control plane's browse and
+// prune surface.
+func (s *Server) ExperienceStore() Store { return s.store() }
 
 // SessionEnd summarizes one finished connection for the OnSessionEnd hook.
 type SessionEnd struct {
@@ -274,6 +298,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			if errors.Is(err, net.ErrClosed) {
 				return // listener closed: the one legitimate exit
 			}
+			s.acceptStalled.CompareAndSwap(0, time.Now().UnixNano())
 			if backoff == 0 {
 				backoff = 5 * time.Millisecond
 			} else if backoff *= 2; backoff > time.Second {
@@ -287,6 +312,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			continue
 		}
 		backoff = 0
+		s.acceptStalled.Store(0)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -351,6 +377,29 @@ func (s *Server) flushExperience() {
 	}
 }
 
+// AcceptLiveness is the accept path's /healthz check: nil while the
+// listener is bound and accepting. It reports shutdown, a never-bound
+// listener, and an accept loop that has been failing (EMFILE pressure and
+// the like) for more than a few seconds — the "up but not accepting" state
+// that is otherwise invisible from outside.
+func (s *Server) AcceptLiveness() error {
+	if s.tab().Closed() {
+		return errors.New("server: shutting down")
+	}
+	s.lnMu.Lock()
+	bound := s.listener != nil
+	s.lnMu.Unlock()
+	if !bound {
+		return errors.New("server: listener not bound")
+	}
+	if t := s.acceptStalled.Load(); t != 0 {
+		if stall := time.Since(time.Unix(0, t)); stall > 5*time.Second {
+			return fmt.Errorf("server: accept loop failing for %s", stall.Round(time.Second))
+		}
+	}
+	return nil
+}
+
 // Close stops the server immediately: no drain, connections are severed and
 // in-flight sessions unwind (depositing partial traces) before Close
 // returns.
@@ -413,6 +462,9 @@ type session struct {
 	// deposited is written by the kernel goroutine before kernelDone
 	// closes and read by the handler after it — no lock needed.
 	deposited bool
+	// state is the session's control-plane twin (never nil): the trace
+	// stream and the message loop keep it current, the API snapshots it.
+	state *sessionState
 }
 
 // errAborted signals the kernel goroutine that the client went away.
@@ -437,10 +489,11 @@ func (s *Server) handle(conn net.Conn) error {
 	defer m.SessionsActive.Dec()
 	log.Debug("session started")
 
+	st := s.trackState(id, conn.RemoteAddr().String())
 	end := SessionEnd{ID: id}
 	// The connection token doubles as the metric stripe: hot-path counters
 	// land on the same shard the session table uses.
-	sess, err := s.serve(conn, &end, id, int(token), log)
+	sess, err := s.serve(conn, &end, id, int(token), st, log)
 	if sess != nil {
 		// Unblock the kernel and wait for it to unwind; an abnormal
 		// disconnect deposits the partial trace before kernelDone closes,
@@ -468,6 +521,7 @@ func (s *Server) handle(conn net.Conn) error {
 			"app", end.App, "warm", end.Warm, "completed", end.Completed,
 			"deposited", end.Deposited, "faults", end.Faults)
 	}
+	s.finishState(st, end)
 	if s.OnSessionEnd != nil {
 		s.OnSessionEnd(end)
 	}
@@ -553,7 +607,7 @@ func negotiate(br *bufio.Reader, w *bufio.Writer, beforeRead, beforeWrite func()
 
 // serve runs the message loop. It returns the session (nil when
 // registration never succeeded) and the terminal error.
-func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, log *slog.Logger) (*session, error) {
+func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, st *sessionState, log *slog.Logger) (*session, error) {
 	// 16 KiB holds any hot-path unit with room to spare (frames and lines
 	// are tens of bytes; only register envelopes run longer) and keeps the
 	// per-connection footprint small at thousand-session scale.
@@ -604,6 +658,7 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, log
 	// the trace stream.
 	tolerate := func(what string) error {
 		end.Faults++
+		st.faults.Store(int64(end.Faults))
 		s.m().Faults.Inc()
 		if s.Tracer != nil {
 			s.Tracer.Emit(search.Event{
@@ -638,7 +693,7 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, log
 	if reg.Op != "register" {
 		return nil, fail("first message must be register")
 	}
-	sess, err := s.startSession(reg, id, log)
+	sess, err := s.startSession(reg, id, st, log)
 	if err != nil {
 		return nil, fail(err.Error())
 	}
@@ -646,6 +701,10 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, log
 	if sess.warm {
 		s.m().WarmStarts.Inc()
 	}
+	st.mu.Lock()
+	st.snap.Proto = proto
+	st.snap.FailureBudget = budget
+	st.mu.Unlock()
 	log.Info("session registered",
 		"app", reg.App, "dim", len(sess.names), "warm", sess.warm,
 		"improved", reg.Improved, "max_evals", reg.MaxEvals,
@@ -711,6 +770,7 @@ func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
 			select {
 			case req := <-sess.evals:
 				pending, havePending = req, true
+				sess.state.outstanding.Store(1)
 				s.m().ConfigsServed.Inc(lo.shard)
 				if err := lo.send(message{Op: "config", Values: req.cfg}); err != nil {
 					return err
@@ -742,6 +802,7 @@ func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
 			s.m().ReportsReceived.Inc(lo.shard)
 			pending.reply <- perf
 			havePending = false
+			sess.state.outstanding.Store(0)
 			if lo.acks() {
 				if err := lo.send(message{Op: "ok"}); err != nil {
 					return err
@@ -857,6 +918,7 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 					perf = search.Sanitize(perf, sess.dir)
 				}
 				delete(outstanding, ln.msg.id)
+				sess.state.outstanding.Store(int64(len(outstanding)))
 				m.SessionOutstanding.Dec()
 				m.ReportsReceived.Inc(lo.shard)
 				req.reply <- perf // buffered: the kernel picks it up
@@ -873,6 +935,7 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 			nextID++
 			credits--
 			outstanding[id] = req
+			sess.state.outstanding.Store(int64(len(outstanding)))
 			m.ConfigsServed.Inc(lo.shard)
 			m.SessionOutstanding.Inc()
 			m.BatchSize.Observe(float64(len(outstanding)))
@@ -904,7 +967,7 @@ func (s *Server) sendBest(send func(message) error, sess *session, res *search.R
 // startSession parses the registration, builds the search space (using the
 // Appendix B adapter for restricted specs) and launches the kernel
 // goroutine.
-func (s *Server) startSession(reg message, id string, log *slog.Logger) (*session, error) {
+func (s *Server) startSession(reg message, id string, st *sessionState, log *slog.Logger) (*session, error) {
 	spec, err := rsl.Parse(reg.RSL)
 	if err != nil {
 		return nil, err
@@ -940,6 +1003,7 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 		errCh:      make(chan error, 1),
 		abort:      make(chan struct{}),
 		kernelDone: make(chan struct{}),
+		state:      st,
 	}
 
 	// The inversion objective: hand the configuration to the message loop
@@ -1029,12 +1093,19 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 		}
 	}
 
+	// The session's state twin mirrors registration outcome and, through
+	// the tracer fan-out below, every kernel event — the control plane's
+	// read path.
+	st.registered(reg.App, dir, space.Dim(), window, sess.warm, sess.bestToWire)
+
 	// The kernel owns the evaluator: holding it here (instead of inside
 	// NelderMead) lets the abort path read the partial trace after the
-	// kernel has unwound.
+	// kernel has unwound. The state twin rides the same trace stream as
+	// the configured sink, so the control plane sees exactly what the
+	// JSONL trace records.
 	ev := search.NewEvaluator(space, obj)
 	ev.MaxEvals = maxEvals
-	tracer := search.StampSession(s.Tracer, id)
+	tracer := search.StampSession(search.MultiTracer(st, s.Tracer), id)
 	ev.Tracer = tracer
 	// The measure-once layer: exact hits (this session, peers, prior runs)
 	// and coalesced in-flight duplicates skip the client round-trip; the
@@ -1085,6 +1156,9 @@ func (s *Server) startSession(reg message, id string, log *slog.Logger) (*sessio
 			// lockstep kernel, unchanged.
 			Parallel: sess.window,
 			Tracer:   tracer,
+			// An operator's re-tune request (control plane) funds one more
+			// reduced-scale restart at the next convergence decision.
+			ExtraRestart: st.takeRetune,
 		})
 		if err != nil {
 			sess.errCh <- err

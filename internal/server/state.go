@@ -1,0 +1,290 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harmony/internal/search"
+)
+
+// Session lifecycle states as reported by SessionSnapshot.Status.
+const (
+	// StatusRunning is a live connection with a kernel in flight.
+	StatusRunning = "running"
+	// StatusCompleted is a session whose kernel delivered a final best.
+	StatusCompleted = "completed"
+	// StatusFailed is a session that ended on a protocol error, an
+	// exhausted failure budget or an abnormal disconnect.
+	StatusFailed = "failed"
+)
+
+// SessionSnapshot is one session's observable state, detached from the
+// live machinery: the control plane encodes it to JSON with no server
+// locks held. All configuration values are client-facing (decoded for
+// restricted specifications) — the coordinates an operator recognizes.
+type SessionSnapshot struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// App and Characteristics-derived fields appear once registration
+	// succeeded; a snapshot taken before that carries only identity.
+	App       string    `json:"app,omitempty"`
+	Remote    string    `json:"remote,omitempty"`
+	Proto     int       `json:"proto,omitempty"`
+	Window    int       `json:"window,omitempty"`
+	Dim       int       `json:"dim,omitempty"`
+	Direction string    `json:"direction,omitempty"`
+	Warm      bool      `json:"warm,omitempty"`
+	StartedAt time.Time `json:"started_at"`
+	// EndedAt is the zero time while the session is running.
+	EndedAt time.Time `json:"ended_at,omitempty"`
+
+	// Live kernel state, fed by the session's trace stream.
+	Evals     int     `json:"evals"`
+	Cached    int     `json:"cached,omitempty"`
+	Estimated int     `json:"estimated,omitempty"`
+	Seeds     int     `json:"seeds,omitempty"`
+	Iter      int     `json:"iter,omitempty"`
+	LastOp    string  `json:"last_op,omitempty"`
+	Phase     string  `json:"phase,omitempty"`
+	Converged string  `json:"converged,omitempty"`
+	HaveBest  bool    `json:"have_best,omitempty"`
+	BestPerf  float64 `json:"best_perf,omitempty"`
+	BestConfig []int  `json:"best_config,omitempty"`
+
+	// Robustness and pipeline state.
+	Outstanding   int    `json:"outstanding"`
+	Faults        int    `json:"faults"`
+	FailureBudget int    `json:"failure_budget"`
+	Retunes       int    `json:"retunes,omitempty"`
+	Deposited     bool   `json:"deposited,omitempty"`
+	Err           string `json:"err,omitempty"`
+}
+
+// sessionState is the live mutable twin of a SessionSnapshot. The trace
+// stream (kernel goroutine) and the message loop update it through a
+// per-session mutex or lone atomics — never a server-wide or shard lock —
+// so an API snapshot can only ever contend with its own session for the
+// few writes of one field copy, and the fetch/report hot path never waits
+// on an encoder.
+type sessionState struct {
+	mu   sync.Mutex
+	snap SessionSnapshot
+	// toWire maps kernel-space configurations (the coordinates trace
+	// events carry) to client-facing values; set at registration.
+	toWire func(search.Config) []int
+	dir    search.Direction
+
+	// outstanding and faults are updated from the message loop's hot path;
+	// lone atomics keep those updates wait-free.
+	outstanding atomic.Int64
+	faults      atomic.Int64
+	// retune is the operator's pending re-tune request; the kernel consumes
+	// it at its next convergence decision.
+	retune atomic.Bool
+}
+
+// Emit implements search.Tracer: the session's own trace stream is the
+// source of truth for its live kernel state.
+func (st *sessionState) Emit(e search.Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch e.Type {
+	case search.EventEval:
+		switch {
+		case e.Cached:
+			st.snap.Cached++
+		case e.Estimated:
+			st.snap.Estimated++
+			st.snap.Evals++
+		default:
+			st.snap.Evals++
+		}
+		if !st.snap.HaveBest || st.dir.Better(e.Perf, st.snap.BestPerf) {
+			st.snap.HaveBest = true
+			st.snap.BestPerf = e.Perf
+			if st.toWire != nil {
+				st.snap.BestConfig = st.toWire(e.Config)
+			}
+		}
+	case search.EventSeed:
+		st.snap.Seeds++
+	case search.EventSimplex:
+		st.snap.Iter = e.Iter
+		st.snap.LastOp = e.Op
+	case search.EventConverge:
+		st.snap.Converged = e.Op
+	case search.EventPhase:
+		st.snap.Phase = e.Op
+		if e.Op == "retune" {
+			st.snap.Retunes++
+		}
+	}
+}
+
+// Snapshot copies the state out under the per-session mutex; the caller
+// encodes the copy with no locks held.
+func (st *sessionState) Snapshot() SessionSnapshot {
+	st.mu.Lock()
+	snap := st.snap
+	snap.BestConfig = append([]int(nil), st.snap.BestConfig...)
+	st.mu.Unlock()
+	snap.Outstanding = int(st.outstanding.Load())
+	snap.Faults = int(st.faults.Load())
+	return snap
+}
+
+// registered records the outcome of a successful registration.
+func (st *sessionState) registered(app string, dir search.Direction, dim, window int, warm bool, toWire func(search.Config) []int) {
+	st.mu.Lock()
+	st.snap.App = app
+	st.snap.Direction = dir.String()
+	st.snap.Dim = dim
+	st.snap.Window = window
+	st.snap.Warm = warm
+	st.dir = dir
+	st.toWire = toWire
+	st.mu.Unlock()
+}
+
+// takeRetune consumes a pending re-tune request (the kernel's ExtraRestart
+// hook).
+func (st *sessionState) takeRetune() bool { return st.retune.Swap(false) }
+
+// DefaultSessionHistory is how many finished sessions the registry retains
+// for the control plane when Server.SessionHistory is zero.
+const DefaultSessionHistory = 256
+
+// trackState registers a new running session in the state registry.
+func (s *Server) trackState(id, remote string) *sessionState {
+	st := &sessionState{snap: SessionSnapshot{
+		ID: id, Status: StatusRunning, Remote: remote, StartedAt: time.Now(),
+	}}
+	s.stateMu.Lock()
+	if s.states == nil {
+		s.states = map[string]*sessionState{}
+	}
+	s.states[id] = st
+	s.stateMu.Unlock()
+	return st
+}
+
+// finishState moves a session from the running set into the bounded
+// finished ring, stamping its terminal condition.
+func (s *Server) finishState(st *sessionState, end SessionEnd) {
+	st.mu.Lock()
+	if end.Completed {
+		st.snap.Status = StatusCompleted
+	} else {
+		st.snap.Status = StatusFailed
+	}
+	st.snap.EndedAt = time.Now()
+	st.snap.Deposited = end.Deposited
+	if end.Err != nil {
+		st.snap.Err = end.Err.Error()
+	}
+	st.mu.Unlock()
+
+	keep := s.SessionHistory
+	if keep == 0 {
+		keep = DefaultSessionHistory
+	}
+	s.stateMu.Lock()
+	delete(s.states, st.snap.ID)
+	if keep > 0 {
+		if len(s.doneRing) < keep {
+			s.doneRing = append(s.doneRing, st)
+		} else {
+			s.doneRing[s.doneNext%len(s.doneRing)] = st
+		}
+		s.doneNext++
+	}
+	s.stateMu.Unlock()
+}
+
+// SessionSnapshots returns every running session plus the retained
+// finished ones, newest first. Each snapshot is detached: encoding it
+// holds no server state.
+func (s *Server) SessionSnapshots() []SessionSnapshot {
+	s.stateMu.RLock()
+	states := make([]*sessionState, 0, len(s.states)+len(s.doneRing))
+	for _, st := range s.states {
+		states = append(states, st)
+	}
+	states = append(states, s.doneRing...)
+	s.stateMu.RUnlock()
+
+	out := make([]SessionSnapshot, 0, len(states))
+	for _, st := range states {
+		out = append(out, st.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ri, rj := out[i].Status == StatusRunning, out[j].Status == StatusRunning; ri != rj {
+			return ri
+		}
+		if !out[i].StartedAt.Equal(out[j].StartedAt) {
+			return out[i].StartedAt.After(out[j].StartedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// SessionSnapshot returns one session's state by ID — running or retained.
+func (s *Server) SessionSnapshot(id string) (SessionSnapshot, bool) {
+	s.stateMu.RLock()
+	st := s.states[id]
+	if st == nil {
+		for _, d := range s.doneRing {
+			if d.snap.ID == id {
+				st = d
+				break
+			}
+		}
+	}
+	s.stateMu.RUnlock()
+	if st == nil {
+		return SessionSnapshot{}, false
+	}
+	return st.Snapshot(), true
+}
+
+// Retune errors.
+var (
+	// ErrSessionUnknown means no running or retained session has the ID.
+	ErrSessionUnknown = errors.New("server: unknown session")
+	// ErrSessionDone means the session already ended; there is no kernel
+	// left to steer.
+	ErrSessionDone = errors.New("server: session already ended")
+)
+
+// Retune asks a running session's kernel for one more reduced-scale
+// restart around its incumbent best. The request is consumed at the
+// kernel's next convergence decision (search.NelderMeadOptions.
+// ExtraRestart) and is best-effort: a session out of evaluation budget
+// converges without restarting. Accepting a request never touches the
+// session's hot path — it is one atomic store.
+func (s *Server) Retune(id string) error {
+	s.stateMu.RLock()
+	st := s.states[id]
+	var done bool
+	if st == nil {
+		for _, d := range s.doneRing {
+			if d.snap.ID == id {
+				done = true
+				break
+			}
+		}
+	}
+	s.stateMu.RUnlock()
+	if st == nil {
+		if done {
+			return ErrSessionDone
+		}
+		return ErrSessionUnknown
+	}
+	st.retune.Store(true)
+	return nil
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"harmony/internal/search"
+)
+
+func TestSessionStateEmitTracksBest(t *testing.T) {
+	st := &sessionState{snap: SessionSnapshot{ID: "s"}}
+	st.registered("app", search.Minimize, 2, 4, false, func(c search.Config) []int { return []int(c.Clone()) })
+
+	st.Emit(search.Event{Type: search.EventEval, Config: search.Config{1, 2}, Perf: 10})
+	st.Emit(search.Event{Type: search.EventEval, Config: search.Config{5, 6}, Perf: 7})
+	st.Emit(search.Event{Type: search.EventEval, Config: search.Config{7, 8}, Perf: 9})
+	// A cache hit is a committed truth for this session too: it counts
+	// separately but still feeds best-so-far.
+	st.Emit(search.Event{Type: search.EventEval, Cached: true, Config: search.Config{3, 4}, Perf: 4})
+	st.Emit(search.Event{Type: search.EventSimplex, Iter: 3, Op: search.OpReflect})
+	st.Emit(search.Event{Type: search.EventSeed})
+	st.Emit(search.Event{Type: search.EventPhase, Op: "retune"})
+	st.Emit(search.Event{Type: search.EventConverge, Op: "reltol"})
+
+	snap := st.Snapshot()
+	if snap.Evals != 3 || snap.Cached != 1 || snap.Seeds != 1 {
+		t.Errorf("counters = evals %d cached %d seeds %d, want 3/1/1", snap.Evals, snap.Cached, snap.Seeds)
+	}
+	if !snap.HaveBest || snap.BestPerf != 4 || len(snap.BestConfig) != 2 || snap.BestConfig[0] != 3 {
+		t.Errorf("best = %v @ %v, want [3 4] @ 4 (minimize keeps the lowest)", snap.BestConfig, snap.BestPerf)
+	}
+	if snap.Iter != 3 || snap.LastOp != search.OpReflect || snap.Converged != "reltol" {
+		t.Errorf("kernel state = iter %d op %q conv %q", snap.Iter, snap.LastOp, snap.Converged)
+	}
+	if snap.Retunes != 1 || snap.Phase != "retune" {
+		t.Errorf("retunes = %d phase %q, want 1 and retune", snap.Retunes, snap.Phase)
+	}
+	// Snapshots are detached: mutating one must not touch the live state.
+	snap.BestConfig[0] = 99
+	if st.Snapshot().BestConfig[0] == 99 {
+		t.Error("Snapshot aliases live state")
+	}
+}
+
+func TestSessionRegistryLifecycleAndRetention(t *testing.T) {
+	s := NewServer()
+	s.SessionHistory = 2
+
+	a := s.trackState("a", "1.2.3.4:1")
+	b := s.trackState("b", "1.2.3.4:2")
+	c := s.trackState("c", "1.2.3.4:3")
+	s.trackState("d", "1.2.3.4:4")
+
+	if got := len(s.SessionSnapshots()); got != 4 {
+		t.Fatalf("4 running sessions, snapshots = %d", got)
+	}
+
+	s.finishState(a, SessionEnd{Completed: true, Deposited: true})
+	s.finishState(b, SessionEnd{Err: errors.New("boom")})
+	s.finishState(c, SessionEnd{Completed: true})
+
+	snaps := s.SessionSnapshots()
+	// 1 running + at most 2 retained finished.
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots = %d, want 3 (1 running + history of 2)", len(snaps))
+	}
+	if snaps[0].ID != "d" || snaps[0].Status != StatusRunning {
+		t.Errorf("running session must sort first, got %s (%s)", snaps[0].ID, snaps[0].Status)
+	}
+	// "a" (oldest finished) was evicted from the ring.
+	if _, ok := s.SessionSnapshot("a"); ok {
+		t.Error("oldest finished session survived a full ring")
+	}
+	if snap, ok := s.SessionSnapshot("b"); !ok || snap.Status != StatusFailed || snap.Err != "boom" {
+		t.Errorf("failed session snapshot = %+v ok=%v", snap, ok)
+	}
+	if snap, ok := s.SessionSnapshot("c"); !ok || snap.Status != StatusCompleted || snap.EndedAt.IsZero() {
+		t.Errorf("completed session snapshot = %+v ok=%v", snap, ok)
+	}
+}
+
+func TestRetuneStates(t *testing.T) {
+	s := NewServer()
+	st := s.trackState("live", "r:1")
+
+	if err := s.Retune("nope"); !errors.Is(err, ErrSessionUnknown) {
+		t.Errorf("Retune(unknown) = %v, want ErrSessionUnknown", err)
+	}
+	if err := s.Retune("live"); err != nil {
+		t.Fatalf("Retune(running) = %v", err)
+	}
+	if !st.takeRetune() {
+		t.Error("pending retune was not consumable")
+	}
+	if st.takeRetune() {
+		t.Error("retune request must be consumed exactly once")
+	}
+
+	s.finishState(st, SessionEnd{Completed: true})
+	if err := s.Retune("live"); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("Retune(finished) = %v, want ErrSessionDone", err)
+	}
+}
+
+// TestSessionSnapshotEndToEnd drives a real tuning session and checks the
+// control-plane snapshot it leaves behind.
+func TestSessionSnapshotEndToEnd(t *testing.T) {
+	s, addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.Register(quadRSL, RegisterOptions{MaxEvals: 120, Improved: true}); err != nil {
+		t.Fatal(err)
+	}
+	best, err := c.Tune(func(cfg search.Config) float64 {
+		dx, dy := float64(cfg[0]-20), float64(cfg[1]-45)
+		return 1000 - dx*dx - dy*dy
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	var snap SessionSnapshot
+	for {
+		snaps := s.SessionSnapshots()
+		if len(snaps) == 1 && snaps[0].Status != StatusRunning {
+			snap = snaps[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never settled: %+v", snaps)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.Status != StatusCompleted {
+		t.Errorf("status = %s (err %q), want completed", snap.Status, snap.Err)
+	}
+	if snap.Evals <= 0 || !snap.HaveBest || snap.Dim != 2 || snap.Window < 1 {
+		t.Errorf("snapshot = %+v, want live kernel state filled in", snap)
+	}
+	if snap.BestPerf != best.Perf {
+		t.Errorf("snapshot best %v != client best %v", snap.BestPerf, best.Perf)
+	}
+	if len(snap.BestConfig) != 2 {
+		t.Errorf("best config = %v, want client-facing pair", snap.BestConfig)
+	}
+	if snap.Direction != "max" {
+		t.Errorf("direction = %q, want max", snap.Direction)
+	}
+	if snap.EndedAt.IsZero() || snap.EndedAt.Before(snap.StartedAt) {
+		t.Errorf("timestamps: started %v ended %v", snap.StartedAt, snap.EndedAt)
+	}
+	if _, ok := s.SessionSnapshot(snap.ID); !ok {
+		t.Errorf("finished session %s not retrievable by ID", snap.ID)
+	}
+}
