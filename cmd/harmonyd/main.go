@@ -83,6 +83,7 @@ func main() {
 	gateTruthEvery := flag.Int("gate-truth-check-every", 16, "estimation gate calibration: re-measure every Nth gated answer per session and record the absolute error (0 = never)")
 	ctl := flag.Bool("ctl", false, "mount the control plane (REST API, SSE event stream, dashboard) on the observability endpoint (needs -obs-addr)")
 	ctlReplay := flag.Int("ctl-replay", ctlplane.DefaultRingSize, "control plane: trace events retained for SSE replay/catch-up")
+	searchKernel := flag.String("search", "simplex", "per-session tuning kernel: simplex (the trajectory-pinned Nelder–Mead loop) or hyperband (multi-fidelity successive halving seeded by the experience prior; asks fidelity-aware clients for cheap partial measurements)")
 	maxWindow := flag.Int("max-window", 0, "pipeline depth cap granted to protocol v2/v3 clients (0 = default 32; 1 or negative forces lockstep)")
 	connShards := flag.Int("conn-shards", 0, "connection-table stripe count, rounded up to a power of two (0 = default 64); raise for very high session churn")
 	obsCfg := obs.BindFlags(flag.CommandLine)
@@ -93,8 +94,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "harmonyd:", err)
 		os.Exit(1)
 	}
+	kernel, err := server.ParseSearchKernel(*searchKernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harmonyd:", err)
+		os.Exit(1)
+	}
 
 	s := server.NewServer()
+	s.SearchKernel = kernel
 	s.MaxEvalsCap = *maxEvals
 	s.IdleTimeout = *idleTimeout
 	s.WriteTimeout = *writeTimeout

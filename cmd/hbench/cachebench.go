@@ -60,6 +60,12 @@ type cacheBenchMode struct {
 	// session's best configuration for the honest comparison.
 	BestPerfs     []float64 `json:"best_perfs"`
 	BestTruePerfs []float64 `json:"best_true_perfs"`
+	// TruthChecks counts gated answers that were re-measured for
+	// calibration (the -gate-truth-check-every pacing), and
+	// EstAbsErrMean is the mean |measured − estimated| over those checks
+	// — the gate's honesty figure (zero in off/exact modes).
+	TruthChecks   uint64  `json:"truth_checks,omitempty"`
+	EstAbsErrMean float64 `json:"est_abs_err_mean,omitempty"`
 }
 
 // cacheBenchSessions is the repeat-tuning schedule: the realistic shape of
@@ -82,7 +88,7 @@ func cacheBenchSessionNames() []string {
 // against a deterministic target (the fifteen-parameter synthetic model or
 // the ten-parameter web cluster with content-seeded variation) and writes
 // the comparison as JSON on stdout.
-func cacheBench(rt *obs.Runtime, target string, seed uint64, budget int, latency time.Duration) error {
+func cacheBench(rt *obs.Runtime, target string, seed uint64, budget int, latency time.Duration, truthEvery int) error {
 	var (
 		space *search.Space
 		eval  func(cfg search.Config) float64
@@ -153,6 +159,10 @@ func cacheBench(rt *obs.Runtime, target string, seed uint64, budget int, latency
 					MaxVertexDist:  0.45,
 					MaxRelResidual: 0.10,
 				}, metrics),
+				// Calibration pacing: every Nth gated answer is re-measured
+				// and its |truth − estimate| recorded, so the report carries
+				// the gate's honesty figure alongside its savings.
+				TruthCheckEvery: truthEvery,
 			}
 		}
 
@@ -182,11 +192,16 @@ func cacheBench(rt *obs.Runtime, target string, seed uint64, budget int, latency
 		m.GateRejects = metrics.GateRejects.Value()
 		m.Fills = metrics.Fills.Value()
 		m.SavedSeconds = metrics.SavedSeconds.Value()
+		m.TruthChecks = metrics.TruthChecks.Value()
+		if n := metrics.EstimateAbsError.Count(); n > 0 {
+			m.EstAbsErrMean = metrics.EstimateAbsError.Sum() / float64(n)
+		}
 		rep.Modes = append(rep.Modes, m)
 
 		rt.Logger.Info("cache bench mode complete", "mode", mode,
 			"requested", m.Requested, "measured", m.Measured,
-			"saved_frac", fmt.Sprintf("%.3f", m.SavedFrac))
+			"saved_frac", fmt.Sprintf("%.3f", m.SavedFrac),
+			"truth_checks", m.TruthChecks)
 	}
 
 	enc := json.NewEncoder(os.Stdout)

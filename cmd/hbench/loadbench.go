@@ -52,11 +52,11 @@ type loadBenchReport struct {
 
 // loadBenchMode is one framing's outcome over the whole schedule.
 type loadBenchMode struct {
-	Proto          string  `json:"proto"` // v2-json | v3-binary
-	Completed      int     `json:"completed"`
-	WallMS         float64 `json:"wall_ms"`
-	SessionsPerSec float64 `json:"sessions_per_sec"`
-	Exchanges      int     `json:"exchanges"`
+	Proto           string  `json:"proto"` // v2-json | v3-binary
+	Completed       int     `json:"completed"`
+	WallMS          float64 `json:"wall_ms"`
+	SessionsPerSec  float64 `json:"sessions_per_sec"`
+	Exchanges       int     `json:"exchanges"`
 	ExchangesPerSec float64 `json:"exchanges_per_sec"`
 	// Fetch-exchange latency percentiles in microseconds (one measurement
 	// round trip: report+fetch in, config out).
@@ -148,15 +148,15 @@ func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency in
 	}
 
 	var (
-		completed  atomic.Int64
-		exchanges  atomic.Int64
-		dialErrs   atomic.Int64
-		sessErrs   atomic.Int64
-		protoErrs  atomic.Int64
-		latMu      sync.Mutex
-		latencies  []time.Duration
-		sem        = make(chan struct{}, concurrency)
-		wg         sync.WaitGroup
+		completed atomic.Int64
+		exchanges atomic.Int64
+		dialErrs  atomic.Int64
+		sessErrs  atomic.Int64
+		protoErrs atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+		sem       = make(chan struct{}, concurrency)
+		wg        sync.WaitGroup
 	)
 
 	// Quiesce the heap so the allocation delta belongs to this mode alone.

@@ -41,18 +41,20 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id to run, or 'all'")
-		quick    = flag.Bool("quick", false, "shrink budgets (coarser, faster)")
-		seed     = flag.Uint64("seed", 0, "seed offset for all experiment randomness")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		jsonOut  = flag.Bool("json", false, "trajectory mode: tune -target once and emit per-iteration JSONL records (iter, perf, best, elapsed_ms) on stdout")
-		target   = flag.String("target", "webservice", "trajectory target: webservice or synthetic")
-		workload = flag.String("workload", "ordering", "TPC-W mix for the webservice target: browsing, shopping or ordering")
-		budget   = flag.Int("budget", 120, "trajectory exploration budget")
-		improved = flag.Bool("improved", true, "use the evenly-distributed initial exploration (§4.1)")
-		workers  = flag.Int("workers", 1, "trajectory mode: concurrent measurements (the parallel simplex kernel; 1 = sequential)")
-		latency  = flag.Duration("latency", 0, "trajectory/cache-bench mode: added per-measurement latency, simulating a slow benchmark harness")
-		cacheB   = flag.Bool("cache-bench", false, "run the measure-once evaluation-cache benchmark and emit BENCH_eval_cache.json on stdout")
+		exp        = flag.String("exp", "all", "experiment id to run, or 'all'")
+		quick      = flag.Bool("quick", false, "shrink budgets (coarser, faster)")
+		seed       = flag.Uint64("seed", 0, "seed offset for all experiment randomness")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut    = flag.Bool("json", false, "trajectory mode: tune -target once and emit per-iteration JSONL records (iter, perf, best, elapsed_ms) on stdout")
+		target     = flag.String("target", "webservice", "trajectory target: webservice or synthetic")
+		workload   = flag.String("workload", "ordering", "TPC-W mix for the webservice target: browsing, shopping or ordering")
+		budget     = flag.Int("budget", 120, "trajectory exploration budget")
+		improved   = flag.Bool("improved", true, "use the evenly-distributed initial exploration (§4.1)")
+		workers    = flag.Int("workers", 1, "trajectory mode: concurrent measurements (the parallel simplex kernel; 1 = sequential)")
+		latency    = flag.Duration("latency", 0, "trajectory/cache-bench mode: added per-measurement latency, simulating a slow benchmark harness")
+		cacheB     = flag.Bool("cache-bench", false, "run the measure-once evaluation-cache benchmark and emit BENCH_eval_cache.json on stdout")
+		truthEvery = flag.Int("gate-truth-check-every", 16, "cache bench, gated mode: re-measure every Nth gate-answered probe and record |truth − estimate| (0 = never)")
+		fidB       = flag.Bool("fidelity-bench", false, "run the multi-fidelity search benchmark (full-fidelity simplex vs prior-seeded Hyperband on the web cluster) and emit BENCH_fidelity.json on stdout")
 
 		sessions  = flag.Int("sessions", 0, "load mode: drive this many tuning sessions against a live server (in-process unless -load-addr) and emit BENCH_load.json on stdout")
 		loadProto = flag.String("load-proto", "both", "load mode: framings to drive — both, 2 (JSON) or 3 (binary)")
@@ -88,8 +90,17 @@ func main() {
 	}
 
 	if *cacheB {
-		if err := cacheBench(rt, *target, *seed, *budget, *latency); err != nil {
+		if err := cacheBench(rt, *target, *seed, *budget, *latency, *truthEvery); err != nil {
 			rt.Logger.Error("cache bench failed", "err", err)
+			rt.Close()
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fidB {
+		if err := fidelityBench(rt, *workload, *seed, *budget); err != nil {
+			rt.Logger.Error("fidelity bench failed", "err", err)
 			rt.Close()
 			os.Exit(1)
 		}

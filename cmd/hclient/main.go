@@ -5,7 +5,13 @@
 // It registers a two-parameter integer spec, tunes a quadratic surface
 // peaking at (-peak-x, -peak-y), and prints one summary line:
 //
-//	warm=true best=[20 45] perf=1000.00 evals=37
+//	warm=true best=[20 45] perf=1000.00 evals=37 lowfi=0
+//
+// The client is fidelity-aware: when the server runs the hyperband kernel
+// (harmonyd -search hyperband) and requests reduced-fidelity triage
+// measurements, hclient shortens the simulated run — deterministically
+// cheaper and noisier — and lowfi counts them. Against the default simplex
+// kernel every request is full fidelity and the behaviour is unchanged.
 //
 // With -expect-warm the process exits 1 unless the server warm-started the
 // session from a prior run — the assertion the CI crash-recovery job leans
@@ -24,6 +30,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/search"
@@ -75,21 +82,33 @@ func main() {
 	}
 	warm := c.WarmStarted()
 
-	measure := func(cfg search.Config) float64 {
+	var lowFi atomic.Int64
+	measure := func(cfg search.Config, fidelity float64) float64 {
 		dx, dy := float64(cfg[0]-*peakX), float64(cfg[1]-*peakY)
-		return 1000 - dx*dx - dy*dy
+		perf := 1000 - dx*dx - dy*dy
+		if !search.FullFidelity(fidelity) {
+			// A shortened run: content-derived noise scaled by how much of
+			// the measurement was skipped, so repeat probes are reproducible
+			// no matter which worker measures them.
+			lowFi.Add(1)
+			h := uint64(cfg[0]*61+cfg[1])*0x9e3779b97f4a7c15 + 1
+			h ^= h >> 29
+			u := float64(h%1000)/999*2 - 1
+			perf += 30 * (1 - fidelity) * u
+		}
+		return perf
 	}
 	var best *server.Best
 	if *workers > 1 {
-		best, err = c.TuneParallel(measure, *workers)
+		best, err = c.TuneParallelAt(measure, *workers)
 	} else {
-		best, err = c.Tune(measure)
+		best, err = c.TuneAt(measure)
 	}
 	if err != nil {
 		fatalf("tune: %v", err)
 	}
 
-	fmt.Printf("warm=%v best=%v perf=%.2f evals=%d\n", warm, best.Values, best.Perf, best.Evals)
+	fmt.Printf("warm=%v best=%v perf=%.2f evals=%d lowfi=%d\n", warm, best.Values, best.Perf, best.Evals, lowFi.Load())
 	if *expectWarm && !warm {
 		fatalf("session was not warm-started (expected prior-run match)")
 	}

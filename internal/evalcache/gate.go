@@ -2,6 +2,7 @@ package evalcache
 
 import (
 	"math"
+	"strconv"
 	"sync"
 
 	"harmony/internal/estimate"
@@ -279,6 +280,51 @@ func (l *Layer) Measure(cfg search.Config, measure func() float64) float64 {
 			m.TruthChecks.Inc()
 			m.EstimateAbsError.Observe(math.Abs(perf - est))
 		}
+	}
+	return perf
+}
+
+// fidelityKey returns the memo key for a (config, fidelity) pair. Full
+// fidelity keeps the plain config key, so every pre-multi-fidelity entry
+// (and warm fill, and peer truth) remains addressable unchanged.
+func fidelityKey(key string, fidelity float64) string {
+	if search.FullFidelity(fidelity) {
+		return key
+	}
+	return key + "@" + strconv.FormatFloat(fidelity, 'g', -1, 64)
+}
+
+// LookupAt implements search.FidelityExternalCache with promotion-aware
+// reuse: a full-fidelity truth in the memo answers a reduced-fidelity
+// probe (the real number is strictly better information than a noisy
+// short run), but a reduced-fidelity entry only ever answers its own
+// (config, fidelity) pair — it is never promoted to a full-fidelity
+// answer. The estimation gate is a full-fidelity instrument and stays out
+// of reduced-fidelity probes entirely.
+func (l *Layer) LookupAt(cfg search.Config, fidelity float64) (perf float64, estimated, ok bool) {
+	if search.FullFidelity(fidelity) {
+		return l.Lookup(cfg)
+	}
+	key := cfg.Key()
+	if perf, ok := l.Cache.Lookup(key); ok { // promoted full-fidelity truth
+		return perf, false, true
+	}
+	if perf, ok := l.Cache.Lookup(fidelityKey(key, fidelity)); ok {
+		return perf, false, true
+	}
+	return 0, false, false
+}
+
+// MeasureAt implements search.FidelityExternalCache: singleflight keyed on
+// (config, fidelity). Reduced-fidelity observations never feed the gate —
+// its plane is fitted through ground truth only.
+func (l *Layer) MeasureAt(cfg search.Config, fidelity float64, measure func() float64) float64 {
+	if search.FullFidelity(fidelity) {
+		return l.Measure(cfg, measure)
+	}
+	perf, _, err := l.Cache.Do(fidelityKey(cfg.Key(), fidelity), measure, l.Cancel)
+	if err != nil {
+		panic(err) // ErrCanceled: the session is going away
 	}
 	return perf
 }

@@ -1,0 +1,314 @@
+package mfsearch
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+func testSpace() *search.Space {
+	return search.MustSpace(
+		search.Param{Name: "a", Min: 0, Max: 100, Step: 1, Default: 50},
+		search.Param{Name: "b", Min: 0, Max: 100, Step: 1, Default: 50},
+		search.Param{Name: "c", Min: 0, Max: 100, Step: 1, Default: 50},
+	)
+}
+
+// quadAt is a deterministic fidelity-aware objective: the full-fidelity
+// value is an exact paraboloid with its optimum at (70, 30, 50); reduced
+// fidelity overlays a config+fidelity-hashed relative error whose
+// amplitude grows as fidelity shrinks.
+func quadAt(cfg search.Config, fidelity float64) float64 {
+	target := [3]int{70, 30, 50}
+	v := 0.0
+	for i, x := range cfg {
+		d := float64(x - target[i])
+		v += d * d
+	}
+	if search.FullFidelity(fidelity) {
+		return v
+	}
+	h := uint64(1469598103934665603)
+	for _, x := range cfg {
+		h ^= uint64(int64(x))
+		h *= 1099511628211
+	}
+	h ^= math.Float64bits(fidelity)
+	h *= 1099511628211
+	u := float64(h>>11) / (1 << 53)
+	return v*(1+0.3*(1-fidelity)*(2*u-1)) + 1e-9 // keep strictly positive
+}
+
+type quadObjective struct{ fullCalls, lowCalls int }
+
+func (q *quadObjective) Measure(cfg search.Config) float64 {
+	q.fullCalls++
+	return quadAt(cfg, 1)
+}
+
+func (q *quadObjective) MeasureAt(cfg search.Config, fidelity float64) float64 {
+	if search.FullFidelity(fidelity) {
+		return q.Measure(cfg)
+	}
+	q.lowCalls++
+	return quadAt(cfg, fidelity)
+}
+
+func TestPriorSampleMixesAndDecays(t *testing.T) {
+	space := testSpace()
+	prior := NewPrior(space, []search.Config{{70, 30, 50}})
+	if prior.Len() != 1 {
+		t.Fatalf("prior.Len() = %d, want 1", prior.Len())
+	}
+	if m := prior.Mass(0); m != DefaultWeight {
+		t.Fatalf("Mass(0) = %v, want %v", m, DefaultWeight)
+	}
+	if m0, m1 := prior.Mass(0), prior.Mass(1000); m1 >= m0 {
+		t.Fatalf("prior mass must decay: Mass(0)=%v Mass(1000)=%v", m0, m1)
+	}
+	// With full prior mass early on, draws must concentrate near the center.
+	rng := stats.NewRNG(7)
+	near, total := 0, 400
+	for i := 0; i < total; i++ {
+		cfg := prior.Sample(rng, 0)
+		if !space.Contains(cfg) {
+			t.Fatalf("sample %v outside the space", cfg)
+		}
+		d := 0.0
+		for j, v := range cfg {
+			n := space.Params[j].Normalize(v) - space.Params[j].Normalize([]int{70, 30, 50}[j])
+			d += n * n
+		}
+		if math.Sqrt(d) < 3*DefaultSigma {
+			near++
+		}
+	}
+	// 75% of draws are prior-centered; nearly all of those land within 3σ.
+	if near < total/2 {
+		t.Fatalf("only %d/%d early draws near the prior center", near, total)
+	}
+	// Saturated with observations the same prior must sample ~uniformly.
+	rng = stats.NewRNG(7)
+	nearLate := 0
+	for i := 0; i < total; i++ {
+		cfg := prior.Sample(rng, 100000)
+		d := 0.0
+		for j, v := range cfg {
+			n := space.Params[j].Normalize(v) - space.Params[j].Normalize([]int{70, 30, 50}[j])
+			d += n * n
+		}
+		if math.Sqrt(d) < 3*DefaultSigma {
+			nearLate++
+		}
+	}
+	if nearLate >= near {
+		t.Fatalf("prior decay had no effect: near=%d nearLate=%d", near, nearLate)
+	}
+}
+
+func TestPriorEmptyIsUniform(t *testing.T) {
+	space := testSpace()
+	prior := NewPrior(space, nil)
+	if m := prior.Mass(0); m != 0 {
+		t.Fatalf("empty prior Mass(0) = %v, want 0", m)
+	}
+	rng := stats.NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if cfg := prior.Sample(rng, 0); !space.Contains(cfg) {
+			t.Fatalf("uniform sample %v outside the space", cfg)
+		}
+	}
+}
+
+func TestRunFindsOptimumCheaply(t *testing.T) {
+	space := testSpace()
+	obj := &quadObjective{}
+	ev := search.NewEvaluator(space, obj)
+	ev.MaxEvals = 200
+	tr := &search.CollectTracer{}
+	ev.Tracer = tr
+	prior := NewPrior(space, []search.Config{{68, 32, 48}, {80, 20, 60}})
+	res, err := Run(space, ev, prior, Options{
+		Direction: search.Minimize,
+		Seed:      11,
+		Tracer:    tr,
+		Polish:    search.NelderMeadOptions{MaxEvals: 200},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BestPerf > 150 {
+		t.Fatalf("BestPerf = %v, want near-optimal (< 150)", res.BestPerf)
+	}
+	// The best must be a full-fidelity truth, never a noisy rung sample.
+	best := res.Trace.Best(search.Minimize)
+	if !search.FullFidelity(best.Fidelity) {
+		t.Fatalf("reported best has fidelity %v, want full", best.Fidelity)
+	}
+	if obj.lowCalls == 0 {
+		t.Fatal("no reduced-fidelity measurements were made")
+	}
+	// Rung events must appear: open and promote, with fidelity set.
+	opens, promotes := 0, 0
+	for _, e := range tr.Events {
+		if e.Type != search.EventRung {
+			continue
+		}
+		if e.Fidelity <= 0 || e.Fidelity > 1 {
+			t.Fatalf("rung event with fidelity %v", e.Fidelity)
+		}
+		switch e.Op {
+		case "open":
+			opens++
+		case "promote":
+			promotes++
+		}
+	}
+	if opens == 0 || promotes == 0 || opens != promotes {
+		t.Fatalf("rung events: opens=%d promotes=%d, want equal and > 0", opens, promotes)
+	}
+	// Triage must have been cheaper than its eval count: units < evals.
+	units := MeasurementUnits(res.Trace)
+	if units >= float64(res.Evals) {
+		t.Fatalf("MeasurementUnits = %v with %d evals: triage saved nothing", units, res.Evals)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() *search.Result {
+		space := testSpace()
+		ev := search.NewEvaluator(space, &quadObjective{})
+		ev.MaxEvals = 150
+		prior := NewPrior(space, []search.Config{{68, 32, 48}})
+		res, err := Run(space, ev, prior, Options{Direction: search.Minimize, Seed: 5})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Fatal("identical seeds produced different traces")
+	}
+	if !a.BestConfig.Equal(b.BestConfig) || a.BestPerf != b.BestPerf {
+		t.Fatalf("results diverge: %v/%v vs %v/%v", a.BestConfig, a.BestPerf, b.BestConfig, b.BestPerf)
+	}
+}
+
+func TestRunBudgetExhaustionDuringTriage(t *testing.T) {
+	space := testSpace()
+	ev := search.NewEvaluator(space, &quadObjective{})
+	ev.MaxEvals = 5 // dies inside the first rung
+	prior := NewPrior(space, []search.Config{{68, 32, 48}})
+	res, err := Run(space, ev, prior, Options{Direction: search.Minimize, Seed: 2})
+	if err != nil {
+		t.Fatalf("Run with tiny budget: %v", err)
+	}
+	if res.Converged {
+		t.Fatal("budget-starved run reported convergence")
+	}
+	if res.Evals > 5 {
+		t.Fatalf("budget overrun: %d evals", res.Evals)
+	}
+}
+
+// TestEtaInfTrajectoryIdentity is the satellite property test: with
+// eta = ∞ the schedule collapses to a single rung at max fidelity — no
+// triage — so Run must be trajectory-identical to plain prior-seeded
+// simplex (NelderMeadWithEvaluator over SeededInit), event for event.
+func TestEtaInfTrajectoryIdentity(t *testing.T) {
+	seedSets := [][]search.Config{
+		{{68, 32, 48}},
+		{{68, 32, 48}, {80, 20, 60}, {10, 90, 10}},
+		nil,
+	}
+	for _, seeds := range seedSets {
+		for _, seed := range []uint64{1, 42, 977} {
+			space := testSpace()
+
+			evA := search.NewEvaluator(space, &quadObjective{})
+			evA.MaxEvals = 120
+			trA := &search.CollectTracer{}
+			evA.Tracer = trA
+			prior := NewPrior(space, seeds)
+			resA, err := Run(space, evA, prior, Options{
+				Eta:       math.Inf(1),
+				Direction: search.Minimize,
+				Seed:      seed,
+				Tracer:    trA,
+				Polish:    search.NelderMeadOptions{MaxEvals: 120},
+			})
+			if err != nil {
+				t.Fatalf("mfsearch run: %v", err)
+			}
+
+			evB := search.NewEvaluator(space, &quadObjective{})
+			evB.MaxEvals = 120
+			trB := &search.CollectTracer{}
+			evB.Tracer = trB
+			resB, err := search.NelderMeadWithEvaluator(space, evB, search.NelderMeadOptions{
+				MaxEvals:  120,
+				Direction: search.Minimize,
+				Tracer:    trB,
+				Init: search.SeededInit{
+					Seeds:    NewPrior(space, seeds).SeedPoints(),
+					Fallback: search.DistributedInit{},
+				},
+			})
+			if err != nil {
+				t.Fatalf("plain simplex run: %v", err)
+			}
+
+			if !resA.BestConfig.Equal(resB.BestConfig) || resA.BestPerf != resB.BestPerf {
+				t.Fatalf("seed %d: results diverge: %v/%v vs %v/%v",
+					seed, resA.BestConfig, resA.BestPerf, resB.BestConfig, resB.BestPerf)
+			}
+			if !reflect.DeepEqual(resA.Trace, resB.Trace) {
+				t.Fatalf("seed %d: traces diverge (%d vs %d entries)",
+					seed, len(resA.Trace), len(resB.Trace))
+			}
+			// Event-stream identity: mfsearch adds exactly one extra
+			// EventPhase("polish") marker before the kernel; everything
+			// else must match byte for byte once timestamps are cleared.
+			a := stripTimes(filterPhase(trA.Events, "polish"))
+			b := stripTimes(trB.Events)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d: event streams diverge (%d vs %d events)", seed, len(a), len(b))
+			}
+		}
+	}
+}
+
+func filterPhase(events []search.Event, op string) []search.Event {
+	out := make([]search.Event, 0, len(events))
+	for _, e := range events {
+		if e.Type == search.EventPhase && e.Op == op {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func stripTimes(events []search.Event) []search.Event {
+	out := append([]search.Event(nil), events...)
+	for i := range out {
+		out[i].Time = search.Event{}.Time
+	}
+	return out
+}
+
+func TestMeasurementUnits(t *testing.T) {
+	tr := search.Trace{
+		{Perf: 1},                  // full
+		{Perf: 2, Fidelity: 0.25},  // quarter
+		{Perf: 3, Estimated: true}, // free
+		{Perf: 4, Fidelity: 1},     // full (explicit)
+	}
+	if got := MeasurementUnits(tr); got != 2.25 {
+		t.Fatalf("MeasurementUnits = %v, want 2.25", got)
+	}
+}

@@ -133,6 +133,13 @@ type TrajectoryRecord struct {
 	Best float64 `json:"best"`
 	// ElapsedMS is wall-clock milliseconds since the trajectory started.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Estimated marks an exploration answered by the estimation gate
+	// instead of a measurement. Omitted when false, so exact-mode
+	// trajectories keep their historical field set.
+	Estimated bool `json:"estimated,omitempty"`
+	// Fidelity is the measurement fidelity when partial (f ∈ (0, 1));
+	// omitted for full measurements.
+	Fidelity float64 `json:"fidelity,omitempty"`
 }
 
 // TrajectoryJSONL adapts a writer into a search.Tracer that reduces the
@@ -146,7 +153,12 @@ type TrajectoryJSONL struct {
 	start time.Time
 	iter  int
 	best  float64
-	now   func() time.Time // test seam
+	// haveFull marks that best holds a full-fidelity truth; until one
+	// exists, noisy reduced-fidelity perfs may stand in, but the first
+	// full measurement evicts them and low-fidelity perfs never beat a
+	// full one afterwards (mirrors search.Trace.Best).
+	haveFull bool
+	now      func() time.Time // test seam
 }
 
 // NewTrajectoryJSONL returns a trajectory sink writing to w, folding
@@ -164,15 +176,26 @@ func (t *TrajectoryJSONL) Emit(e search.Event) {
 	defer t.mu.Unlock()
 	if t.iter == 0 {
 		t.start = t.now()
+	}
+	full := search.FullFidelity(e.Fidelity)
+	switch {
+	case full && !t.haveFull:
+		t.best, t.haveFull = e.Perf, true
+	case full && t.dir.Better(e.Perf, t.best):
 		t.best = e.Perf
-	} else if t.dir.Better(e.Perf, t.best) {
+	case !full && !t.haveFull && (t.iter == 0 || t.dir.Better(e.Perf, t.best)):
 		t.best = e.Perf
 	}
 	t.iter++
-	t.enc.Encode(TrajectoryRecord{ //nolint:errcheck // best-effort sink
+	rec := TrajectoryRecord{
 		Iter:      t.iter,
 		Perf:      e.Perf,
 		Best:      t.best,
 		ElapsedMS: float64(t.now().Sub(t.start)) / float64(time.Millisecond),
-	})
+		Estimated: e.Estimated,
+	}
+	if !full {
+		rec.Fidelity = e.Fidelity
+	}
+	t.enc.Encode(rec) //nolint:errcheck // best-effort sink
 }

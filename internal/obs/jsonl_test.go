@@ -151,6 +151,7 @@ func TestTrajectoryJSONL(t *testing.T) {
 	tr.Emit(search.Event{Type: search.EventSimplex, Op: search.OpExpand}) // folded away
 	tr.Emit(search.Event{Type: search.EventEval, Perf: 30})               // iter 3, best 30
 
+	raw := append([]byte(nil), buf.Bytes()...)
 	var recs []TrajectoryRecord
 	dec := json.NewDecoder(&buf)
 	for dec.More() {
@@ -180,6 +181,60 @@ func TestTrajectoryJSONL(t *testing.T) {
 	// start then its own stamp.
 	if recs[0].ElapsedMS != 250 {
 		t.Errorf("first elapsed = %v ms, want 250", recs[0].ElapsedMS)
+	}
+	// Exact-mode records carry exactly the historical field set: the
+	// estimated/fidelity extensions must stay off the wire.
+	for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		var raw map[string]any
+		if err := json.Unmarshal(line, &raw); err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) != 4 {
+			t.Errorf("exact-mode record has extra fields: %s", line)
+		}
+	}
+}
+
+// TestTrajectoryJSONLFidelity pins the multi-fidelity reduction: partial
+// measurements carry their fidelity, estimated answers their flag, and the
+// best-so-far series never lets a noisy reduced-fidelity perf beat (or
+// outlive) a full-fidelity truth.
+func TestTrajectoryJSONLFidelity(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrajectoryJSONL(&buf, search.Maximize)
+	tr.now = func() time.Time { return time.Unix(100, 0) }
+
+	tr.Emit(search.Event{Type: search.EventEval, Perf: 40, Fidelity: 0.25}) // low-fi stand-in best
+	tr.Emit(search.Event{Type: search.EventEval, Perf: 10})                 // first truth evicts it
+	tr.Emit(search.Event{Type: search.EventEval, Perf: 99, Fidelity: 0.5})  // noisy outlier: not best
+	tr.Emit(search.Event{Type: search.EventEval, Perf: 30})                 // truth: best
+	tr.Emit(search.Event{Type: search.EventEval, Perf: 35, Estimated: true})
+
+	var recs []TrajectoryRecord
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var r TrajectoryRecord
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	want := []TrajectoryRecord{
+		{Iter: 1, Perf: 40, Best: 40, Fidelity: 0.25},
+		{Iter: 2, Perf: 10, Best: 10},
+		{Iter: 3, Perf: 99, Best: 10, Fidelity: 0.5},
+		{Iter: 4, Perf: 30, Best: 30},
+		{Iter: 5, Perf: 35, Best: 35, Estimated: true},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("records = %+v, want %d entries", recs, len(want))
+	}
+	for i, w := range want {
+		got := recs[i]
+		got.ElapsedMS = 0
+		if got != w {
+			t.Errorf("record %d = %+v, want %+v", i, got, w)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Direction states whether larger or smaller objective values are better.
@@ -47,6 +48,34 @@ type ObjectiveFunc func(cfg Config) float64
 // Measure calls f.
 func (f ObjectiveFunc) Measure(cfg Config) float64 { return f(cfg) }
 
+// FidelityObjective is an Objective that can also measure at reduced
+// fidelity: a cheaper, noisier observation of the same configuration
+// (shorter simulated horizon, fewer sampled requests). fidelity is in
+// (0, 1]; MeasureAt(cfg, 1) must agree with Measure(cfg). Objectives that
+// do not implement it are measured at full cost regardless of the
+// requested fidelity.
+type FidelityObjective interface {
+	Objective
+	MeasureAt(cfg Config, fidelity float64) float64
+}
+
+// FidelityObjectiveFunc adapts a fidelity-aware function to
+// FidelityObjective; full-fidelity Measure delegates with fidelity 1.
+type FidelityObjectiveFunc func(cfg Config, fidelity float64) float64
+
+// Measure calls f at full fidelity.
+func (f FidelityObjectiveFunc) Measure(cfg Config) float64 { return f(cfg, 1) }
+
+// MeasureAt calls f.
+func (f FidelityObjectiveFunc) MeasureAt(cfg Config, fidelity float64) float64 {
+	return f(cfg, fidelity)
+}
+
+// FullFidelity reports whether f denotes a full-fidelity measurement.
+// Zero means "unset" and is treated as full so the single-fidelity world
+// never has to think about the field.
+func FullFidelity(f float64) bool { return f == 0 || f >= 1 }
+
 // Evaluation records one configuration exploration.
 type Evaluation struct {
 	Index  int     // 0-based exploration order
@@ -58,41 +87,59 @@ type Evaluation struct {
 	// evaluation, but they are not ground truth: experience deposits
 	// filter them out (see Trace.Measured).
 	Estimated bool
+	// Fidelity is the measurement fidelity (0 or 1 = full). Low-fidelity
+	// observations are cheap but noisy triage data: experience deposits
+	// filter them out (see Trace.Measured) so they never masquerade as
+	// ground truth in the prior-run store.
+	Fidelity float64
 }
 
 // Trace is the ordered history of explorations in one tuning session.
 type Trace []Evaluation
 
-// Measured returns the trace restricted to real measurements — entries the
-// estimation gate answered are dropped. Experience deposits use it so
-// estimates never masquerade as ground truth in the prior-run store. When
-// nothing was estimated the receiver itself is returned (no copy).
+// Measured returns the trace restricted to full-fidelity real
+// measurements — entries the estimation gate answered and low-fidelity
+// triage observations are dropped. Experience deposits use it so neither
+// estimates nor noisy rung samples masquerade as ground truth in the
+// prior-run store. When nothing needs filtering the receiver itself is
+// returned (no copy).
 func (t Trace) Measured() Trace {
-	estimated := 0
+	drop := 0
 	for _, e := range t {
-		if e.Estimated {
-			estimated++
+		if e.Estimated || !FullFidelity(e.Fidelity) {
+			drop++
 		}
 	}
-	if estimated == 0 {
+	if drop == 0 {
 		return t
 	}
-	out := make(Trace, 0, len(t)-estimated)
+	out := make(Trace, 0, len(t)-drop)
 	for _, e := range t {
-		if !e.Estimated {
+		if !e.Estimated && FullFidelity(e.Fidelity) {
 			out = append(out, e)
 		}
 	}
 	return out
 }
 
-// Best returns the best evaluation under dir. It panics on an empty trace.
+// Best returns the best evaluation under dir. Full-fidelity entries are
+// strictly preferred: a noisy low-fidelity triage observation can only be
+// the best when the trace holds nothing else (single-fidelity traces are
+// unaffected — every entry is full fidelity). It panics on an empty trace.
 func (t Trace) Best(dir Direction) Evaluation {
 	if len(t) == 0 {
 		panic("search: Best of empty trace")
 	}
 	best := t[0]
+	bestFull := FullFidelity(best.Fidelity)
 	for _, e := range t[1:] {
+		full := FullFidelity(e.Fidelity)
+		if full != bestFull {
+			if full {
+				best, bestFull = e, true
+			}
+			continue
+		}
 		if dir.Better(e.Perf, best.Perf) {
 			best = e
 		}
@@ -205,6 +252,18 @@ type ExternalCache interface {
 	Measure(cfg Config, measure func() float64) float64
 }
 
+// FidelityExternalCache is an ExternalCache that additionally keys entries
+// on (config, fidelity). Reuse is promotion-aware: a full-fidelity truth
+// may answer a lower-fidelity probe (the real number is strictly better
+// information than a noisy short run), but a low-fidelity observation must
+// never answer a full-fidelity probe. External layers that do not
+// implement it are simply bypassed for reduced-fidelity evaluations.
+type FidelityExternalCache interface {
+	ExternalCache
+	LookupAt(cfg Config, fidelity float64) (perf float64, estimated, ok bool)
+	MeasureAt(cfg Config, fidelity float64, measure func() float64) float64
+}
+
 // Evaluator wraps an Objective with exploration counting, a snap-to-grid
 // step, a deduplication cache and trace recording. The cache mirrors the
 // tuning server's record of "all the parameter values together with the
@@ -291,6 +350,96 @@ func (e *Evaluator) EvalConfig(cfg Config) (Config, float64, error) {
 	return cfg, perf, nil
 }
 
+// EvalAt measures the configuration nearest to the continuous point pt at
+// the given fidelity. See EvalConfigAt.
+func (e *Evaluator) EvalAt(pt []float64, fidelity float64) (Config, float64, error) {
+	return e.EvalConfigAt(e.Space.Snap(pt), fidelity)
+}
+
+// EvalConfigAt measures an exact grid configuration at the given fidelity.
+// Full fidelity (0 or ≥1) takes the unchanged EvalConfig path, so
+// trajectories are byte-identical when multi-fidelity is off. Reduced
+// fidelity keys the dedup cache on (config, fidelity) with promotion-aware
+// reuse: a full-fidelity truth already in the cache answers any probe, but
+// a low-fidelity observation never answers a full-fidelity one.
+func (e *Evaluator) EvalConfigAt(cfg Config, fidelity float64) (Config, float64, error) {
+	if FullFidelity(fidelity) {
+		return e.EvalConfig(cfg)
+	}
+	if !e.Space.Contains(cfg) {
+		return nil, 0, fmt.Errorf("search: configuration %v not in space", cfg)
+	}
+	e.keyBuf = appendKey(e.keyBuf[:0], cfg)
+	plain := len(e.keyBuf)
+	e.keyBuf = appendFidelity(e.keyBuf, fidelity)
+	if !e.DisableCache {
+		if perf, ok := e.cache[string(e.keyBuf[:plain])]; ok { // promoted truth
+			e.hits++
+			if e.Tracer != nil {
+				emit(e.Tracer, Event{Type: EventEval, Index: -1, Config: cfg.Clone(), Perf: perf, Cached: true})
+			}
+			return cfg, perf, nil
+		}
+		if perf, ok := e.cache[string(e.keyBuf)]; ok { // same-rung repeat
+			e.hits++
+			if e.Tracer != nil {
+				emit(e.Tracer, Event{Type: EventEval, Index: -1, Config: cfg.Clone(), Perf: perf, Cached: true, Fidelity: fidelity})
+			}
+			return cfg, perf, nil
+		}
+	}
+	if e.MaxEvals > 0 && len(e.trace) >= e.MaxEvals {
+		return nil, 0, ErrBudget
+	}
+	perf, estimated := e.measureAt(cfg, fidelity)
+	e.commitFidelity(cfg, string(e.keyBuf), perf, estimated, fidelity)
+	return cfg, perf, nil
+}
+
+// appendFidelity appends the (config, fidelity) cache-key suffix. Full
+// fidelity never gets a suffix, so single-fidelity keys are untouched.
+func appendFidelity(b []byte, f float64) []byte {
+	b = append(b, '@')
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// measureAt is measure with a fidelity request: the external layer is
+// consulted only when it understands (config, fidelity) keying, and the
+// objective only shortens its horizon when it implements
+// FidelityObjective.
+func (e *Evaluator) measureAt(cfg Config, fidelity float64) (perf float64, estimated bool) {
+	if e.External != nil && !e.DisableCache {
+		if fc, ok := e.External.(FidelityExternalCache); ok {
+			if perf, est, ok := fc.LookupAt(cfg, fidelity); ok {
+				return perf, est
+			}
+			return fc.MeasureAt(cfg, fidelity, func() float64 { return e.rawMeasureAt(cfg, fidelity) }), false
+		}
+	}
+	return e.rawMeasureAt(cfg, fidelity), false
+}
+
+func (e *Evaluator) rawMeasureAt(cfg Config, fidelity float64) float64 {
+	if fo, ok := e.Objective.(FidelityObjective); ok {
+		return fo.MeasureAt(cfg, fidelity)
+	}
+	return e.Objective.Measure(cfg)
+}
+
+// commitFidelity commits a reduced-fidelity evaluation: the dedup cache
+// learns it under the fidelity-suffixed key only (it must never answer a
+// full-fidelity probe), and the trace entry and tracer event carry the
+// fidelity so deposits and offline analysis can separate triage from
+// truth.
+func (e *Evaluator) commitFidelity(cfg Config, key string, perf float64, estimated bool, fidelity float64) {
+	e.cache[key] = perf
+	kept := cfg.Clone()
+	e.trace = append(e.trace, Evaluation{Index: len(e.trace), Config: kept, Perf: perf, Estimated: estimated, Fidelity: fidelity})
+	if e.Tracer != nil {
+		emit(e.Tracer, Event{Type: EventEval, Index: len(e.trace) - 1, Config: kept, Perf: perf, Estimated: estimated, Fidelity: fidelity})
+	}
+}
+
 // measure obtains the performance for cfg: through the external
 // measure-once layer when one is wired (exact hit, coalesced peer
 // measurement or gate estimate), through the real objective otherwise.
@@ -353,10 +502,15 @@ func (e *Evaluator) Known(cfg Config) (float64, bool) {
 	return perf, ok
 }
 
-// KnownConfigs returns all cached configurations in deterministic order.
+// KnownConfigs returns all cached full-fidelity configurations in
+// deterministic order. Fidelity-suffixed triage entries are skipped: they
+// are noisy observations, not known truths.
 func (e *Evaluator) KnownConfigs() []Config {
 	keys := make([]string, 0, len(e.cache))
 	for k := range e.cache {
+		if strings.IndexByte(k, '@') >= 0 {
+			continue
+		}
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -29,6 +29,12 @@ const (
 	// EventBudget is a failure-budget charge against a session (server
 	// side): Iter carries the fault count, Note describes the fault.
 	EventBudget EventType = "budget"
+	// EventRung marks multi-fidelity scheduler progress (mfsearch): Op is
+	// "open" when a rung starts evaluating its candidates and "promote"
+	// when the survivors are selected; Iter is the rung index within the
+	// bracket, Fidelity the rung's measurement fidelity, and Note carries
+	// bracket/candidate/survivor counts.
+	EventRung EventType = "rung"
 )
 
 // Simplex operation names used in EventSimplex events.
@@ -72,6 +78,11 @@ type Event struct {
 	// the field's omitempty keeps exact-mode streams byte-identical to
 	// uncached ones.
 	Estimated bool `json:"estimated,omitempty"`
+	// Fidelity is the measurement fidelity of an evaluation or rung event.
+	// Zero means full fidelity (the single-fidelity world never sets it),
+	// so omitempty keeps exact-mode streams byte-identical when the
+	// multi-fidelity scheduler is off.
+	Fidelity float64 `json:"fidelity,omitempty"`
 	// Note carries free-form detail (which vertex a simplex op replaced,
 	// the fault description for budget charges, ...).
 	Note string `json:"note,omitempty"`

@@ -448,26 +448,36 @@ func (c *Client) Names() []string { return c.names }
 // Fetch asks the server for the next configuration to measure. done is true
 // when tuning has finished; the final answer is then available from BestResult.
 func (c *Client) Fetch() (cfg search.Config, done bool, err error) {
+	cfg, _, done, err = c.FetchAt()
+	return cfg, done, err
+}
+
+// FetchAt asks the server for the next configuration together with the
+// requested measurement fidelity: 0 (or 1) means a full measurement, a
+// fraction in (0, 1) asks for a deterministically cheaper partial one (a
+// multi-fidelity server's triage rungs). Single-fidelity servers never set
+// the field, so FetchAt degrades to Fetch.
+func (c *Client) FetchAt() (cfg search.Config, fidelity float64, done bool, err error) {
 	if err := c.send(message{Op: "fetch"}); err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	return c.fetchReply()
 }
 
 // fetchReply reads and classifies the server's answer to a fetch credit.
-func (c *Client) fetchReply() (cfg search.Config, done bool, err error) {
+func (c *Client) fetchReply() (cfg search.Config, fidelity float64, done bool, err error) {
 	m, err := c.recv()
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	switch m.Op {
 	case "config":
-		return search.Config(m.Values), false, nil
+		return search.Config(m.Values), m.Fidelity, false, nil
 	case "best":
 		c.best = &Best{Values: search.Config(m.Values), Perf: m.Perf, Evals: m.Evals}
-		return nil, true, nil
+		return nil, 0, true, nil
 	}
-	return nil, false, fmt.Errorf("%w: unexpected reply %q to fetch", ErrProtocol, m.Op)
+	return nil, 0, false, fmt.Errorf("%w: unexpected reply %q to fetch", ErrProtocol, m.Op)
 }
 
 // Report sends the measured performance of the last fetched configuration.
@@ -475,7 +485,14 @@ func (c *Client) fetchReply() (cfg search.Config, done bool, err error) {
 // v3 does not acknowledge reports (the next config is the flow control),
 // so the call returns as soon as the report is written.
 func (c *Client) Report(perf float64) error {
-	if err := c.send(message{Op: "report", Perf: perf}); err != nil {
+	return c.ReportAt(perf, 0)
+}
+
+// ReportAt reports a measurement taken at the given fidelity, echoing the
+// fidelity the matching config requested. Fidelity 0 (or ≥1) keeps the
+// field off the wire — the classic full-fidelity report, byte-identical.
+func (c *Client) ReportAt(perf, fidelity float64) error {
+	if err := c.send(message{Op: "report", Perf: perf, Fidelity: wireFidelity(fidelity)}); err != nil {
 		return err
 	}
 	if c.proto >= 3 {
@@ -498,16 +515,35 @@ func (c *Client) Report(perf float64) error {
 // Report-then-Fetch; over the JSON framings it degrades to exactly that
 // pair, byte-identical to prior releases.
 func (c *Client) ReportAndFetch(perf float64) (cfg search.Config, done bool, err error) {
+	cfg, _, done, err = c.ReportAndFetchAt(perf, 0)
+	return cfg, done, err
+}
+
+// ReportAndFetchAt is the fidelity-aware ReportAndFetch: it echoes the
+// reported measurement's fidelity and returns the next configuration's
+// requested fidelity.
+func (c *Client) ReportAndFetchAt(perf, reported float64) (cfg search.Config, fidelity float64, done bool, err error) {
 	if c.proto < 3 {
-		if err := c.Report(perf); err != nil {
-			return nil, false, err
+		if err := c.ReportAt(perf, reported); err != nil {
+			return nil, 0, false, err
 		}
-		return c.Fetch()
+		return c.FetchAt()
 	}
-	if err := c.sendPair(message{Op: "report", Perf: perf}, message{Op: "fetch"}); err != nil {
-		return nil, false, err
+	pair := message{Op: "report", Perf: perf, Fidelity: wireFidelity(reported)}
+	if err := c.sendPair(pair, message{Op: "fetch"}); err != nil {
+		return nil, 0, false, err
 	}
 	return c.fetchReply()
+}
+
+// wireFidelity normalizes a fidelity for the wire: only a genuine partial
+// fidelity in (0, 1) is carried; 0, 1 and out-of-range values collapse to
+// the absent field, keeping full-fidelity exchanges byte-identical.
+func wireFidelity(f float64) float64 {
+	if f > 0 && f < 1 {
+		return f
+	}
+	return 0
 }
 
 // BestResult returns the session's final answer once Fetch reported done.
@@ -521,7 +557,17 @@ func (c *Client) BestResult() (*Best, bool) {
 // classic report/ok/fetch/config sequence unchanged; on binary v3 it is
 // one write and one read per configuration.
 func (c *Client) Tune(measure func(search.Config) float64) (*Best, error) {
-	cfg, done, err := c.Fetch()
+	return c.TuneAt(func(cfg search.Config, _ float64) float64 { return measure(cfg) })
+}
+
+// TuneAt runs the whole tuning loop against a fidelity-aware measure
+// function: a multi-fidelity server's triage rungs arrive with a fidelity
+// in (0, 1) and the application measures over that fraction of its full
+// horizon (cheaper, noisier); full-fidelity requests arrive as 0. Against
+// a single-fidelity server every call sees fidelity 0 and the exchanges
+// are byte-identical to Tune.
+func (c *Client) TuneAt(measure func(search.Config, float64) float64) (*Best, error) {
+	cfg, fid, done, err := c.FetchAt()
 	for {
 		if err != nil {
 			return nil, err
@@ -530,7 +576,7 @@ func (c *Client) Tune(measure func(search.Config) float64) (*Best, error) {
 			best, _ := c.BestResult()
 			return best, nil
 		}
-		cfg, done, err = c.ReportAndFetch(measure(cfg))
+		cfg, fid, done, err = c.ReportAndFetchAt(measure(cfg, fid), fid)
 	}
 }
 
@@ -548,7 +594,14 @@ func (c *Client) FetchAsync() error {
 // do not ack reports (the next config is the flow control), and errors
 // surface on the next read.
 func (c *Client) ReportID(id int, perf float64) error {
-	return c.send(message{Op: "report", id: id, hasID: true, Perf: perf})
+	return c.ReportIDAt(id, perf, 0)
+}
+
+// ReportIDAt is the fidelity-aware ReportID, echoing the fidelity the
+// correlated config requested (0 for a full measurement).
+func (c *Client) ReportIDAt(id int, perf, fidelity float64) error {
+	return c.send(message{Op: "report", id: id, hasID: true, Perf: perf,
+		Fidelity: wireFidelity(fidelity)})
 }
 
 // TuneParallel runs the whole tuning session with up to `workers`
@@ -566,15 +619,24 @@ func (c *Client) ReportID(id int, perf float64) error {
 // (thanks to the server's experience store) reconnect to warm-start from
 // whatever this session already measured.
 func (c *Client) TuneParallel(measure func(search.Config) float64, workers int) (*Best, error) {
+	return c.TuneParallelAt(func(cfg search.Config, _ float64) float64 { return measure(cfg) }, workers)
+}
+
+// TuneParallelAt is the fidelity-aware TuneParallel: each in-flight job
+// carries the fidelity its config requested (0 = full), the measure
+// function honours it, and the report echoes it. Against a
+// single-fidelity server it is byte-identical to TuneParallel.
+func (c *Client) TuneParallelAt(measure func(search.Config, float64) float64, workers int) (*Best, error) {
 	if workers > c.Window() {
 		workers = c.Window()
 	}
 	if workers <= 1 {
-		return c.Tune(measure)
+		return c.TuneAt(measure)
 	}
 
 	type job struct {
 		id  int
+		fid float64
 		cfg search.Config
 	}
 	var (
@@ -606,7 +668,7 @@ func (c *Client) TuneParallel(measure func(search.Config) float64, workers int) 
 					id = m.id
 				}
 				select {
-				case jobs <- job{id: id, cfg: search.Config(m.Values)}:
+				case jobs <- job{id: id, fid: m.Fidelity, cfg: search.Config(m.Values)}:
 				case <-failed:
 					return
 				}
@@ -640,12 +702,13 @@ func (c *Client) TuneParallel(measure func(search.Config) float64, workers int) 
 				case <-failed:
 					return
 				case j := <-jobs:
-					perf := measure(j.cfg)
+					perf := measure(j.cfg, j.fid)
 					// One flush for the report and the replenishing fetch
 					// credit — on binary v3 framing that is a single socket
 					// write per measurement.
 					err := c.sendPair(
-						message{Op: "report", id: j.id, hasID: true, Perf: perf},
+						message{Op: "report", id: j.id, hasID: true, Perf: perf,
+							Fidelity: wireFidelity(j.fid)},
 						message{Op: "fetch"},
 					)
 					if err != nil {

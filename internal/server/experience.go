@@ -68,12 +68,29 @@ func specKey(app string, spec *rsl.Spec) string {
 // translation; configurations of a foreign dimension or outside the space
 // are skipped.
 func seedsFromExperience(exp *history.Experience, space *search.Space) [][]float64 {
-	var seeds [][]float64
+	return continuousSeeds(space, configsFromExperience(exp, space))
+}
+
+// configsFromExperience extracts the experience's best configurations that
+// still fit the session's space — the shared input of both the simplex
+// warm start and the multi-fidelity sampling prior.
+func configsFromExperience(exp *history.Experience, space *search.Space) []search.Config {
+	var cfgs []search.Config
 	for _, rec := range exp.Best(space.Dim() + 1) {
 		if len(rec.Config) != space.Dim() || !space.Contains(rec.Config) {
 			continue
 		}
-		seeds = append(seeds, space.Continuous(rec.Config))
+		cfgs = append(cfgs, rec.Config)
+	}
+	return cfgs
+}
+
+// continuousSeeds maps configurations to the continuous seed points
+// search.SeededInit consumes.
+func continuousSeeds(space *search.Space, cfgs []search.Config) [][]float64 {
+	var seeds [][]float64
+	for _, cfg := range cfgs {
+		seeds = append(seeds, space.Continuous(cfg))
 	}
 	return seeds
 }

@@ -111,6 +111,15 @@ type message struct {
 	Perf   float64 `json:"perf,omitempty"`
 	Evals  int     `json:"evals,omitempty"`
 
+	// Fidelity (multi-fidelity search) is the measurement fidelity the
+	// server requests on a config and the client echoes back on the
+	// matching report: f ∈ (0, 1) asks for a deterministically cheaper,
+	// noisier measurement over that fraction of the full horizon. Absent
+	// or 0 pins full fidelity — protocol v1 clients never see the field
+	// and always measure in full — so single-fidelity exchanges stay
+	// byte-identical on every framing.
+	Fidelity float64 `json:"fidelity,omitempty"`
+
 	// error
 	Msg string `json:"msg,omitempty"`
 

@@ -3,10 +3,13 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -14,6 +17,7 @@ import (
 
 	"harmony/internal/evalcache"
 	"harmony/internal/expdb"
+	"harmony/internal/mfsearch"
 	"harmony/internal/obs"
 	"harmony/internal/rsl"
 	"harmony/internal/search"
@@ -130,6 +134,15 @@ type Server struct {
 	// DefaultSessionHistory; negative disables retention). Running
 	// sessions are always visible.
 	SessionHistory int
+	// SearchKernel selects the per-session tuning kernel: "" or "simplex"
+	// (the historical Nelder–Mead loop, trajectory-pinned) or "hyperband"
+	// (multi-fidelity successive halving over reduced-fidelity probes,
+	// seeded by the experience prior, with the same simplex as its
+	// full-fidelity polish). Hyperband sessions ask clients for cheap
+	// partial measurements via the config message's fidelity field;
+	// clients that predate the field simply measure in full. Set it
+	// before Listen.
+	SearchKernel string
 
 	lnMu      sync.Mutex
 	listener  net.Listener
@@ -182,6 +195,40 @@ func (s *Server) maxWindow() int {
 		return 1
 	}
 	return s.MaxWindow
+}
+
+// Search kernel names for Server.SearchKernel and the -search flag.
+const (
+	// KernelSimplex is the historical Nelder–Mead kernel (the default).
+	KernelSimplex = "simplex"
+	// KernelHyperband is the multi-fidelity successive-halving kernel.
+	KernelHyperband = "hyperband"
+)
+
+// ParseSearchKernel validates the -search flag values.
+func ParseSearchKernel(v string) (string, error) {
+	switch v {
+	case "", KernelSimplex:
+		return KernelSimplex, nil
+	case KernelHyperband:
+		return KernelHyperband, nil
+	}
+	return "", fmt.Errorf("server: unknown search kernel %q (want simplex or hyperband)", v)
+}
+
+// kernelSeed derives the hyperband sampling seed from the session's
+// namespace key and declared workload — not from the random session ID —
+// so identical registrations draw identical candidates: the trajectory is
+// reproducible across reconnects and independent of the wire framing.
+func kernelSeed(key string, chars []float64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never fails
+	var b [8]byte
+	for _, c := range chars {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(c))
+		h.Write(b[:]) //nolint:errcheck
+	}
+	return h.Sum64()
 }
 
 // store resolves the experience backend, building the default in-memory
@@ -412,7 +459,6 @@ func (s *Server) Close() error {
 	return nil
 }
 
-
 // evalReq is one pending measurement crossing from the kernel to the
 // message loop: the client-facing configuration plus the reply channel the
 // requesting objective call blocks on. Carrying the reply per-request (the
@@ -420,8 +466,12 @@ func (s *Server) Close() error {
 // pipelined session resolve out-of-order reports to the right waiting
 // kernel goroutine.
 type evalReq struct {
-	cfg   search.Config
-	reply chan float64
+	cfg search.Config
+	// fidelity is the requested measurement fidelity: 0 means full (the
+	// field stays off the wire), f ∈ (0, 1) asks the client for a cheap
+	// partial measurement (multi-fidelity kernels only).
+	fidelity float64
+	reply    chan float64
 }
 
 // replyChanPool recycles evalReq reply channels across measurements and
@@ -772,7 +822,7 @@ func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
 				pending, havePending = req, true
 				sess.state.outstanding.Store(1)
 				s.m().ConfigsServed.Inc(lo.shard)
-				if err := lo.send(message{Op: "config", Values: req.cfg}); err != nil {
+				if err := lo.send(message{Op: "config", Values: req.cfg, Fidelity: req.fidelity}); err != nil {
 					return err
 				}
 			case res := <-sess.resultCh:
@@ -939,7 +989,7 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 			m.ConfigsServed.Inc(lo.shard)
 			m.SessionOutstanding.Inc()
 			m.BatchSize.Observe(float64(len(outstanding)))
-			if err := lo.send(message{Op: "config", id: id, hasID: true, Values: req.cfg}); err != nil {
+			if err := lo.send(message{Op: "config", id: id, hasID: true, Values: req.cfg, Fidelity: req.fidelity}); err != nil {
 				return err
 			}
 		case res := <-resC:
@@ -1010,9 +1060,14 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 	// and block until the client reports its performance. Each call
 	// carries its own reply channel, so up to `window` of these may block
 	// concurrently (the kernel's parallel batch and speculation phases)
-	// and out-of-order reports resolve to the right caller.
-	blockMeasure := func(cfg search.Config) float64 {
-		req := evalReq{cfg: cfg, reply: replyChanPool.Get().(chan float64)}
+	// and out-of-order reports resolve to the right caller. Full fidelity
+	// is normalized to 0 here so the wire field stays absent and
+	// single-fidelity exchanges remain byte-identical on every framing.
+	blockMeasure := func(cfg search.Config, fidelity float64) float64 {
+		if search.FullFidelity(fidelity) {
+			fidelity = 0
+		}
+		req := evalReq{cfg: cfg, fidelity: fidelity, reply: replyChanPool.Get().(chan float64)}
 		select {
 		case sess.evals <- req:
 		case <-sess.abort:
@@ -1063,8 +1118,8 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 			return dec
 		}
 		sess.bestToWire = func(cfg search.Config) []int { return decodeCfg(cfg) }
-		obj = search.ObjectiveFunc(func(cfg search.Config) float64 {
-			return blockMeasure(decodeCfg(cfg))
+		obj = search.FidelityObjectiveFunc(func(cfg search.Config, fidelity float64) float64 {
+			return blockMeasure(decodeCfg(cfg), fidelity)
 		})
 	} else {
 		space, err = spec.Static()
@@ -1072,7 +1127,7 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 			return nil, err
 		}
 		sess.bestToWire = func(cfg search.Config) []int { return cfg }
-		obj = search.ObjectiveFunc(blockMeasure)
+		obj = search.FidelityObjectiveFunc(blockMeasure)
 	}
 	sess.space = space
 
@@ -1084,10 +1139,15 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 	// specification, when the client told us what workload it is serving.
 	key := specKey(reg.App, spec)
 	store := s.store()
+	// priorCfgs doubles as the multi-fidelity sampling prior: the same
+	// best-of-experience configurations that seed the simplex center the
+	// hyperband kernel's candidate distribution.
+	var priorCfgs []search.Config
 	if len(reg.Characteristics) > 0 {
 		if exp, ok := store.Match(key, reg.Characteristics); ok {
-			if seeds := seedsFromExperience(exp, space); len(seeds) > 0 {
-				init = search.SeededInit{Seeds: seeds, Fallback: init}
+			priorCfgs = configsFromExperience(exp, space)
+			if len(priorCfgs) > 0 {
+				init = search.SeededInit{Seeds: continuousSeeds(space, priorCfgs), Fallback: init}
 				sess.warm = true
 			}
 		}
@@ -1145,7 +1205,7 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 				sess.errCh <- fmt.Errorf("server: kernel panic: %v", rec)
 			}
 		}()
-		res, err := search.NelderMeadWithEvaluator(space, ev, search.NelderMeadOptions{
+		nmOpts := search.NelderMeadOptions{
 			Init:      init,
 			Direction: dir,
 			MaxEvals:  maxEvals,
@@ -1159,7 +1219,24 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 			// An operator's re-tune request (control plane) funds one more
 			// reduced-scale restart at the next convergence decision.
 			ExtraRestart: st.takeRetune,
-		})
+		}
+		var res *search.Result
+		var err error
+		if s.SearchKernel == KernelHyperband {
+			// Multi-fidelity triage over reduced-fidelity client
+			// measurements, then the very same simplex options as the
+			// full-fidelity polish. The experience configurations double
+			// as the sampling prior; a cold namespace degrades to plain
+			// Hyperband over uniform candidates.
+			res, err = mfsearch.Run(space, ev, mfsearch.NewPrior(space, priorCfgs), mfsearch.Options{
+				Direction: dir,
+				Seed:      kernelSeed(key, reg.Characteristics),
+				Polish:    nmOpts,
+				Tracer:    tracer,
+			})
+		} else {
+			res, err = search.NelderMeadWithEvaluator(space, ev, nmOpts)
+		}
 		if err != nil {
 			sess.errCh <- err
 			return

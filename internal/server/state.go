@@ -42,17 +42,24 @@ type SessionSnapshot struct {
 	EndedAt time.Time `json:"ended_at,omitempty"`
 
 	// Live kernel state, fed by the session's trace stream.
-	Evals     int     `json:"evals"`
-	Cached    int     `json:"cached,omitempty"`
-	Estimated int     `json:"estimated,omitempty"`
-	Seeds     int     `json:"seeds,omitempty"`
-	Iter      int     `json:"iter,omitempty"`
-	LastOp    string  `json:"last_op,omitempty"`
-	Phase     string  `json:"phase,omitempty"`
-	Converged string  `json:"converged,omitempty"`
-	HaveBest  bool    `json:"have_best,omitempty"`
-	BestPerf  float64 `json:"best_perf,omitempty"`
-	BestConfig []int  `json:"best_config,omitempty"`
+	Evals      int     `json:"evals"`
+	Cached     int     `json:"cached,omitempty"`
+	Estimated  int     `json:"estimated,omitempty"`
+	Seeds      int     `json:"seeds,omitempty"`
+	Iter       int     `json:"iter,omitempty"`
+	LastOp     string  `json:"last_op,omitempty"`
+	Phase      string  `json:"phase,omitempty"`
+	Converged  string  `json:"converged,omitempty"`
+	HaveBest   bool    `json:"have_best,omitempty"`
+	BestPerf   float64 `json:"best_perf,omitempty"`
+	BestConfig []int   `json:"best_config,omitempty"`
+
+	// Multi-fidelity kernel state (hyperband sessions only; all fields
+	// stay zero — and off the wire — on the simplex kernel).
+	Rung         int     `json:"rung,omitempty"`
+	RungFidelity float64 `json:"rung_fidelity,omitempty"`
+	Promotions   int     `json:"promotions,omitempty"`
+	LowFiEvals   int     `json:"low_fidelity_evals,omitempty"`
 
 	// Robustness and pipeline state.
 	Outstanding   int    `json:"outstanding"`
@@ -101,8 +108,14 @@ func (st *sessionState) Emit(e search.Event) {
 			st.snap.Evals++
 		default:
 			st.snap.Evals++
+			if !search.FullFidelity(e.Fidelity) {
+				st.snap.LowFiEvals++
+			}
 		}
-		if !st.snap.HaveBest || st.dir.Better(e.Perf, st.snap.BestPerf) {
+		// A reduced-fidelity perf is deliberately noisy triage data; only
+		// full-fidelity truths may claim the session's incumbent best.
+		if search.FullFidelity(e.Fidelity) &&
+			(!st.snap.HaveBest || st.dir.Better(e.Perf, st.snap.BestPerf)) {
 			st.snap.HaveBest = true
 			st.snap.BestPerf = e.Perf
 			if st.toWire != nil {
@@ -116,6 +129,13 @@ func (st *sessionState) Emit(e search.Event) {
 		st.snap.LastOp = e.Op
 	case search.EventConverge:
 		st.snap.Converged = e.Op
+	case search.EventRung:
+		st.snap.Rung = e.Iter
+		st.snap.RungFidelity = e.Fidelity
+		st.snap.Phase = "triage"
+		if e.Op == "promote" {
+			st.snap.Promotions++
+		}
 	case search.EventPhase:
 		st.snap.Phase = e.Op
 		if e.Op == "retune" {

@@ -15,12 +15,18 @@ package server
 // allocating (the reader and writer own reusable scratch buffers; varints
 // via binary.AppendUvarint):
 //
-//	fetch  (0x03)  empty
-//	config (0x04)  hasID byte | id uvarint | n uvarint | n × value varint
-//	report (0x05)  hasID byte | id uvarint | perf float64-LE-bits
-//	ok     (0x06)  empty
-//	quit   (0x09)  empty
-//	error  (0x08)  raw UTF-8 message
+//	fetch   (0x03)  empty
+//	config  (0x04)  hasID byte | id uvarint | n uvarint | n × value varint
+//	report  (0x05)  hasID byte | id uvarint | perf float64-LE-bits
+//	ok      (0x06)  empty
+//	quit    (0x09)  empty
+//	error   (0x08)  raw UTF-8 message
+//	configf (0x0A)  hasID byte | id uvarint | fidelity float64-LE-bits | n uvarint | n × value varint
+//	reportf (0x0B)  hasID byte | id uvarint | fidelity float64-LE-bits | perf float64-LE-bits
+//
+// The fidelity-carrying variants exist only for multi-fidelity sessions: a
+// config or report whose fidelity is absent, zero or one always uses the
+// original opcode, so single-fidelity v3 byte streams are pinned unchanged.
 //
 // Cold-path opcodes — register (0x01), registered (0x02), best (0x07) —
 // wrap the JSON message envelope in a frame: they run once per session, and
@@ -69,6 +75,8 @@ const (
 	opBest       = 0x07
 	opError      = 0x08
 	opQuit       = 0x09
+	opConfigF    = 0x0A // config with a fidelity request (multi-fidelity search)
+	opReportF    = 0x0B // report echoing the measurement fidelity
 )
 
 // garbageError marks a tolerable decode problem: the offending line or
@@ -272,11 +280,21 @@ func decodeFrame(body []byte) (message, error) {
 		}
 		return message{Op: "quit"}, nil
 
-	case opConfig:
+	case opConfig, opConfigF:
 		m := message{Op: "config"}
 		rest, ok := decodeID(&m, rest)
 		if !ok {
 			return message{}, &garbageError{reason: "v3 config frame: malformed id"}
+		}
+		if op == opConfigF {
+			if len(rest) < 8 {
+				return message{}, &garbageError{reason: "v3 configf frame: missing fidelity"}
+			}
+			m.Fidelity = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+			if !fidelityOnWire(m.Fidelity) {
+				return message{}, &garbageError{reason: "v3 configf frame: fidelity outside (0, 1)"}
+			}
 		}
 		n, k := binary.Uvarint(rest)
 		if k <= 0 || n > uint64(len(rest)-k) {
@@ -300,13 +318,22 @@ func decodeFrame(body []byte) (message, error) {
 		m.Values = vals
 		return m, nil
 
-	case opReport:
+	case opReport, opReportF:
 		m := message{Op: "report"}
 		rest, ok := decodeID(&m, rest)
 		if !ok {
 			return message{}, &garbageError{reason: "v3 report frame: malformed id"}
 		}
-		if len(rest) != 8 {
+		if op == opReportF {
+			if len(rest) != 16 {
+				return message{}, &garbageError{reason: "v3 reportf frame: bad body length"}
+			}
+			m.Fidelity = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+			if !fidelityOnWire(m.Fidelity) {
+				return message{}, &garbageError{reason: "v3 reportf frame: fidelity outside (0, 1)"}
+			}
+		} else if len(rest) != 8 {
 			return message{}, &garbageError{reason: "v3 report frame: bad perf length"}
 		}
 		m.Perf = math.Float64frombits(binary.LittleEndian.Uint64(rest))
@@ -376,15 +403,27 @@ func (fw *frameWriter) append(m message) error {
 		body = append(body, opError)
 		body = append(body, m.Msg...)
 	case "config":
-		body = append(body, opConfig)
-		body = appendID(body, m)
+		if fidelityOnWire(m.Fidelity) {
+			body = append(body, opConfigF)
+			body = appendID(body, m)
+			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Fidelity))
+		} else {
+			body = append(body, opConfig)
+			body = appendID(body, m)
+		}
 		body = binary.AppendUvarint(body, uint64(len(m.Values)))
 		for _, v := range m.Values {
 			body = binary.AppendVarint(body, int64(v))
 		}
 	case "report":
-		body = append(body, opReport)
-		body = appendID(body, m)
+		if fidelityOnWire(m.Fidelity) {
+			body = append(body, opReportF)
+			body = appendID(body, m)
+			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Fidelity))
+		} else {
+			body = append(body, opReport)
+			body = appendID(body, m)
+		}
 		body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Perf))
 	case "register", "registered", "best":
 		var op byte
@@ -416,6 +455,14 @@ func (fw *frameWriter) append(m message) error {
 	binary.LittleEndian.PutUint32(body, uint32(len(body)-4))
 	_, err := fw.w.Write(body)
 	return err
+}
+
+// fidelityOnWire reports whether f is a legal reduced-fidelity wire value:
+// finite and strictly inside (0, 1). Full fidelity (absent, 0 or ≥1) never
+// rides the fidelity opcodes or JSON field, which is what pins
+// single-fidelity byte streams unchanged. NaN fails both comparisons.
+func fidelityOnWire(f float64) bool {
+	return f > 0 && f < 1
 }
 
 func appendID(body []byte, m message) []byte {

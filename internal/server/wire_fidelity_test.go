@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"harmony/internal/search"
+)
+
+// frameRoundTrip encodes one message through the binary frame writer and
+// decodes it back.
+func frameRoundTrip(t *testing.T, m message) message {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := frameWriter{w: bufio.NewWriter(&buf)}
+	if err := fw.append(m); err != nil {
+		t.Fatalf("encode %+v: %v", m, err)
+	}
+	fw.w.Flush()
+	fr := frameReader{r: bufio.NewReader(&buf)}
+	got, err := fr.read()
+	if err != nil {
+		t.Fatalf("decode of %+v: %v", m, err)
+	}
+	return got
+}
+
+func TestV3FidelityFrames(t *testing.T) {
+	cases := []message{
+		{Op: "config", Values: []int{3, 4}, Fidelity: 0.25},
+		{Op: "config", id: 7, hasID: true, Values: []int{3, 4}, Fidelity: 1.0 / 16},
+		{Op: "report", Perf: 63.5, Fidelity: 0.5},
+		{Op: "report", id: 2, hasID: true, Perf: -1.25, Fidelity: 0.999},
+	}
+	for _, m := range cases {
+		got := frameRoundTrip(t, m)
+		if got.Op != m.Op || got.hasID != m.hasID || got.id != m.id ||
+			got.Fidelity != m.Fidelity || got.Perf != m.Perf ||
+			fmt.Sprint(got.Values) != fmt.Sprint(m.Values) {
+			t.Errorf("fidelity frame round trip changed the message:\n was %+v\n now %+v", m, got)
+		}
+	}
+}
+
+// TestV3FullFidelityPinsPlainOpcodes is the wire-compatibility gate: a
+// message whose fidelity denotes a full measurement (0 or ≥1) must encode
+// on the original opcodes, byte-for-byte what a pre-fidelity writer
+// produced.
+func TestV3FullFidelityPinsPlainOpcodes(t *testing.T) {
+	enc := func(m message) []byte {
+		var buf bytes.Buffer
+		fw := frameWriter{w: bufio.NewWriter(&buf)}
+		if err := fw.append(m); err != nil {
+			t.Fatal(err)
+		}
+		fw.w.Flush()
+		return buf.Bytes()
+	}
+	for _, f := range []float64{0, 1, 2} {
+		cfg := enc(message{Op: "config", Values: []int{3, 4}, Fidelity: f})
+		plain := enc(message{Op: "config", Values: []int{3, 4}})
+		if !bytes.Equal(cfg, plain) {
+			t.Errorf("full-fidelity %v config frame differs from the plain encoding", f)
+		}
+		rep := enc(message{Op: "report", Perf: 9.5, Fidelity: f})
+		plainRep := enc(message{Op: "report", Perf: 9.5})
+		if !bytes.Equal(rep, plainRep) {
+			t.Errorf("full-fidelity %v report frame differs from the plain encoding", f)
+		}
+	}
+	if enc(message{Op: "config", Values: []int{3, 4}})[4] != opConfig {
+		t.Error("plain config frame does not use opConfig")
+	}
+	if enc(message{Op: "config", Values: []int{3, 4}, Fidelity: 0.5})[4] != opConfigF {
+		t.Error("partial-fidelity config frame does not use opConfigF")
+	}
+}
+
+// TestCrossFramingFidelityEquivalence extends the transcript property to
+// the hyperband kernel: the same registration against JSON and binary
+// framings must see the identical (config, fidelity) request sequence and
+// land on the identical best — fidelity requests are framing-independent.
+func TestCrossFramingFidelityEquivalence(t *testing.T) {
+	type fidTranscript struct {
+		keys []string
+		best Best
+	}
+	run := func(proto int) fidTranscript {
+		t.Helper()
+		s := NewServer()
+		s.SearchKernel = KernelHyperband
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		c := dial(t, addr.String())
+		opts := RegisterOptions{MaxEvals: 200, Improved: true, Proto: proto}
+		if _, err := c.Register(quadRSL, opts); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var tr fidTranscript
+		best, err := c.TuneAt(func(cfg search.Config, fid float64) float64 {
+			perf := fidelityQuad(cfg, fid)
+			mu.Lock()
+			tr.keys = append(tr.keys, fmt.Sprint(cfg, fid, perf))
+			mu.Unlock()
+			return perf
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.best = *best
+		return tr
+	}
+	t2, t3 := run(2), run(3)
+	if fmt.Sprint(t2.best) != fmt.Sprint(t3.best) {
+		t.Errorf("hyperband bests diverge across framings: v2 %+v, v3 %+v", t2.best, t3.best)
+	}
+	if fmt.Sprint(t2.keys) != fmt.Sprint(t3.keys) {
+		t.Errorf("hyperband (config, fidelity) transcripts diverge:\nv2 %d entries\nv3 %d entries",
+			len(t2.keys), len(t3.keys))
+	}
+}

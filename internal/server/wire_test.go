@@ -514,11 +514,23 @@ func FuzzV3FrameDecode(f *testing.F) {
 	f.Add(frame(opConfig, []byte{0, 2, 40, 90}))
 	f.Add(frame(opRegister, []byte(`{"op":"register","rsl":"{ harmonyBundle x { int {0 60 1} } }"}`)))
 	f.Add(frame(opError, []byte("boom")))
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff})           // oversized length claim
-	f.Add([]byte{0, 0, 0, 0})                       // zero-length frame
-	f.Add([]byte{5, 0, 0, 0, opConfig, 0, 0xff})    // lying value count
-	f.Add(frame(opFetch, nil)[:3])                  // truncated header
-	f.Add(frame(opConfig, []byte{0, 2, 40, 90})[:7]) // truncated body
+	// Fidelity-carrying hot-path frames: configf has an f64 fidelity after
+	// the id, reportf is fidelity+perf (exactly 16 body bytes after the id).
+	fid := make([]byte, 8)
+	binary.LittleEndian.PutUint64(fid, math.Float64bits(0.25))
+	f.Add(frame(opConfigF, append(append([]byte{0}, fid...), 2, 40, 90)))
+	f.Add(frame(opConfigF, append(append([]byte{1, 3}, fid...), 2, 40, 90)))
+	f.Add(frame(opReportF, append(append([]byte{0}, fid...), make([]byte, 8)...)))
+	f.Add(frame(opReportF, append(append([]byte{1, 7}, fid...), make([]byte, 8)...)))
+	full := make([]byte, 8)
+	binary.LittleEndian.PutUint64(full, math.Float64bits(1.0))
+	f.Add(frame(opConfigF, append(append([]byte{0}, full...), 2, 40, 90))) // full fidelity on the fidelity opcode: garbage
+	f.Add(frame(opReportF, []byte{0, 1, 2, 3}))                            // short reportf body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                                  // oversized length claim
+	f.Add([]byte{0, 0, 0, 0})                                              // zero-length frame
+	f.Add([]byte{5, 0, 0, 0, opConfig, 0, 0xff})                           // lying value count
+	f.Add(frame(opFetch, nil)[:3])                                         // truncated header
+	f.Add(frame(opConfig, []byte{0, 2, 40, 90})[:7])                       // truncated body
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr := frameReader{r: bufio.NewReader(bytes.NewReader(data))}
@@ -556,6 +568,7 @@ func FuzzV3FrameDecode(f *testing.F) {
 				t.Fatalf("re-decode of %q failed: %v", m.Op, err)
 			}
 			if m2.Op != m.Op || m2.hasID != m.hasID || m2.id != m.id ||
+				m2.Fidelity != m.Fidelity ||
 				fmt.Sprint(m2.Values) != fmt.Sprint(m.Values) ||
 				(m2.Perf != m.Perf && !(m2.Perf != m2.Perf && m.Perf != m.Perf)) {
 				t.Fatalf("round trip changed the message:\n was %+v\n now %+v", m, m2)

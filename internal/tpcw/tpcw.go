@@ -17,6 +17,7 @@ package tpcw
 
 import (
 	"fmt"
+	"math"
 
 	"harmony/internal/stats"
 )
@@ -240,6 +241,28 @@ func GenerateStream(mix Mix, n int, meanThink float64, rng *stats.RNG) []Request
 		}
 	}
 	return out
+}
+
+// HorizonAt scales a sampled-request horizon to a measurement fidelity:
+// full fidelity (0 or ≥1) keeps n, fidelity f ∈ (0, 1) keeps ⌈n·f⌉ with a
+// floor of one request. Multi-fidelity tuning uses it so low-fidelity
+// rungs observe a deterministically shorter slice of the same stream.
+func HorizonAt(n int, fidelity float64) int {
+	if fidelity <= 0 || fidelity >= 1 || n <= 0 {
+		return n
+	}
+	scaled := int(math.Ceil(float64(n) * fidelity))
+	if scaled < 1 {
+		return 1
+	}
+	return scaled
+}
+
+// GenerateStreamAt is GenerateStream with a fidelity-scaled horizon (see
+// HorizonAt): the draws it performs are a prefix of what the full-fidelity
+// stream would draw from the same RNG state.
+func GenerateStreamAt(mix Mix, n int, meanThink float64, rng *stats.RNG, fidelity float64) []Request {
+	return GenerateStream(mix, HorizonAt(n, fidelity), meanThink, rng)
 }
 
 // Characteristics returns the observed frequency distribution over the

@@ -56,6 +56,13 @@ type Options struct {
 	ThinkMean float64
 	// Seed drives the stochastic request stream.
 	Seed uint64
+	// Fidelity, when in (0, 1), shortens the post-warmup measurement
+	// window to that fraction of the full horizon and overlays a
+	// deterministic per-(seed, config, fidelity) noise term on WIPS —
+	// cheaper and noisier, exactly like a real short benchmark run. 0 and
+	// ≥1 mean full fidelity; the simulation is then bit-identical to the
+	// pre-multi-fidelity one.
+	Fidelity float64
 }
 
 func (o *Options) fill() {
@@ -177,19 +184,60 @@ func NewCluster(opts Options) *Cluster {
 }
 
 // Run simulates the cluster under cfg serving the mix and returns the
-// measured performance. It is deterministic in (cfg, mix, opts.Seed).
+// measured performance. It is deterministic in (cfg, mix, opts.Seed,
+// opts.Fidelity).
 func (c *Cluster) Run(cfg search.Config, mix tpcw.Mix) (Result, error) {
 	pc, err := decode(cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	opts := c.opts
+	reduced := opts.Fidelity > 0 && opts.Fidelity < 1
+	if reduced {
+		// Shorter sampled-request horizon: the warmup still runs in full
+		// (the tiers must fill), only the measurement window shrinks.
+		opts.Duration = opts.Warmup + (opts.Duration-opts.Warmup)*opts.Fidelity
+	}
 	sim := &simulation{
-		opts: c.opts,
+		opts: opts,
 		cfg:  pc,
 		mix:  mix,
-		rng:  stats.NewRNG(c.opts.Seed ^ 0x9e3779b97f4a7c15),
+		rng:  stats.NewRNG(opts.Seed ^ 0x9e3779b97f4a7c15),
 	}
-	return sim.run(), nil
+	res := sim.run()
+	if reduced {
+		// Per-rung noise model: a short run's throughput estimate wobbles.
+		// The multiplier is deterministic in (seed, config, fidelity) so
+		// repeated measurements coalesce, and its amplitude grows as the
+		// window shrinks.
+		m := fidelityNoise(opts.Seed, cfg, opts.Fidelity)
+		res.WIPS *= m
+		res.WIPSb *= m
+		res.WIPSo *= m
+	}
+	return res, nil
+}
+
+// fidelityNoiseAmp is the relative WIPS noise amplitude as fidelity → 0.
+const fidelityNoiseAmp = 0.12
+
+// fidelityNoise returns the deterministic multiplicative noise term for a
+// reduced-fidelity run: uniform in 1 ± fidelityNoiseAmp·(1−f), hashed from
+// the seed, the configuration content and the fidelity itself so distinct
+// rungs of the same configuration observe distinct wobbles.
+func fidelityNoise(seed uint64, cfg search.Config, f float64) float64 {
+	h := seed ^ 0xd1b54a32d192ed03
+	for _, v := range cfg {
+		h ^= uint64(int64(v))
+		h *= 1099511628211
+	}
+	h ^= math.Float64bits(f)
+	h *= 1099511628211
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	u := float64(h>>11) / (1 << 53) // uniform [0, 1)
+	return 1 + fidelityNoiseAmp*(1-f)*(2*u-1)
 }
 
 // Objective adapts the cluster to the search kernel: every measurement runs
@@ -225,23 +273,50 @@ func (c *Cluster) Objective(mix tpcw.Mix, vary bool) search.Objective {
 // values for identical probes.
 func (c *Cluster) ObjectiveStable(mix tpcw.Mix) search.Objective {
 	return search.ObjectiveFunc(func(cfg search.Config) float64 {
-		const (
-			fnvOffset = 14695981039346656037
-			fnvPrime  = 1099511628211
-		)
-		h := uint64(fnvOffset)
-		for _, v := range cfg {
-			h ^= uint64(int64(v))
-			h *= fnvPrime
-		}
 		opts := c.opts
-		opts.Seed = c.opts.Seed*1315423911 + h
+		opts.Seed = c.opts.Seed*1315423911 + contentHash(cfg)
 		res, err := NewCluster(opts).Run(cfg, mix)
 		if err != nil {
 			panic(err) // the space is fixed; a bad config is a bug
 		}
 		return res.WIPS
 	})
+}
+
+// ObjectiveStableAt is ObjectiveStable with a fidelity dial: full-fidelity
+// measurements are bit-identical to ObjectiveStable's (so exact-mode
+// trajectories are unchanged when multi-fidelity is off), while fidelity
+// f ∈ (0, 1) runs the deterministically shorter, noisier simulation (see
+// Options.Fidelity). Safe for concurrent use and independent of call
+// order, like ObjectiveStable.
+func (c *Cluster) ObjectiveStableAt(mix tpcw.Mix) search.FidelityObjective {
+	return search.FidelityObjectiveFunc(func(cfg search.Config, fidelity float64) float64 {
+		opts := c.opts
+		opts.Seed = c.opts.Seed*1315423911 + contentHash(cfg)
+		if !search.FullFidelity(fidelity) {
+			opts.Fidelity = fidelity
+		}
+		res, err := NewCluster(opts).Run(cfg, mix)
+		if err != nil {
+			panic(err) // the space is fixed; a bad config is a bug
+		}
+		return res.WIPS
+	})
+}
+
+// contentHash is the FNV-1a hash of the configuration values that derives
+// ObjectiveStable's per-configuration measurement seed.
+func contentHash(cfg search.Config) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, v := range cfg {
+		h ^= uint64(int64(v))
+		h *= fnvPrime
+	}
+	return h
 }
 
 // simulation carries the state of one run.

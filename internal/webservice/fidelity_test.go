@@ -1,0 +1,119 @@
+package webservice
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/search"
+	"harmony/internal/stats"
+	"harmony/internal/tpcw"
+)
+
+func TestFidelityFullIsBitIdentical(t *testing.T) {
+	cfg := Space().DefaultConfig()
+	base, err := NewCluster(Options{Duration: 40, Seed: 9}).Run(cfg, tpcw.Shopping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0, 1, 2} {
+		got, err := NewCluster(Options{Duration: 40, Seed: 9, Fidelity: f}).Run(cfg, tpcw.Shopping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("Fidelity=%v result differs from full run: %+v vs %+v", f, got, base)
+		}
+	}
+}
+
+func TestFidelityCheaperAndNoisier(t *testing.T) {
+	cfg := Space().DefaultConfig()
+	full, err := NewCluster(Options{Duration: 60, Seed: 4}).Run(cfg, tpcw.Shopping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := NewCluster(Options{Duration: 60, Seed: 4, Fidelity: 0.25}).Run(cfg, tpcw.Shopping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheaper: the shorter window completes deterministically fewer
+	// interactions.
+	if low.Completed >= full.Completed {
+		t.Fatalf("low fidelity completed %d ≥ full %d", low.Completed, full.Completed)
+	}
+	// Still in the same ballpark (it is the same system)…
+	if low.WIPS < full.WIPS*0.5 || low.WIPS > full.WIPS*1.5 {
+		t.Fatalf("low-fidelity WIPS %v wildly off full %v", low.WIPS, full.WIPS)
+	}
+	// …but noisier: the noise overlay moved it off the full value.
+	if low.WIPS == full.WIPS {
+		t.Fatal("low-fidelity WIPS identical to full — no noise model applied")
+	}
+	// And deterministic: the same (seed, config, fidelity) repeats exactly.
+	again, err := NewCluster(Options{Duration: 60, Seed: 4, Fidelity: 0.25}).Run(cfg, tpcw.Shopping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.WIPS != low.WIPS {
+		t.Fatalf("repeat low-fidelity run diverged: %v vs %v", again.WIPS, low.WIPS)
+	}
+}
+
+func TestFidelityNoiseGrowsAsFidelityShrinks(t *testing.T) {
+	// Amplitude bound: |noise−1| ≤ amp·(1−f), and lower fidelities must be
+	// allowed a wider wobble.
+	cfg := Space().DefaultConfig()
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.9} {
+		n := fidelityNoise(123, cfg, f)
+		if math.Abs(n-1) > fidelityNoiseAmp*(1-f) {
+			t.Fatalf("noise %v at fidelity %v exceeds amplitude %v", n, f, fidelityNoiseAmp*(1-f))
+		}
+	}
+}
+
+func TestObjectiveStableAtMatchesObjectiveStable(t *testing.T) {
+	c := NewCluster(Options{Duration: 40, Seed: 77})
+	plain := c.ObjectiveStable(tpcw.Shopping)
+	fid := c.ObjectiveStableAt(tpcw.Shopping)
+	cfg := Space().DefaultConfig()
+	if a, b := plain.Measure(cfg), fid.Measure(cfg); a != b {
+		t.Fatalf("Measure diverges: %v vs %v", a, b)
+	}
+	if a, b := plain.Measure(cfg), fid.MeasureAt(cfg, 1); a != b {
+		t.Fatalf("MeasureAt(1) diverges from Measure: %v vs %v", a, b)
+	}
+	low := fid.MeasureAt(cfg, 0.25)
+	if low == plain.Measure(cfg) {
+		t.Fatal("MeasureAt(0.25) identical to full measurement")
+	}
+	if low != fid.MeasureAt(cfg, 0.25) {
+		t.Fatal("MeasureAt(0.25) not deterministic")
+	}
+	var _ search.FidelityObjective = fid
+}
+
+func TestHorizonAt(t *testing.T) {
+	cases := []struct {
+		n    int
+		f    float64
+		want int
+	}{
+		{100, 0, 100}, {100, 1, 100}, {100, 2, 100},
+		{100, 0.25, 25}, {100, 0.001, 1}, {3, 0.5, 2}, {0, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := tpcw.HorizonAt(c.n, c.f); got != c.want {
+			t.Errorf("HorizonAt(%d, %v) = %d, want %d", c.n, c.f, got, c.want)
+		}
+	}
+	full := tpcw.GenerateStreamAt(tpcw.Shopping, 40, 1, stats.NewRNG(5), 1)
+	short := tpcw.GenerateStreamAt(tpcw.Shopping, 40, 1, stats.NewRNG(5), 0.25)
+	if len(short) != 10 || len(full) != 40 {
+		t.Fatalf("stream lengths = %d/%d, want 10/40", len(short), len(full))
+	}
+	for i := range short {
+		if short[i] != full[i] {
+			t.Fatal("short stream is not a prefix of the full stream")
+		}
+	}
+}
