@@ -32,6 +32,14 @@
 // client round-trip. -gate-truth-check-every keeps the gate honest by
 // re-measuring a sample of its answers and publishing the absolute error.
 //
+// And to follow: -drift-detect watches the workload characteristics clients
+// report alongside their measurements; when the live EWMA vector leaves the
+// matched centroid for a full hysteresis window (-drift-threshold,
+// -drift-window), the session deposits the finished phase's experience,
+// re-matches the classifier against the live vector, and funds a warm
+// in-session re-tune from the current best instead of waiting for the next
+// cold session.
+//
 // And to steer: -ctl mounts the control plane on the observability
 // endpoint — a REST/JSON API (/api/v1/sessions, /api/v1/expdb/...,
 // retune), a Server-Sent-Events stream of the live tuning-event trace
@@ -55,6 +63,7 @@ import (
 	"time"
 
 	"harmony/internal/ctlplane"
+	"harmony/internal/drift"
 	"harmony/internal/evalcache"
 	"harmony/internal/expdb"
 	"harmony/internal/obs"
@@ -84,6 +93,9 @@ func main() {
 	ctl := flag.Bool("ctl", false, "mount the control plane (REST API, SSE event stream, dashboard) on the observability endpoint (needs -obs-addr)")
 	ctlReplay := flag.Int("ctl-replay", ctlplane.DefaultRingSize, "control plane: trace events retained for SSE replay/catch-up")
 	searchKernel := flag.String("search", "simplex", "per-session tuning kernel: simplex (the trajectory-pinned Nelder–Mead loop) or hyperband (multi-fidelity successive halving seeded by the experience prior; asks fidelity-aware clients for cheap partial measurements)")
+	driftDetect := flag.Bool("drift-detect", false, "watch live workload characteristics reported by clients and warm re-tune in-session when they drift off the matched centroid")
+	driftThreshold := flag.Float64("drift-threshold", drift.DefaultThreshold, "drift detector: squared-error distance from the matched centroid that counts as drifted")
+	driftWindow := flag.Int("drift-window", drift.DefaultWindow, "drift detector: consecutive over-threshold observations required before a re-tune triggers (hysteresis)")
 	maxWindow := flag.Int("max-window", 0, "pipeline depth cap granted to protocol v2/v3 clients (0 = default 32; 1 or negative forces lockstep)")
 	connShards := flag.Int("conn-shards", 0, "connection-table stripe count, rounded up to a power of two (0 = default 64); raise for very high session churn")
 	obsCfg := obs.BindFlags(flag.CommandLine)
@@ -113,6 +125,11 @@ func main() {
 	s.MaxWindow = *maxWindow
 	s.ConnShards = *connShards
 	s.EstimateGate = *estimateGate
+	s.DriftDetect = *driftDetect
+	s.DriftOptions = drift.Options{
+		Threshold: *driftThreshold,
+		Window:    *driftWindow,
+	}
 	s.GateOptions = evalcache.GateOptions{
 		MaxVertexDist:   *gateMaxDist,
 		MaxRelResidual:  *gateMaxResidual,

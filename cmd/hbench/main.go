@@ -55,6 +55,7 @@ func main() {
 		cacheB     = flag.Bool("cache-bench", false, "run the measure-once evaluation-cache benchmark and emit BENCH_eval_cache.json on stdout")
 		truthEvery = flag.Int("gate-truth-check-every", 16, "cache bench, gated mode: re-measure every Nth gate-answered probe and record |truth − estimate| (0 = never)")
 		fidB       = flag.Bool("fidelity-bench", false, "run the multi-fidelity search benchmark (full-fidelity simplex vs prior-seeded Hyperband on the web cluster) and emit BENCH_fidelity.json on stdout")
+		driftB     = flag.Bool("drift-bench", false, "run the workload-drift recovery benchmark (no-retune vs cold restart vs warm in-session re-tune on the web cluster) and emit BENCH_drift.json on stdout")
 
 		sessions  = flag.Int("sessions", 0, "load mode: drive this many tuning sessions against a live server (in-process unless -load-addr) and emit BENCH_load.json on stdout")
 		loadProto = flag.String("load-proto", "both", "load mode: framings to drive — both, 2 (JSON) or 3 (binary)")
@@ -92,6 +93,15 @@ func main() {
 	if *cacheB {
 		if err := cacheBench(rt, *target, *seed, *budget, *latency, *truthEvery); err != nil {
 			rt.Logger.Error("cache bench failed", "err", err)
+			rt.Close()
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *driftB {
+		if err := driftBench(rt, *seed, *budget); err != nil {
+			rt.Logger.Error("drift bench failed", "err", err)
 			rt.Close()
 			os.Exit(1)
 		}

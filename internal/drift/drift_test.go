@@ -1,0 +1,154 @@
+package drift
+
+import (
+	"testing"
+
+	"harmony/internal/stats"
+	"harmony/internal/tpcw"
+)
+
+// observe feeds chars and returns whether any observation triggered.
+func observe(t *testing.T, d *Detector, chars []float64, times int) bool {
+	t.Helper()
+	trig := false
+	for i := 0; i < times; i++ {
+		if _, fired := d.Observe(chars); fired {
+			trig = true
+		}
+	}
+	return trig
+}
+
+// TestStationaryNoiseNeverTriggers pins the false-positive guarantee the
+// event-stream identity test leans on: a workload that stays on its
+// matched mix, observed with realistic sampling noise, must never trip
+// the detector.
+func TestStationaryNoiseNeverTriggers(t *testing.T) {
+	ref := tpcw.MixCharacteristics(tpcw.Shopping)
+	d := New(ref, Options{})
+	rng := stats.NewRNG(7)
+	for i := 0; i < 500; i++ {
+		obs := make([]float64, len(ref))
+		for j, v := range ref {
+			// ±20% relative wobble per component — far rougher than a
+			// smoothed frequency vector from hundreds of sampled requests.
+			obs[j] = v * (1 + 0.2*(2*rng.Float64()-1))
+		}
+		if dist, fired := d.Observe(obs); fired {
+			t.Fatalf("observation %d: false trigger at dist %g", i, dist)
+		}
+	}
+	if st := d.Status(); st.Drifts != 0 || !st.Armed {
+		t.Fatalf("stationary detector ended drifts=%d armed=%v", st.Drifts, st.Armed)
+	}
+}
+
+// TestRampTriggersOnce drives a shopping→ordering ramp through the
+// detector: it must trip exactly once, stay disarmed while the workload
+// remains far from the stale centroid, and trip again only after a
+// rebase onto the new centroid and a further drift.
+func TestRampTriggersOnce(t *testing.T) {
+	shopping := tpcw.MixCharacteristics(tpcw.Shopping)
+	ordering := tpcw.MixCharacteristics(tpcw.Ordering)
+	d := New(shopping, Options{})
+
+	if observe(t, d, shopping, 10) {
+		t.Fatal("triggered while stationary on the matched mix")
+	}
+	// Ramp to ordering over 20 observations.
+	trig := 0
+	for i := 1; i <= 20; i++ {
+		mix := tpcw.Shopping.Interpolate(tpcw.Ordering, float64(i)/20)
+		if _, fired := d.Observe(tpcw.MixCharacteristics(mix)); fired {
+			trig++
+		}
+	}
+	// Hold on ordering: the disarmed detector must not re-trigger.
+	if observe(t, d, ordering, 50) {
+		t.Fatal("re-triggered while disarmed on the drifted mix")
+	}
+	if trig != 1 {
+		t.Fatalf("ramp triggered %d times, want exactly 1", trig)
+	}
+
+	// Rebase onto the new centroid: distance collapses, detector re-arms.
+	d.Rebase(ordering)
+	st := d.Status()
+	if !st.Armed {
+		t.Fatal("rebase did not re-arm")
+	}
+	if st.Dist >= 0.01 {
+		t.Fatalf("post-rebase dist %g, want < threshold", st.Dist)
+	}
+	if observe(t, d, ordering, 20) {
+		t.Fatal("triggered while stationary on the rebased centroid")
+	}
+	// A second drift episode (back toward browsing) must trip again.
+	if !observe(t, d, tpcw.MixCharacteristics(tpcw.Browsing), 40) {
+		t.Fatal("second drift episode never triggered")
+	}
+	if st := d.Status(); st.Drifts != 2 {
+		t.Fatalf("drifts=%d, want 2", st.Drifts)
+	}
+}
+
+// TestSingleOutlierDoesNotTrigger pins the hysteresis window: one wild
+// observation inside a stationary stream is noise, not drift.
+func TestSingleOutlierDoesNotTrigger(t *testing.T) {
+	ref := tpcw.MixCharacteristics(tpcw.Browsing)
+	d := New(ref, Options{Alpha: 1}) // no smoothing: the outlier lands in full
+	observe(t, d, ref, 10)
+	if _, fired := d.Observe(tpcw.MixCharacteristics(tpcw.Ordering)); fired {
+		t.Fatal("a single outlier tripped the window-3 detector")
+	}
+	if observe(t, d, ref, 10) {
+		t.Fatal("triggered after the stream returned to the centroid")
+	}
+	if st := d.Status(); st.Drifts != 0 {
+		t.Fatalf("drifts=%d, want 0", st.Drifts)
+	}
+}
+
+// TestReArmBelowHysteresis pins the re-arm band: a tripped detector whose
+// workload returns under ReArmBelow re-arms by itself and can trip on the
+// next episode even without a rebase.
+func TestReArmBelowHysteresis(t *testing.T) {
+	shopping := tpcw.MixCharacteristics(tpcw.Shopping)
+	ordering := tpcw.MixCharacteristics(tpcw.Ordering)
+	d := New(shopping, Options{})
+	if !observe(t, d, ordering, 30) {
+		t.Fatal("first episode never triggered")
+	}
+	if st := d.Status(); st.Armed {
+		t.Fatal("detector still armed after trigger")
+	}
+	// Return home: the EWMA decays back under ReArmBelow and re-arms.
+	if observe(t, d, shopping, 60) {
+		t.Fatal("triggered while returning to the centroid")
+	}
+	if st := d.Status(); !st.Armed {
+		t.Fatalf("detector did not re-arm below the hysteresis band (dist %g)", st.Dist)
+	}
+	if !observe(t, d, ordering, 30) {
+		t.Fatal("second episode never triggered after self re-arm")
+	}
+	if st := d.Status(); st.Drifts != 2 {
+		t.Fatalf("drifts=%d, want 2", st.Drifts)
+	}
+}
+
+// TestMismatchedLengthIgnored pins that a malformed observation is
+// dropped rather than corrupting the EWMA.
+func TestMismatchedLengthIgnored(t *testing.T) {
+	ref := tpcw.MixCharacteristics(tpcw.Shopping)
+	d := New(ref, Options{})
+	observe(t, d, ref, 5)
+	before := d.Status()
+	if _, fired := d.Observe([]float64{1, 2, 3}); fired {
+		t.Fatal("mismatched observation triggered")
+	}
+	after := d.Status()
+	if after.Observations != before.Observations {
+		t.Fatal("mismatched observation was counted")
+	}
+}

@@ -48,14 +48,32 @@ type GateOptions struct {
 	// disables calibration. The field rides GateOptions for plumbing but is
 	// consumed by Layer, which owns per-session pacing.
 	TruthCheckEvery int
+	// AdaptWindow is how many truth checks form one calibration verdict for
+	// the adaptive shrink (default DefaultGateAdaptWindow). Each full window
+	// either tightens the gate (mean relative error over AdaptErrorBound:
+	// halve the distance and residual acceptance, double the record floor)
+	// or slowly re-widens it back toward the configured acceptance (mean
+	// under half the bound). Calibration only happens when TruthCheckEvery
+	// feeds errors in, so adaptation is inert without truth checks.
+	AdaptWindow int
+	// AdaptErrorBound is the mean relative estimation error (per truth-check
+	// window) above which the gate tightens itself (default
+	// DefaultGateAdaptErrorBound). Negative disables adaptation.
+	AdaptErrorBound float64
 }
 
 // Gate defaults.
 const (
-	DefaultGateMaxDist        = 0.15
-	DefaultGateMaxRelResidual = 0.05
-	DefaultGateRefreshEvery   = 8
-	DefaultGateMaxRecords     = 4096
+	DefaultGateMaxDist         = 0.15
+	DefaultGateMaxRelResidual  = 0.05
+	DefaultGateRefreshEvery    = 8
+	DefaultGateMaxRecords      = 4096
+	DefaultGateAdaptWindow     = 8
+	DefaultGateAdaptErrorBound = 0.10
+	// gateShrinkFloor bounds how far adaptation may tighten the distance
+	// and residual acceptance below their configured values: a gate that
+	// shrank to nothing would never answer again and so never re-calibrate.
+	gateShrinkFloor = 8
 )
 
 func (o *GateOptions) fill(dim int) {
@@ -77,6 +95,12 @@ func (o *GateOptions) fill(dim int) {
 	if o.MaxRecords <= 0 {
 		o.MaxRecords = DefaultGateMaxRecords
 	}
+	if o.AdaptWindow <= 0 {
+		o.AdaptWindow = DefaultGateAdaptWindow
+	}
+	if o.AdaptErrorBound == 0 {
+		o.AdaptErrorBound = DefaultGateAdaptErrorBound
+	}
 }
 
 // Gate is the estimation-gated short-circuit: it accumulates measured
@@ -95,6 +119,17 @@ type Gate struct {
 	prepared *estimate.Prepared
 	prepLen  int // len(recs) when prepared was built
 	seq      int
+
+	// Effective acceptance thresholds — start at the configured values and
+	// move under adaptive calibration: RecordTruthError tightens them when a
+	// truth-check window shows the estimator misleading the search, and
+	// re-widens them slowly (never past the configured values) once accuracy
+	// returns.
+	effMaxDist     float64
+	effMaxResidual float64
+	effMinRecords  int
+	errSum         float64 // relative-error accumulator of the open window
+	errN           int     // truth checks in the open window
 }
 
 // NewGate returns a gate over the space. The estimator uses the expdb k-d
@@ -108,7 +143,22 @@ func NewGate(space *search.Space, opts GateOptions, m *Metrics) *Gate {
 		K:      opts.K,
 		Index:  expdb.NewVertexIndex,
 	}
-	return &Gate{opts: opts, metrics: m.orNop(), est: est, seen: map[string]bool{}}
+	g := &Gate{
+		opts: opts, metrics: m.orNop(), est: est, seen: map[string]bool{},
+		effMaxDist:     opts.MaxVertexDist,
+		effMaxResidual: opts.MaxRelResidual,
+		effMinRecords:  opts.MinRecords,
+	}
+	g.publishThresholds()
+	return g
+}
+
+// publishThresholds mirrors the effective acceptance onto the gauges.
+// Callers hold g.mu (or own the gate exclusively, as NewGate does).
+func (g *Gate) publishThresholds() {
+	g.metrics.GateEffMaxDist.Set(g.effMaxDist)
+	g.metrics.GateEffMaxResidual.Set(g.effMaxResidual)
+	g.metrics.GateEffMinRecords.Set(float64(g.effMinRecords))
 }
 
 // Observe records a measured truth. Estimated values must never be fed
@@ -145,6 +195,73 @@ func (g *Gate) Len() int {
 	return len(g.recs)
 }
 
+// Flush discards every recorded truth, the fitted index and the open
+// calibration window — the gate starts over geometrically. The server calls
+// it when a session detects workload drift: planes fitted through pre-drift
+// measurements would answer post-drift probes with stale performance. The
+// effective acceptance thresholds survive a flush (a gate that had to
+// tighten stays tight until post-drift truth checks earn the width back).
+func (g *Gate) Flush() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.recs = nil
+	g.seen = map[string]bool{}
+	g.prepared, g.prepLen = nil, 0
+	g.errSum, g.errN = 0, 0
+}
+
+// RecordTruthError feeds one calibration truth check into the adaptive
+// shrink: absErr is |measured - estimated| and scale the measured
+// magnitude. Each AdaptWindow-sized batch of checks produces one verdict —
+// a mean relative error over AdaptErrorBound halves the distance and
+// residual acceptance and doubles the record floor (counted on
+// harmony_gate_shrinks_total); a mean under half the bound re-widens by 25%
+// toward (never past) the configured acceptance. In between, the gate
+// holds.
+func (g *Gate) RecordTruthError(absErr, scale float64) {
+	if g.opts.AdaptErrorBound < 0 || !isFinite(absErr) || !isFinite(scale) {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.errSum += absErr / math.Max(math.Abs(scale), 1e-12)
+	g.errN++
+	if g.errN < g.opts.AdaptWindow {
+		return
+	}
+	mean := g.errSum / float64(g.errN)
+	g.errSum, g.errN = 0, 0
+	switch {
+	case mean > g.opts.AdaptErrorBound:
+		g.effMaxDist = math.Max(g.effMaxDist/2, g.opts.MaxVertexDist/gateShrinkFloor)
+		g.effMaxResidual = math.Max(g.effMaxResidual/2, g.opts.MaxRelResidual/gateShrinkFloor)
+		if g.effMinRecords < g.opts.MinRecords*gateShrinkFloor {
+			g.effMinRecords *= 2
+		}
+		g.metrics.GateShrinks.Inc()
+	case mean < g.opts.AdaptErrorBound/2:
+		g.effMaxDist = math.Min(g.effMaxDist*1.25, g.opts.MaxVertexDist)
+		g.effMaxResidual = math.Min(g.effMaxResidual*1.25, g.opts.MaxRelResidual)
+		if half := g.effMinRecords / 2; half >= g.opts.MinRecords {
+			g.effMinRecords = half
+		} else {
+			g.effMinRecords = g.opts.MinRecords
+		}
+	default:
+		return // accuracy in the dead band: hold the current acceptance
+	}
+	g.publishThresholds()
+}
+
+// EffectiveThresholds reports the current (possibly adapted) acceptance:
+// the max vertex distance, max relative residual and record floor the next
+// Estimate call will apply.
+func (g *Gate) EffectiveThresholds() (maxDist, maxResidual float64, minRecords int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.effMaxDist, g.effMaxResidual, g.effMinRecords
+}
+
 // Estimate answers a probe from the plane fit when the fit is
 // well-supported: enough records, non-degenerate, every chosen vertex
 // within MaxVertexDist, residual within MaxRelResidual of the performance
@@ -152,7 +269,7 @@ func (g *Gate) Len() int {
 func (g *Gate) Estimate(cfg search.Config) (float64, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if len(g.recs) < g.opts.MinRecords {
+	if len(g.recs) < g.effMinRecords {
 		return 0, false // too little history; not even worth counting
 	}
 	if g.prepared == nil || len(g.recs)-g.prepLen >= g.opts.RefreshEvery {
@@ -168,8 +285,8 @@ func (g *Gate) Estimate(cfg search.Config) (float64, bool) {
 	case err != nil,
 		d.Degenerate,
 		d.Vertices < g.opts.K,
-		d.MaxVertexDist > g.opts.MaxVertexDist,
-		d.Residual > g.opts.MaxRelResidual*math.Max(d.PerfScale, 1e-12),
+		d.MaxVertexDist > g.effMaxDist,
+		d.Residual > g.effMaxResidual*math.Max(d.PerfScale, 1e-12),
 		!isFinite(d.Value):
 		g.metrics.GateRejects.Inc()
 		return 0, false
@@ -279,6 +396,11 @@ func (l *Layer) Measure(cfg search.Config, measure func() float64) float64 {
 			m := l.Cache.metrics
 			m.TruthChecks.Inc()
 			m.EstimateAbsError.Observe(math.Abs(perf - est))
+			if l.Gate != nil {
+				// Close the calibration loop: a run of bad checks tightens
+				// the gate's acceptance, sustained accuracy re-widens it.
+				l.Gate.RecordTruthError(math.Abs(perf-est), perf)
+			}
 		}
 	}
 	return perf

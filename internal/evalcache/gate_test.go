@@ -214,3 +214,138 @@ func TestLayerTruthCheckDisabledByDefault(t *testing.T) {
 		t.Fatalf("truth checks ran with TruthCheckEvery=0: %d", v)
 	}
 }
+
+// TestGateAdaptiveShrinkAndRewiden drives the calibration loop directly:
+// a truth-check window of bad estimates must halve the acceptance (and
+// count a shrink), sustained accuracy must earn the width back — but never
+// past the configured values.
+func TestGateAdaptiveShrinkAndRewiden(t *testing.T) {
+	sp := gateSpace(t)
+	m := NewMetrics(obs.NewRegistry())
+	g := NewGate(sp, GateOptions{AdaptWindow: 4}, m)
+	d0, r0, n0 := g.EffectiveThresholds()
+	if d0 != DefaultGateMaxDist || r0 != DefaultGateMaxRelResidual || n0 != 9 {
+		t.Fatalf("initial thresholds %v %v %d, want configured defaults", d0, r0, n0)
+	}
+
+	// One window of 50%-relative-error checks: way over the 10% bound.
+	for i := 0; i < 4; i++ {
+		g.RecordTruthError(50, 100)
+	}
+	d, r, n := g.EffectiveThresholds()
+	if d != d0/2 || r != r0/2 || n != 2*n0 {
+		t.Fatalf("post-shrink thresholds %v %v %d, want halved acceptance and doubled floor", d, r, n)
+	}
+	if m.GateShrinks.Value() != 1 {
+		t.Fatalf("shrink counter = %d, want 1", m.GateShrinks.Value())
+	}
+	if m.GateEffMaxDist.Value() != d {
+		t.Fatalf("effective-dist gauge %v, want %v", m.GateEffMaxDist.Value(), d)
+	}
+
+	// Many windows of near-perfect checks: re-widen, capped at configured.
+	for i := 0; i < 40; i++ {
+		g.RecordTruthError(0.1, 100)
+	}
+	d, r, n = g.EffectiveThresholds()
+	if d != d0 || r != r0 || n != n0 {
+		t.Fatalf("post-rewiden thresholds %v %v %d, want the configured %v %v %d", d, r, n, d0, r0, n0)
+	}
+	if m.GateShrinks.Value() != 1 {
+		t.Fatalf("re-widening must not count as a shrink (counter %d)", m.GateShrinks.Value())
+	}
+}
+
+// TestGateAdaptiveDeadBand pins the hold band: a window whose mean error
+// sits between bound/2 and bound neither shrinks nor re-widens.
+func TestGateAdaptiveDeadBand(t *testing.T) {
+	sp := gateSpace(t)
+	g := NewGate(sp, GateOptions{AdaptWindow: 2}, nil)
+	for i := 0; i < 2; i++ {
+		g.RecordTruthError(50, 100) // shrink once
+	}
+	dShrunk, _, _ := g.EffectiveThresholds()
+	for i := 0; i < 10; i++ {
+		g.RecordTruthError(7, 100) // 7% mean: inside [5%, 10%)
+	}
+	if d, _, _ := g.EffectiveThresholds(); d != dShrunk {
+		t.Fatalf("dead-band window moved the acceptance: %v -> %v", dShrunk, d)
+	}
+}
+
+// TestGateFlushDropsRecordsKeepsTightening pins the drift re-tune
+// contract: Flush discards the geometric history (no plane may be fitted
+// through pre-drift truths) but the adapted acceptance survives.
+func TestGateFlushDropsRecordsKeepsTightening(t *testing.T) {
+	sp := gateSpace(t)
+	g := NewGate(sp, GateOptions{AdaptWindow: 2}, nil)
+	observeGrid(g, planar, 50, 50)
+	if _, ok := g.Estimate(search.Config{52, 48}); !ok {
+		t.Fatal("gate declined before the flush (test setup broken)")
+	}
+	g.RecordTruthError(50, 100)
+	g.RecordTruthError(50, 100)
+	dShrunk, _, _ := g.EffectiveThresholds()
+
+	g.Flush()
+	if g.Len() != 0 {
+		t.Fatalf("records after flush = %d, want 0", g.Len())
+	}
+	if _, ok := g.Estimate(search.Config{52, 48}); ok {
+		t.Fatal("gate answered from flushed history")
+	}
+	if d, _, _ := g.EffectiveThresholds(); d != dShrunk {
+		t.Fatalf("flush reset the adapted acceptance: %v -> %v", dShrunk, d)
+	}
+	// Fresh truths rebuild the gate — but the doubled record floor now
+	// demands more support than the default grid provides at first.
+	observeGrid(g, planar, 50, 50)
+	if _, ok := g.Estimate(search.Config{52, 48}); !ok {
+		t.Fatal("gate never recovered after flush + re-observation")
+	}
+}
+
+// TestLayerTruthCheckFeedsAdaptation closes the loop end-to-end: a layer
+// whose gate estimates a curved surface as planar fails its truth checks
+// and the gate tightens itself without any caller involvement.
+func TestLayerTruthCheckFeedsAdaptation(t *testing.T) {
+	sp := gateSpace(t)
+	m := NewMetrics(obs.NewRegistry())
+	// A gently curved surface the loose default residual bound tolerates,
+	// but whose estimates are relatively far off at the probe points.
+	curved := func(cfg search.Config) float64 {
+		x, y := float64(cfg[0])-50, float64(cfg[1])-50
+		return 10 + 0.05*(x*x+y*y)
+	}
+	l := &Layer{
+		Cache:           New(0, 0, m),
+		Gate:            NewGate(sp, GateOptions{MaxRelResidual: 10, AdaptWindow: 2, AdaptErrorBound: 0.01}, m),
+		TruthCheckEvery: 1, // every gated answer is truth-checked
+	}
+	for _, dx := range []int{-10, -5, 0, 5, 10} {
+		for _, dy := range []int{-10, -5, 0, 5, 10} {
+			cfg := search.Config{50 + dx, 50 + dy}
+			l.Measure(cfg, func() float64 { return curved(cfg) })
+		}
+	}
+	_, _, n0 := l.Gate.EffectiveThresholds()
+	// Probe off-grid points: each gate answer is declined for calibration,
+	// measured for real, and the (large) relative error recorded.
+	probes := []search.Config{{51, 49}, {49, 51}, {52, 52}, {48, 49}, {51, 52}, {47, 52}}
+	for _, cfg := range probes {
+		if _, _, ok := l.Lookup(cfg); ok {
+			t.Fatalf("truth-check-every-1 lookup of %v was answered, want declined", cfg)
+		}
+		cfg := cfg
+		l.Measure(cfg, func() float64 { return curved(cfg) })
+	}
+	if m.TruthChecks.Value() == 0 {
+		t.Fatal("no truth checks ran (gate never answered?)")
+	}
+	if m.GateShrinks.Value() == 0 {
+		t.Fatal("bad truth checks did not tighten the gate")
+	}
+	if _, _, n := l.Gate.EffectiveThresholds(); n <= n0 {
+		t.Fatalf("record floor %d after shrink, want > %d", n, n0)
+	}
+}

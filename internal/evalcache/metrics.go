@@ -51,6 +51,18 @@ type Metrics struct {
 	// check — the estimator's live calibration curve, in the objective's
 	// own units (harmony_estimate_abs_error).
 	EstimateAbsError *obs.Histogram
+	// GateShrinks counts adaptive tightenings of the estimation gate: a
+	// truth-check window whose mean relative error exceeded the calibration
+	// bound, halving the gate's acceptance (harmony_gate_shrinks_total).
+	GateShrinks *obs.Counter
+	// GateEffMaxDist / GateEffMaxResidual / GateEffMinRecords expose the
+	// gate's current effective acceptance thresholds — the configured values
+	// bent by adaptive calibration (harmony_gate_effective_max_dist,
+	// harmony_gate_effective_max_rel_residual,
+	// harmony_gate_effective_min_records).
+	GateEffMaxDist     *obs.Gauge
+	GateEffMaxResidual *obs.Gauge
+	GateEffMinRecords  *obs.Gauge
 }
 
 // NewMetrics registers the harmony_eval_cache_* family on reg and returns
@@ -70,6 +82,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		EstimateAbsError: reg.Histogram("harmony_estimate_abs_error",
 			"Absolute error of the estimation gate at calibration truth checks, in objective units.",
 			[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100, 1e3, 1e4}),
+		GateShrinks:        reg.Counter("harmony_gate_shrinks_total", "Adaptive tightenings of the estimation gate after a bad truth-check window."),
+		GateEffMaxDist:     reg.Gauge("harmony_gate_effective_max_dist", "Effective max vertex distance the estimation gate currently accepts."),
+		GateEffMaxResidual: reg.Gauge("harmony_gate_effective_max_rel_residual", "Effective max relative residual the estimation gate currently accepts."),
+		GateEffMinRecords:  reg.Gauge("harmony_gate_effective_min_records", "Effective record floor before the estimation gate answers."),
 	}
 }
 

@@ -153,10 +153,10 @@ type TrajectoryJSONL struct {
 	start time.Time
 	iter  int
 	best  float64
-	// haveFull marks that best holds a full-fidelity truth; until one
-	// exists, noisy reduced-fidelity perfs may stand in, but the first
-	// full measurement evicts them and low-fidelity perfs never beat a
-	// full one afterwards (mirrors search.Trace.Best).
+	// haveFull marks that best holds a real full-fidelity truth; until one
+	// exists, noisy reduced-fidelity perfs and gate estimates may stand
+	// in, but the first real measurement evicts them and neither can ever
+	// beat one afterwards (mirrors search.Trace.Best and BestTrajectory).
 	haveFull bool
 	now      func() time.Time // test seam
 }
@@ -178,12 +178,13 @@ func (t *TrajectoryJSONL) Emit(e search.Event) {
 		t.start = t.now()
 	}
 	full := search.FullFidelity(e.Fidelity)
+	truth := full && !e.Estimated
 	switch {
-	case full && !t.haveFull:
+	case truth && !t.haveFull:
 		t.best, t.haveFull = e.Perf, true
-	case full && t.dir.Better(e.Perf, t.best):
+	case truth && t.dir.Better(e.Perf, t.best):
 		t.best = e.Perf
-	case !full && !t.haveFull && (t.iter == 0 || t.dir.Better(e.Perf, t.best)):
+	case !truth && !t.haveFull && (t.iter == 0 || t.dir.Better(e.Perf, t.best)):
 		t.best = e.Perf
 	}
 	t.iter++

@@ -197,8 +197,8 @@ func TestTrajectoryJSONL(t *testing.T) {
 
 // TestTrajectoryJSONLFidelity pins the multi-fidelity reduction: partial
 // measurements carry their fidelity, estimated answers their flag, and the
-// best-so-far series never lets a noisy reduced-fidelity perf beat (or
-// outlive) a full-fidelity truth.
+// best-so-far series never lets a noisy reduced-fidelity perf or a gate
+// estimate beat (or outlive) a real full-fidelity truth.
 func TestTrajectoryJSONLFidelity(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewTrajectoryJSONL(&buf, search.Maximize)
@@ -208,7 +208,7 @@ func TestTrajectoryJSONLFidelity(t *testing.T) {
 	tr.Emit(search.Event{Type: search.EventEval, Perf: 10})                 // first truth evicts it
 	tr.Emit(search.Event{Type: search.EventEval, Perf: 99, Fidelity: 0.5})  // noisy outlier: not best
 	tr.Emit(search.Event{Type: search.EventEval, Perf: 30})                 // truth: best
-	tr.Emit(search.Event{Type: search.EventEval, Perf: 35, Estimated: true})
+	tr.Emit(search.Event{Type: search.EventEval, Perf: 35, Estimated: true}) // gate estimate: not best
 
 	var recs []TrajectoryRecord
 	dec := json.NewDecoder(&buf)
@@ -224,7 +224,7 @@ func TestTrajectoryJSONLFidelity(t *testing.T) {
 		{Iter: 2, Perf: 10, Best: 10},
 		{Iter: 3, Perf: 99, Best: 10, Fidelity: 0.5},
 		{Iter: 4, Perf: 30, Best: 30},
-		{Iter: 5, Perf: 35, Best: 35, Estimated: true},
+		{Iter: 5, Perf: 35, Best: 30, Estimated: true},
 	}
 	if len(recs) != len(want) {
 		t.Fatalf("records = %+v, want %d entries", recs, len(want))

@@ -122,25 +122,35 @@ func (t Trace) Measured() Trace {
 	return out
 }
 
-// Best returns the best evaluation under dir. Full-fidelity entries are
-// strictly preferred: a noisy low-fidelity triage observation can only be
-// the best when the trace holds nothing else (single-fidelity traces are
-// unaffected — every entry is full fidelity). It panics on an empty trace.
+// Best returns the best evaluation under dir. Real full-fidelity
+// measurements are strictly preferred: neither a gate estimate (an
+// unmeasured plane-fit answer, §4.3) nor a noisy low-fidelity triage
+// observation can be the best while the trace holds any real measurement
+// — claiming an estimate as a session's best is exactly the gated-best
+// divergence BENCH_eval_cache.json recorded. Among the second-class
+// entries, full-fidelity estimates outrank low-fidelity observations.
+// Traces with neither gate nor triage entries are unaffected. It panics
+// on an empty trace.
 func (t Trace) Best(dir Direction) Evaluation {
 	if len(t) == 0 {
 		panic("search: Best of empty trace")
 	}
-	best := t[0]
-	bestFull := FullFidelity(best.Fidelity)
-	for _, e := range t[1:] {
-		full := FullFidelity(e.Fidelity)
-		if full != bestFull {
-			if full {
-				best, bestFull = e, true
-			}
-			continue
+	rank := func(e Evaluation) int {
+		switch {
+		case !FullFidelity(e.Fidelity):
+			return 0
+		case e.Estimated:
+			return 1
 		}
-		if dir.Better(e.Perf, best.Perf) {
+		return 2
+	}
+	best := t[0]
+	bestRank := rank(best)
+	for _, e := range t[1:] {
+		switch r := rank(e); {
+		case r > bestRank:
+			best, bestRank = e, r
+		case r == bestRank && dir.Better(e.Perf, best.Perf):
 			best = e
 		}
 	}

@@ -35,6 +35,15 @@ const (
 	// bracket, Fidelity the rung's measurement fidelity, and Note carries
 	// bracket/candidate/survivor counts.
 	EventRung EventType = "rung"
+	// EventDrift marks workload-drift detector decisions (server side): Op
+	// is "detect" when the live characteristic vector crosses the
+	// hysteresis threshold away from the session's matched centroid and
+	// "rematch" when the classifier is re-run against the new live vector
+	// after the warm re-tune. Iter is the drift ordinal within the session,
+	// Dist the triggering (squared-error) distance, and Note carries detail
+	// (the rematched experience label, ...). Stationary sessions never emit
+	// one, so their streams stay byte-identical with detection enabled.
+	EventDrift EventType = "drift"
 )
 
 // Simplex operation names used in EventSimplex events.
@@ -83,6 +92,11 @@ type Event struct {
 	// so omitempty keeps exact-mode streams byte-identical when the
 	// multi-fidelity scheduler is off.
 	Fidelity float64 `json:"fidelity,omitempty"`
+	// Dist is the characteristic-vector distance of an EventDrift (the
+	// squared error between the live EWMA vector and the matched centroid
+	// at the moment of the decision). Zero elsewhere; omitempty keeps every
+	// other stream unchanged.
+	Dist float64 `json:"dist,omitempty"`
 	// Note carries free-form detail (which vertex a simplex op replaced,
 	// the fault description for budget charges, ...).
 	Note string `json:"note,omitempty"`
@@ -166,21 +180,34 @@ type CollectTracer struct {
 func (c *CollectTracer) Emit(e Event) { c.Events = append(c.Events, e) }
 
 // BestTrajectory folds an event stream into the best-so-far performance
-// series of its real measurements (cache hits and seeds excluded), in
+// series of its committed explorations (cache hits and seeds excluded), in
 // emission order. This is the offline reconstruction of the paper's
 // convergence trajectory from a JSONL trace.
+//
+// Only real full-fidelity measurements may move the best: a gate estimate
+// or a noisy low-fidelity triage observation contributes its point to the
+// series but can never be claimed as best-so-far (mirroring Trace.Best and
+// the server registry). Until the first real measurement exists such
+// perfs stand in, and the first truth evicts them.
 func BestTrajectory(events []Event, dir Direction) []float64 {
 	var out []float64
-	have := false
+	have := false     // any point at all
+	haveTruth := false // best holds a real full-fidelity measurement
 	best := 0.0
 	for _, e := range events {
 		if e.Type != EventEval || e.Cached {
 			continue
 		}
-		if !have || dir.Better(e.Perf, best) {
+		truth := !e.Estimated && FullFidelity(e.Fidelity)
+		switch {
+		case truth && !haveTruth:
+			best, haveTruth = e.Perf, true
+		case truth && dir.Better(e.Perf, best):
 			best = e.Perf
-			have = true
+		case !truth && !haveTruth && (!have || dir.Better(e.Perf, best)):
+			best = e.Perf
 		}
+		have = true
 		out = append(out, best)
 	}
 	return out

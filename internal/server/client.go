@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/obs"
@@ -63,10 +64,41 @@ type Client struct {
 	closeOnce sync.Once
 	closeErr  error
 
+	// observed is the latest workload characteristic vector set via
+	// SetObserved; every subsequent report carries a copy until it changes.
+	// An atomic pointer, not a field under wmu: measurement workers read it
+	// per report while the application's monitoring goroutine updates it.
+	observed atomic.Pointer[[]float64]
+
 	names  []string
 	best   *Best
 	warm   bool
 	window int
+}
+
+// SetObserved publishes the workload characteristic vector the application
+// currently observes (same shape as RegisterOptions.Characteristics). Every
+// subsequent report — on every framing and every Tune variant — carries it,
+// feeding the server's in-session drift detector. Nil (or empty) stops
+// attaching characteristics; clients that never call SetObserved send
+// byte-identical reports to prior releases. Safe for concurrent use.
+func (c *Client) SetObserved(chars []float64) {
+	if len(chars) == 0 {
+		c.observed.Store(nil)
+		return
+	}
+	cp := append([]float64(nil), chars...)
+	c.observed.Store(&cp)
+}
+
+// observedChars returns the current observed vector (nil when unset). The
+// returned slice is the stored copy: readers must not mutate it, and
+// SetObserved always stores a fresh copy.
+func (c *Client) observedChars() []float64 {
+	if p := c.observed.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Best is the final answer of a tuning session.
@@ -492,7 +524,8 @@ func (c *Client) Report(perf float64) error {
 // fidelity the matching config requested. Fidelity 0 (or ≥1) keeps the
 // field off the wire — the classic full-fidelity report, byte-identical.
 func (c *Client) ReportAt(perf, fidelity float64) error {
-	if err := c.send(message{Op: "report", Perf: perf, Fidelity: wireFidelity(fidelity)}); err != nil {
+	if err := c.send(message{Op: "report", Perf: perf, Fidelity: wireFidelity(fidelity),
+		Characteristics: c.observedChars()}); err != nil {
 		return err
 	}
 	if c.proto >= 3 {
@@ -529,7 +562,8 @@ func (c *Client) ReportAndFetchAt(perf, reported float64) (cfg search.Config, fi
 		}
 		return c.FetchAt()
 	}
-	pair := message{Op: "report", Perf: perf, Fidelity: wireFidelity(reported)}
+	pair := message{Op: "report", Perf: perf, Fidelity: wireFidelity(reported),
+		Characteristics: c.observedChars()}
 	if err := c.sendPair(pair, message{Op: "fetch"}); err != nil {
 		return nil, 0, false, err
 	}
@@ -601,7 +635,7 @@ func (c *Client) ReportID(id int, perf float64) error {
 // correlated config requested (0 for a full measurement).
 func (c *Client) ReportIDAt(id int, perf, fidelity float64) error {
 	return c.send(message{Op: "report", id: id, hasID: true, Perf: perf,
-		Fidelity: wireFidelity(fidelity)})
+		Fidelity: wireFidelity(fidelity), Characteristics: c.observedChars()})
 }
 
 // TuneParallel runs the whole tuning session with up to `workers`

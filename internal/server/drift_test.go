@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"harmony/internal/evalcache"
+	"harmony/internal/obs"
+	"harmony/internal/search"
+	"harmony/internal/stats"
+)
+
+// collectTracer captures the typed event stream with a lock; tests reduce
+// it to the deterministic fields before comparing.
+type collectTracer struct {
+	mu     sync.Mutex
+	events []search.Event
+}
+
+func (c *collectTracer) Emit(e search.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *collectTracer) snapshot() []search.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]search.Event(nil), c.events...)
+}
+
+// TestDriftDetectTriggersWarmRetune drives the whole continuous-tuning
+// loop end to end over both wire framings: a client tunes under workload A,
+// the observed characteristics switch to workload B mid-session (and the
+// performance surface moves with them), and the server must detect the
+// drift, deposit the finished phase, warm re-tune in-session, and find the
+// post-drift optimum — all inside one connection.
+func TestDriftDetectTriggersWarmRetune(t *testing.T) {
+	charsA := []float64{0.8, 0.2}
+	charsB := []float64{0.1, 0.9}
+
+	for _, proto := range []int{2, 3} {
+		t.Run(fmt.Sprintf("proto%d", proto), func(t *testing.T) {
+			tracer := &collectTracer{}
+			s := NewServer()
+			s.DriftDetect = true
+			s.Tracer = tracer
+			ends := make(chan SessionEnd, 8)
+			s.OnSessionEnd = func(e SessionEnd) { ends <- e }
+			addr, err := s.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+
+			c := dial(t, addr.String())
+			if _, err := c.Register(quadRSL, RegisterOptions{
+				MaxEvals: 400, Improved: true, App: "drifting",
+				Characteristics: charsA, Proto: proto,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			c.SetObserved(charsA)
+
+			// The workload drifts after a dozen measurements: the reported
+			// characteristics switch to B and the optimum jumps from (20,45)
+			// to (50,10).
+			n := 0
+			best, err := c.Tune(func(cfg search.Config) float64 {
+				n++
+				px, py := 20, 45
+				if n > 12 {
+					c.SetObserved(charsB)
+					px, py = 50, 10
+				}
+				dx, dy := float64(cfg[0]-px), float64(cfg[1]-py)
+				return 1000 - dx*dx - dy*dy
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			end := <-ends
+			if !end.Completed {
+				t.Fatalf("session did not complete: %+v", end)
+			}
+
+			// The warm re-tune must have chased the moved optimum.
+			if best.Perf < 900 {
+				t.Errorf("post-drift best = %+v, want perf >= 900 (new peak found)", best)
+			}
+
+			snap, ok := s.SessionSnapshot(end.ID)
+			if !ok {
+				t.Fatal("no snapshot for the finished session")
+			}
+			if snap.Drifts < 1 {
+				t.Errorf("snapshot drifts = %d, want >= 1", snap.Drifts)
+			}
+			if snap.Retunes < 1 {
+				t.Errorf("snapshot retunes = %d, want >= 1 (drift must fund a warm re-tune)", snap.Retunes)
+			}
+			if snap.PhaseDeposits < 1 {
+				t.Errorf("snapshot phase deposits = %d, want >= 1", snap.PhaseDeposits)
+			}
+
+			var detects, rematches int
+			for _, e := range tracer.snapshot() {
+				if e.Type != search.EventDrift {
+					continue
+				}
+				switch e.Op {
+				case "detect":
+					detects++
+					if e.Dist <= 0 {
+						t.Errorf("drift detect event carries dist %v, want > 0", e.Dist)
+					}
+				case "rematch":
+					rematches++
+				}
+			}
+			if detects < 1 || rematches < 1 {
+				t.Errorf("drift events: %d detect, %d rematch, want >= 1 of each", detects, rematches)
+			}
+
+			// Per-phase deposit round-trip: the store must now hold one
+			// experience near each phase's workload vector, and sessions
+			// arriving under either workload must warm-start.
+			store := s.ExperienceStore()
+			nss := store.Namespaces()
+			if len(nss) != 1 {
+				t.Fatalf("namespaces = %d, want 1", len(nss))
+			}
+			key := nss[0].Key
+			expA, okA := store.Match(key, charsA)
+			if !okA || stats.SquaredError(expA.Characteristics, charsA) > 0.05 {
+				t.Errorf("no experience near phase-A vector: ok=%v exp=%+v", okA, expA)
+			}
+			expB, okB := store.Match(key, charsB)
+			if !okB || stats.SquaredError(expB.Characteristics, charsB) > 0.05 {
+				t.Errorf("no experience near phase-B vector: ok=%v exp=%+v", okB, expB)
+			}
+
+			for _, chars := range [][]float64{charsA, charsB} {
+				c2 := dial(t, addr.String())
+				if _, err := c2.Register(quadRSL, RegisterOptions{
+					MaxEvals: 60, Improved: true, App: "drifting",
+					Characteristics: chars, Proto: proto,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if !c2.WarmStarted() {
+					t.Errorf("session under %v not warm-started from the per-phase deposit", chars)
+				}
+				if _, err := c2.Tune(quadPeak); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// reducedEvent is the deterministic projection of a trace event used for
+// trajectory-identity comparisons (times and durations vary run to run).
+type reducedEvent struct {
+	Type   search.EventType
+	Op     string
+	Iter   int
+	Config string
+	Perf   float64
+	Dist   float64
+}
+
+func reduceEvents(events []search.Event) []reducedEvent {
+	out := make([]reducedEvent, 0, len(events))
+	for _, e := range events {
+		out = append(out, reducedEvent{
+			Type: e.Type, Op: e.Op, Iter: e.Iter,
+			Config: fmt.Sprint(e.Config), Perf: e.Perf, Dist: e.Dist,
+		})
+	}
+	return out
+}
+
+// TestDriftDetectStationaryIdentity pins the no-op guarantee: with drift
+// detection enabled, a session whose observed characteristics never leave
+// the registered centroid must emit exactly the event stream it emits with
+// detection disabled — same trajectory, no drift events.
+func TestDriftDetectStationaryIdentity(t *testing.T) {
+	chars := []float64{0.5, 0.5}
+	run := func(detect bool) []search.Event {
+		tracer := &collectTracer{}
+		s := NewServer()
+		s.DriftDetect = detect
+		s.Tracer = tracer
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		c := dial(t, addr.String())
+		if _, err := c.Register(quadRSL, RegisterOptions{
+			MaxEvals: 120, Improved: true, App: "stationary", Characteristics: chars,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.SetObserved(chars)
+		if _, err := c.Tune(quadPeak); err != nil {
+			t.Fatal(err)
+		}
+		return tracer.snapshot()
+	}
+
+	withDetect := run(true)
+	withoutDetect := run(false)
+
+	for _, e := range withDetect {
+		if e.Type == search.EventDrift {
+			t.Fatalf("stationary session emitted a drift event: %+v", e)
+		}
+	}
+	got, want := reduceEvents(withDetect), reduceEvents(withoutDetect)
+	if len(got) != len(want) {
+		t.Fatalf("event counts differ: detect-on %d, detect-off %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs:\n detect-on  %+v\n detect-off %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRetuneSweptAfterFinalPoll covers the lost re-tune race: a request
+// accepted while the kernel is between its final ExtraRestart poll and
+// session teardown must be swept into the dropped count (observable on the
+// snapshot), and later requests must fail with ErrSessionDone so the
+// control plane can answer 409 instead of silently accepting a no-op.
+func TestRetuneSweptAfterFinalPoll(t *testing.T) {
+	s := NewServer()
+	st := s.trackState("race", "r:1")
+
+	if err := s.Retune("race"); err != nil {
+		t.Fatalf("Retune while open = %v", err)
+	}
+	if !st.closeRetunes() {
+		t.Error("closeRetunes did not sweep the in-flight request")
+	}
+	if snap, ok := s.SessionSnapshot("race"); !ok || snap.DroppedRetunes != 1 {
+		t.Errorf("dropped retunes = %d (ok=%v), want 1", snap.DroppedRetunes, ok)
+	}
+	if err := s.Retune("race"); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("Retune after final poll = %v, want ErrSessionDone", err)
+	}
+	if st.takeRetune() {
+		t.Error("swept request still consumable by the kernel")
+	}
+	if st.closeRetunes() {
+		t.Error("second close reported another drop")
+	}
+
+	// The same sweep under contention: requests racing the close must each
+	// either land before it (at most one pending is swept) or observe
+	// ErrSessionDone — never vanish silently.
+	st2 := s.trackState("race2", "r:2")
+	var wg sync.WaitGroup
+	refused := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			refused <- s.Retune("race2")
+		}()
+	}
+	st2.closeRetunes()
+	wg.Wait()
+	close(refused)
+	var accepted, rejected int
+	for err := range refused {
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrSessionDone):
+			rejected++
+		default:
+			t.Fatalf("unexpected retune error: %v", err)
+		}
+	}
+	if accepted+rejected != 16 {
+		t.Fatalf("requests unaccounted for: %d accepted, %d rejected", accepted, rejected)
+	}
+	snap2, _ := s.SessionSnapshot("race2")
+	if accepted > 0 && snap2.DroppedRetunes != 1 {
+		t.Errorf("accepted requests collapsed to %d dropped, want 1", snap2.DroppedRetunes)
+	}
+	if err := s.Retune("race2"); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("Retune after contended close = %v, want ErrSessionDone", err)
+	}
+}
+
+// TestLooseGateNeverClaimsEstimatedBest is the satellite regression for
+// the estimated-best bug: with an absurdly permissive estimation gate the
+// plane fit answers many probes (often optimistically on a curved
+// surface), and none of those estimates may be reported as the session
+// best — the best must be a configuration the client really measured, at
+// the performance it really measured.
+func TestLooseGateNeverClaimsEstimatedBest(t *testing.T) {
+	scope, err := ParseCacheScope("session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	s.EvalCache = scope
+	s.EstimateGate = true
+	s.CacheMetrics = evalcache.NewMetrics(obs.NewRegistry())
+	s.GateOptions = evalcache.GateOptions{
+		MaxVertexDist:   100,
+		MaxRelResidual:  100,
+		MinRecords:      3,
+		TruthCheckEvery: 0,
+		AdaptErrorBound: -1, // keep the gate loose: adaptation off
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	c := dial(t, addr.String())
+	if _, err := c.Register(quadRSL, RegisterOptions{
+		MaxEvals: 200, Improved: true, App: "loose-gate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	measured := map[string]float64{}
+	surface := func(cfg search.Config) float64 {
+		dx, dy := float64(cfg[0]-20), float64(cfg[1]-45)
+		return 1000 - dx*dx - dy*dy
+	}
+	best, err := c.Tune(func(cfg search.Config) float64 {
+		perf := surface(cfg)
+		measured[fmt.Sprint(cfg)] = perf
+		return perf
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheMetrics.Estimated.Value() == 0 {
+		t.Fatal("gate answered nothing; the regression test is vacuous")
+	}
+	truth, ok := measured[fmt.Sprint(best.Values)]
+	if !ok {
+		t.Fatalf("reported best %v was never measured by the client (estimate claimed as best)", best.Values)
+	}
+	if best.Perf != truth {
+		t.Errorf("reported best perf %v != measured truth %v for %v", best.Perf, truth, best.Values)
+	}
+	if truth != surface(best.Values) {
+		t.Errorf("bookkeeping: measured map disagrees with the surface")
+	}
+}
+
+// TestV3ReportCharacteristicsRoundTrip pins the opReportC frame: reports
+// carrying observed workload characteristics must round-trip the vector,
+// the correlation ID and the fidelity over the binary framing.
+func TestV3ReportCharacteristicsRoundTrip(t *testing.T) {
+	cases := []message{
+		{Op: "report", Perf: 12.5, Characteristics: []float64{0.8, 0.2}},
+		{Op: "report", Perf: -3.25, hasID: true, id: 7, Characteristics: []float64{1, 2, 3}},
+		{Op: "report", Perf: 41, Fidelity: 0.5, hasID: true, id: 1, Characteristics: []float64{0.5}},
+		{Op: "report", Perf: 9.75, Fidelity: 1, Characteristics: []float64{0, 0.25, 0.5, 0.75}},
+	}
+	for _, m := range cases {
+		var buf bytes.Buffer
+		fw := frameWriter{w: bufio.NewWriter(&buf)}
+		if err := fw.append(m); err != nil {
+			t.Fatalf("encode %+v: %v", m, err)
+		}
+		fw.w.Flush()
+		if buf.Bytes()[4] != opReportC {
+			t.Fatalf("report with characteristics encoded as opcode 0x%02x, want 0x%02x", buf.Bytes()[4], opReportC)
+		}
+		fr := frameReader{r: bufio.NewReader(&buf)}
+		got, err := fr.read()
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		wantFid := m.Fidelity
+		if !fidelityOnWire(wantFid) {
+			wantFid = 0 // full fidelity rides as an explicit zero
+		}
+		if got.Op != "report" || got.Perf != m.Perf || got.hasID != m.hasID || got.id != m.id ||
+			got.Fidelity != wantFid || fmt.Sprint(got.Characteristics) != fmt.Sprint(m.Characteristics) {
+			t.Errorf("round trip changed the report:\n was %+v\n now %+v", m, got)
+		}
+	}
+
+	// Garbage payloads must be rejected as garbage frames, not crash.
+	garbage := [][]byte{
+		{opReportC},    // empty
+		{opReportC, 0}, // no fidelity/perf
+		append([]byte{opReportC, 0}, make([]byte, 16)...),               // n == 0
+		append([]byte{opReportC, 0}, append(make([]byte, 16), 2, 0)...), // n claims 2, no data
+	}
+	for _, body := range garbage {
+		if _, err := decodeFrame(body); err == nil {
+			t.Errorf("garbage opReportC payload %v decoded without error", body)
+		}
+	}
+}

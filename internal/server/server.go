@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"harmony/internal/drift"
 	"harmony/internal/evalcache"
 	"harmony/internal/expdb"
 	"harmony/internal/mfsearch"
@@ -143,6 +144,22 @@ type Server struct {
 	// clients that predate the field simply measure in full. Set it
 	// before Listen.
 	SearchKernel string
+	// DriftDetect enables in-session workload drift detection (§4.2
+	// extended to continuous tuning): sessions that registered workload
+	// characteristics maintain an EWMA of the characteristics their reports
+	// carry (Client.SetObserved) and, when the live vector leaves the
+	// matched centroid for a full hysteresis window, deposit the finished
+	// phase's trace as its own experience, flush the estimation gate's
+	// geometric history, re-match the classifier against the live vector
+	// and fund a warm in-session re-tune from the incumbent best — instead
+	// of converging on a configuration tuned for traffic that no longer
+	// exists. Stationary workloads are unaffected: the detector never
+	// trips, no drift events are emitted, and trajectories are identical
+	// to detection being off. Set it before Listen.
+	DriftDetect bool
+	// DriftOptions tune the detector (thresholds, EWMA weight, hysteresis
+	// window); zero values select the drift package defaults.
+	DriftOptions drift.Options
 
 	lnMu      sync.Mutex
 	listener  net.Listener
@@ -515,6 +532,39 @@ type session struct {
 	// state is the session's control-plane twin (never nil): the trace
 	// stream and the message loop keep it current, the API snapshots it.
 	state *sessionState
+	// detector is the session's workload-drift detector, nil unless the
+	// server enables detection and the registration carried
+	// characteristics. The message loop observes into it; the kernel
+	// goroutine reads and rebases it.
+	detector *drift.Detector
+	// tracer is the session's stamped trace stream (set at registration),
+	// kept here so the message loop can emit drift events onto the same
+	// demultiplexable stream the kernel uses.
+	tracer search.Tracer
+	// driftPending hands a detector trip from the message loop to the
+	// kernel's next ExtraRestart poll.
+	driftPending atomic.Bool
+}
+
+// noteChars folds one report's observed workload characteristics into the
+// session's drift detector. Called from the message loops; a session
+// without a detector (detection off, or no characteristics registered)
+// ignores them.
+func (sess *session) noteChars(chars []float64) {
+	if sess.detector == nil || len(chars) == 0 {
+		return
+	}
+	dist, fired := sess.detector.Observe(chars)
+	sess.state.setDriftDistance(dist)
+	if fired {
+		sess.driftPending.Store(true)
+		st := sess.detector.Status()
+		sess.tracer.Emit(search.Event{
+			Time: time.Now(), Type: search.EventDrift,
+			Op: "detect", Iter: st.Drifts, Dist: dist,
+			Note: "live workload left the matched centroid",
+		})
+	}
 }
 
 // errAborted signals the kernel goroutine that the client went away.
@@ -850,6 +900,7 @@ func (s *Server) serveLockstep(sess *session, end *SessionEnd, lo loop) error {
 				perf = search.Sanitize(perf, sess.dir)
 			}
 			s.m().ReportsReceived.Inc(lo.shard)
+			sess.noteChars(m.Characteristics)
 			pending.reply <- perf
 			havePending = false
 			sess.state.outstanding.Store(0)
@@ -971,6 +1022,7 @@ func (s *Server) servePipelined(sess *session, end *SessionEnd, lo loop) error {
 				sess.state.outstanding.Store(int64(len(outstanding)))
 				m.SessionOutstanding.Dec()
 				m.ReportsReceived.Inc(lo.shard)
+				sess.noteChars(ln.msg.Characteristics)
 				req.reply <- perf // buffered: the kernel picks it up
 			case "quit":
 				if lo.acks() {
@@ -1143,14 +1195,22 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 	// best-of-experience configurations that seed the simplex center the
 	// hyperband kernel's candidate distribution.
 	var priorCfgs []search.Config
+	// matchedRef is the centroid the drift detector measures against: the
+	// matched experience's characteristics when one exists, the registered
+	// vector otherwise.
+	matchedRef := reg.Characteristics
 	if len(reg.Characteristics) > 0 {
 		if exp, ok := store.Match(key, reg.Characteristics); ok {
 			priorCfgs = configsFromExperience(exp, space)
+			matchedRef = exp.Characteristics
 			if len(priorCfgs) > 0 {
 				init = search.SeededInit{Seeds: continuousSeeds(space, priorCfgs), Fallback: init}
 				sess.warm = true
 			}
 		}
+	}
+	if s.DriftDetect && len(reg.Characteristics) > 0 {
+		sess.detector = drift.New(matchedRef, s.DriftOptions)
 	}
 
 	// The session's state twin mirrors registration outcome and, through
@@ -1167,6 +1227,7 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 	ev.MaxEvals = maxEvals
 	tracer := search.StampSession(search.MultiTracer(st, s.Tracer), id)
 	ev.Tracer = tracer
+	sess.tracer = tracer
 	// The measure-once layer: exact hits (this session, peers, prior runs)
 	// and coalesced in-flight duplicates skip the client round-trip; the
 	// optional estimation gate answers well-supported probes from the §4.3
@@ -1174,12 +1235,31 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 	// coordinates experiences are stored in — so warm fills and live
 	// probes meet in one namespace. Cancel ties follower waits to this
 	// session's lifetime.
-	if layer := s.evalLayer(key, space, sess.abort); layer != nil {
+	layer := s.evalLayer(key, space, sess.abort)
+	if layer != nil {
 		ev.External = layer
 	}
 
 	go func() {
 		defer close(sess.kernelDone)
+		// The kernel's last ExtraRestart poll happens inside the search
+		// call; once the goroutine unwinds, a re-tune request could only be
+		// dropped on the floor — close the window so the API refuses instead
+		// (and account for the one request the race may have let in).
+		defer func() {
+			if st.closeRetunes() {
+				log.Warn("re-tune request arrived after the kernel's final poll; dropped", "app", reg.App)
+			}
+		}()
+		// depositedThrough and depositChars are the per-phase deposit
+		// cursor: every drift boundary deposits the trace segment measured
+		// since the previous boundary under the finished phase's workload
+		// identity, then the final deposit covers the tail under the last
+		// phase's live vector. A session that never drifts deposits its
+		// whole trace under the registered characteristics — the historical
+		// behaviour, bit for bit.
+		depositedThrough := 0
+		depositChars := reg.Characteristics
 		defer func() {
 			if rec := recover(); rec != nil {
 				err, isErr := rec.(error)
@@ -1193,8 +1273,11 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 					// partial trace is invisible to operators otherwise.
 					// Measured() keeps gate estimates out of the store: an
 					// estimate must never masquerade as prior-run truth.
+					// Only the tail past the per-phase deposit cursor goes
+					// in: segments before a drift boundary were already
+					// deposited under their own phase's identity.
 					tr := ev.Trace()
-					sess.deposited = store.Record(key, reg.Characteristics, dir, tr.Measured())
+					sess.deposited = store.Record(key, depositChars, dir, tr[depositedThrough:].Measured())
 					if sess.deposited {
 						s.m().PartialDeposits.Inc()
 					}
@@ -1216,9 +1299,54 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 			// lockstep kernel, unchanged.
 			Parallel: sess.window,
 			Tracer:   tracer,
-			// An operator's re-tune request (control plane) funds one more
-			// reduced-scale restart at the next convergence decision.
+			// A pending workload drift or an operator's re-tune request
+			// (control plane) funds one more reduced-scale restart at the
+			// next convergence decision.
 			ExtraRestart: st.takeRetune,
+		}
+		if det := sess.detector; det != nil {
+			nmOpts.ExtraRestart = func() bool {
+				if !sess.driftPending.CompareAndSwap(true, false) {
+					return st.takeRetune()
+				}
+				// Warm in-session re-tune at a drift boundary. First close
+				// out the finished phase: its measurements become a prior-run
+				// experience under the workload identity they were measured
+				// on, so future sessions of that mix warm-start from them.
+				tr := ev.Trace()
+				if store.Record(key, depositChars, dir, tr[depositedThrough:].Measured()) {
+					st.notePhaseDeposit()
+					s.m().Deposits.Inc()
+				}
+				depositedThrough = len(tr)
+				// Exact memo entries are real measurements of real
+				// configurations and stay valid (the objective is what
+				// changed, and the memo is keyed per-configuration truth the
+				// client re-reports anyway); the gate's plane fits are
+				// interpolations of pre-drift truth and must go.
+				if layer != nil && layer.Gate != nil {
+					layer.Gate.Flush()
+				}
+				// Re-match the classifier against the live vector: the new
+				// phase may be one the server has seen before. Either way the
+				// detector rebases — on the matched centroid, or on the live
+				// vector itself — and re-arms for the next episode.
+				live := det.Live()
+				depositChars = live
+				ref, note := live, "no prior experience matched; tracking the live vector"
+				if exp, ok := store.Match(key, live); ok {
+					ref, note = exp.Characteristics, "re-matched a prior experience"
+				}
+				det.Rebase(ref)
+				ds := det.Status()
+				tracer.Emit(search.Event{
+					Time: time.Now(), Type: search.EventDrift,
+					Op: "rematch", Iter: ds.Drifts, Dist: ds.Dist, Note: note,
+				})
+				log.Info("workload drift: warm in-session re-tune",
+					"app", reg.App, "drift", ds.Drifts, "dist", ds.Dist, "rematch", note)
+				return true
+			}
 		}
 		var res *search.Result
 		var err error
@@ -1243,8 +1371,10 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 		}
 		// Deposit the session's tuning experience for future sessions.
 		// Measured() drops estimation-gate answers — only ground truth
-		// enters the prior-run store.
-		sess.deposited = store.Record(key, reg.Characteristics, dir, res.Trace.Measured())
+		// enters the prior-run store. After a drift the tail segment goes
+		// in under the last phase's live workload vector; earlier phases
+		// were already deposited at their boundaries.
+		sess.deposited = store.Record(key, depositChars, dir, res.Trace[depositedThrough:].Measured())
 		sess.resultCh <- res
 	}()
 	return sess, nil

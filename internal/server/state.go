@@ -61,13 +61,24 @@ type SessionSnapshot struct {
 	Promotions   int     `json:"promotions,omitempty"`
 	LowFiEvals   int     `json:"low_fidelity_evals,omitempty"`
 
+	// Workload-drift state (sessions with drift detection only; all fields
+	// stay zero — and off the wire — when detection is off or the workload
+	// never moves).
+	Drifts        int     `json:"drifts,omitempty"`
+	DriftDistance float64 `json:"drift_distance,omitempty"`
+	PhaseDeposits int     `json:"phase_deposits,omitempty"`
+
 	// Robustness and pipeline state.
 	Outstanding   int    `json:"outstanding"`
 	Faults        int    `json:"faults"`
 	FailureBudget int    `json:"failure_budget"`
 	Retunes       int    `json:"retunes,omitempty"`
-	Deposited     bool   `json:"deposited,omitempty"`
-	Err           string `json:"err,omitempty"`
+	// DroppedRetunes counts re-tune requests that were accepted while the
+	// kernel was still polling but could no longer be honored by teardown
+	// time (the accept/teardown race, closed but accounted for).
+	DroppedRetunes int    `json:"dropped_retunes,omitempty"`
+	Deposited      bool   `json:"deposited,omitempty"`
+	Err            string `json:"err,omitempty"`
 }
 
 // sessionState is the live mutable twin of a SessionSnapshot. The trace
@@ -88,9 +99,16 @@ type sessionState struct {
 	// lone atomics keep those updates wait-free.
 	outstanding atomic.Int64
 	faults      atomic.Int64
-	// retune is the operator's pending re-tune request; the kernel consumes
-	// it at its next convergence decision.
-	retune atomic.Bool
+
+	// retuneMu guards the pending/closed pair. Accepting a request and
+	// closing the re-tune window must be mutually atomic: with two lone
+	// atomics, a request landing between the kernel's final ExtraRestart
+	// poll and teardown would be accepted and then silently dropped.
+	// Requests arrive at operator/drift rate and the kernel polls once per
+	// convergence decision, so this is nowhere near the hot path.
+	retuneMu      sync.Mutex
+	retunePending bool
+	retuneClosed  bool
 }
 
 // Emit implements search.Tracer: the session's own trace stream is the
@@ -112,9 +130,10 @@ func (st *sessionState) Emit(e search.Event) {
 				st.snap.LowFiEvals++
 			}
 		}
-		// A reduced-fidelity perf is deliberately noisy triage data; only
+		// A reduced-fidelity perf is deliberately noisy triage data and a
+		// gate estimate is an unmeasured plane-fit answer; only real
 		// full-fidelity truths may claim the session's incumbent best.
-		if search.FullFidelity(e.Fidelity) &&
+		if search.FullFidelity(e.Fidelity) && !e.Estimated &&
 			(!st.snap.HaveBest || st.dir.Better(e.Perf, st.snap.BestPerf)) {
 			st.snap.HaveBest = true
 			st.snap.BestPerf = e.Perf
@@ -141,7 +160,27 @@ func (st *sessionState) Emit(e search.Event) {
 		if e.Op == "retune" {
 			st.snap.Retunes++
 		}
+	case search.EventDrift:
+		if e.Op == "detect" {
+			st.snap.Drifts++
+		}
+		st.snap.DriftDistance = e.Dist
 	}
+}
+
+// setDriftDistance publishes the detector's per-observation distance to
+// the snapshot without an event per report.
+func (st *sessionState) setDriftDistance(d float64) {
+	st.mu.Lock()
+	st.snap.DriftDistance = d
+	st.mu.Unlock()
+}
+
+// notePhaseDeposit counts one per-phase experience deposit.
+func (st *sessionState) notePhaseDeposit() {
+	st.mu.Lock()
+	st.snap.PhaseDeposits++
+	st.mu.Unlock()
 }
 
 // Snapshot copies the state out under the per-session mutex; the caller
@@ -171,7 +210,44 @@ func (st *sessionState) registered(app string, dir search.Direction, dim, window
 
 // takeRetune consumes a pending re-tune request (the kernel's ExtraRestart
 // hook).
-func (st *sessionState) takeRetune() bool { return st.retune.Swap(false) }
+func (st *sessionState) takeRetune() bool {
+	st.retuneMu.Lock()
+	defer st.retuneMu.Unlock()
+	p := st.retunePending
+	st.retunePending = false
+	return p
+}
+
+// requestRetune records a pending re-tune request; it returns false once
+// the kernel is past its final ExtraRestart poll (the request could only
+// be dropped, so the API refuses it instead).
+func (st *sessionState) requestRetune() bool {
+	st.retuneMu.Lock()
+	defer st.retuneMu.Unlock()
+	if st.retuneClosed {
+		return false
+	}
+	st.retunePending = true
+	return true
+}
+
+// closeRetunes marks the kernel past its final ExtraRestart poll and
+// reports whether an already-accepted request was still pending — it can
+// no longer be honored, and the registry records it as dropped rather
+// than losing it silently.
+func (st *sessionState) closeRetunes() (dropped bool) {
+	st.retuneMu.Lock()
+	st.retuneClosed = true
+	dropped = st.retunePending
+	st.retunePending = false
+	st.retuneMu.Unlock()
+	if dropped {
+		st.mu.Lock()
+		st.snap.DroppedRetunes++
+		st.mu.Unlock()
+	}
+	return dropped
+}
 
 // DefaultSessionHistory is how many finished sessions the registry retains
 // for the control plane when Server.SessionHistory is zero.
@@ -284,8 +360,11 @@ var (
 // restart around its incumbent best. The request is consumed at the
 // kernel's next convergence decision (search.NelderMeadOptions.
 // ExtraRestart) and is best-effort: a session out of evaluation budget
-// converges without restarting. Accepting a request never touches the
-// session's hot path — it is one atomic store.
+// converges without restarting. A session whose kernel is already past
+// its final ExtraRestart poll — delivered its result but not yet torn
+// down — gets ErrSessionDone, exactly like a finished one: accepting the
+// request would only drop it on the floor. Accepting never touches the
+// session's hot path.
 func (s *Server) Retune(id string) error {
 	s.stateMu.RLock()
 	st := s.states[id]
@@ -305,6 +384,8 @@ func (s *Server) Retune(id string) error {
 		}
 		return ErrSessionUnknown
 	}
-	st.retune.Store(true)
+	if !st.requestRetune() {
+		return ErrSessionDone
+	}
 	return nil
 }

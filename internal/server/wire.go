@@ -23,10 +23,15 @@ package server
 //	error   (0x08)  raw UTF-8 message
 //	configf (0x0A)  hasID byte | id uvarint | fidelity float64-LE-bits | n uvarint | n × value varint
 //	reportf (0x0B)  hasID byte | id uvarint | fidelity float64-LE-bits | perf float64-LE-bits
+//	reportc (0x0C)  hasID byte | id uvarint | fidelity float64-LE-bits | perf float64-LE-bits | n uvarint | n × char float64-LE-bits
 //
 // The fidelity-carrying variants exist only for multi-fidelity sessions: a
 // config or report whose fidelity is absent, zero or one always uses the
 // original opcode, so single-fidelity v3 byte streams are pinned unchanged.
+// Likewise reportc exists only for sessions observing workload
+// characteristics alongside their measurements (drift detection): a report
+// without characteristics always uses 0x05/0x0B. Because the opcode is new,
+// its fidelity field is carried unconditionally — 0 means full fidelity.
 //
 // Cold-path opcodes — register (0x01), registered (0x02), best (0x07) —
 // wrap the JSON message envelope in a frame: they run once per session, and
@@ -77,6 +82,7 @@ const (
 	opQuit       = 0x09
 	opConfigF    = 0x0A // config with a fidelity request (multi-fidelity search)
 	opReportF    = 0x0B // report echoing the measurement fidelity
+	opReportC    = 0x0C // report carrying observed workload characteristics (drift detection)
 )
 
 // garbageError marks a tolerable decode problem: the offending line or
@@ -339,6 +345,36 @@ func decodeFrame(body []byte) (message, error) {
 		m.Perf = math.Float64frombits(binary.LittleEndian.Uint64(rest))
 		return m, nil
 
+	case opReportC:
+		m := message{Op: "report"}
+		rest, ok := decodeID(&m, rest)
+		if !ok {
+			return message{}, &garbageError{reason: "v3 reportc frame: malformed id"}
+		}
+		if len(rest) < 16 {
+			return message{}, &garbageError{reason: "v3 reportc frame: bad body length"}
+		}
+		fid := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+		if fid != 0 && !fidelityOnWire(fid) {
+			return message{}, &garbageError{reason: "v3 reportc frame: fidelity outside [0, 1)"}
+		}
+		m.Fidelity = fid
+		m.Perf = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || n == 0 || n*8 != uint64(len(rest)-k) {
+			return message{}, &garbageError{reason: "v3 reportc frame: malformed characteristics count"}
+		}
+		rest = rest[k:]
+		chars := make([]float64, n)
+		for i := range chars {
+			chars[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+		m.Characteristics = chars
+		return m, nil
+
 	case opError:
 		return message{Op: "error", Msg: string(rest)}, nil
 
@@ -416,15 +452,30 @@ func (fw *frameWriter) append(m message) error {
 			body = binary.AppendVarint(body, int64(v))
 		}
 	case "report":
-		if fidelityOnWire(m.Fidelity) {
+		switch {
+		case len(m.Characteristics) > 0:
+			body = append(body, opReportC)
+			body = appendID(body, m)
+			fid := m.Fidelity
+			if !fidelityOnWire(fid) {
+				fid = 0 // full fidelity rides as an explicit zero here
+			}
+			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(fid))
+		case fidelityOnWire(m.Fidelity):
 			body = append(body, opReportF)
 			body = appendID(body, m)
 			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Fidelity))
-		} else {
+		default:
 			body = append(body, opReport)
 			body = appendID(body, m)
 		}
 		body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Perf))
+		if len(m.Characteristics) > 0 {
+			body = binary.AppendUvarint(body, uint64(len(m.Characteristics)))
+			for _, c := range m.Characteristics {
+				body = binary.LittleEndian.AppendUint64(body, math.Float64bits(c))
+			}
+		}
 	case "register", "registered", "best":
 		var op byte
 		switch m.Op {

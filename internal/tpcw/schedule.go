@@ -1,0 +1,134 @@
+package tpcw
+
+import "harmony/internal/stats"
+
+// Segment is one phase of a drifting workload Schedule: the mix the site
+// serves from Start onward. A non-zero Ramp blends the previous segment's
+// mix into this one linearly over [Start, Start+Ramp), modelling the
+// gradual shift of real traffic (morning browsers turning into evening
+// buyers) rather than a step change.
+type Segment struct {
+	Mix   Mix
+	Start float64 // seconds since schedule start; the first segment is at 0
+	Ramp  float64 // transition length from the previous segment's mix
+}
+
+// FlashCrowd is a transient load surge: between At and At+Duration the
+// offered load (emulated browser population) is multiplied by Factor.
+type FlashCrowd struct {
+	At       float64
+	Duration float64
+	Factor   float64
+}
+
+// Schedule is a deterministic time-varying workload: an ordered list of
+// mix segments with ramps between them plus flash-crowd load surges. Time
+// is measurement time in seconds — the same axis the paper's tuning cost
+// is reported on — so a tuning session literally spends its budget while
+// the workload underneath it moves.
+type Schedule struct {
+	Segments []Segment
+	Crowds   []FlashCrowd
+}
+
+// Stationary returns the degenerate schedule that serves m forever. MixAt
+// returns m itself (no interpolation), so measurements against a
+// stationary schedule are bit-identical to measurements against the plain
+// mix.
+func Stationary(m Mix) *Schedule {
+	return &Schedule{Segments: []Segment{{Mix: m}}}
+}
+
+// StandardDrift builds the canonical drifting workload: the three TPC-W
+// mixes in their natural escalation browsing → shopping → ordering, each
+// phase lasting roughly phase seconds with ramp-long transitions, plus one
+// flash crowd in the shopping phase. The seed jitters the phase boundaries
+// and the crowd timing (±10 %) so distinct seeds exercise distinct
+// timelines while the schedule stays fully deterministic in (seed, phase,
+// ramp).
+func StandardDrift(seed uint64, phase, ramp float64) *Schedule {
+	rng := stats.NewRNG(seed ^ 0xa076_1d64_78bd_642f)
+	jitter := func() float64 { return 1 + 0.1*(2*rng.Float64()-1) }
+	t1 := phase * jitter()
+	t2 := t1 + phase*jitter()
+	return &Schedule{
+		Segments: []Segment{
+			{Mix: Browsing},
+			{Mix: Shopping, Start: t1, Ramp: ramp},
+			{Mix: Ordering, Start: t2, Ramp: ramp},
+		},
+		Crowds: []FlashCrowd{
+			{At: t1 + 0.4*phase*jitter(), Duration: 0.2 * phase, Factor: 1.5},
+		},
+	}
+}
+
+// segmentAt returns the index of the segment governing time t (the last
+// segment whose Start is ≤ t; times before the first segment clamp to it).
+func (s *Schedule) segmentAt(t float64) int {
+	idx := 0
+	for i, seg := range s.Segments {
+		if seg.Start <= t {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// MixAt returns the effective interaction mix at time t. Inside a ramp the
+// previous segment's mix is linearly interpolated into the new one; outside
+// ramps the segment's mix is returned unchanged (no interpolation, so
+// stationary schedules reproduce the plain mix exactly).
+func (s *Schedule) MixAt(t float64) Mix {
+	i := s.segmentAt(t)
+	seg := s.Segments[i]
+	if i == 0 || seg.Ramp <= 0 || t >= seg.Start+seg.Ramp {
+		return seg.Mix
+	}
+	frac := (t - seg.Start) / seg.Ramp
+	return s.Segments[i-1].Mix.Interpolate(seg.Mix, frac)
+}
+
+// LoadAt returns the offered-load multiplier at time t: 1 outside flash
+// crowds, the product of the active crowds' factors inside them.
+func (s *Schedule) LoadAt(t float64) float64 {
+	load := 1.0
+	for _, c := range s.Crowds {
+		if c.At <= t && t < c.At+c.Duration && c.Factor > 0 {
+			load *= c.Factor
+		}
+	}
+	return load
+}
+
+// PhaseAt returns the index and mix name of the segment governing time t.
+// During a ramp the new segment already governs (the transition belongs to
+// the phase being entered).
+func (s *Schedule) PhaseAt(t float64) (int, string) {
+	i := s.segmentAt(t)
+	return i, s.Segments[i].Mix.Name
+}
+
+// CharacteristicsAt returns the exact characteristic vector of the
+// effective mix at time t — what a perfect observer of the live request
+// stream would report to the tuning server's drift detector.
+func (s *Schedule) CharacteristicsAt(t float64) []float64 {
+	return MixCharacteristics(s.MixAt(t))
+}
+
+// End returns the time the schedule stops changing: the last segment's
+// start plus its ramp, or the end of the last flash crowd, whichever is
+// later. After End the workload is stationary on the final mix.
+func (s *Schedule) End() float64 {
+	end := 0.0
+	if n := len(s.Segments); n > 0 {
+		last := s.Segments[n-1]
+		end = last.Start + last.Ramp
+	}
+	for _, c := range s.Crowds {
+		if t := c.At + c.Duration; t > end {
+			end = t
+		}
+	}
+	return end
+}

@@ -1,0 +1,98 @@
+package tpcw
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScheduleMixAtRampAndPhases(t *testing.T) {
+	s := &Schedule{Segments: []Segment{
+		{Mix: Browsing},
+		{Mix: Shopping, Start: 100, Ramp: 50},
+		{Mix: Ordering, Start: 300},
+	}}
+	if got := s.MixAt(0); !reflect.DeepEqual(got, Browsing) {
+		t.Fatalf("t=0: got %s, want browsing", got.Name)
+	}
+	if got := s.MixAt(-5); !reflect.DeepEqual(got, Browsing) {
+		t.Fatal("times before the first segment must clamp to it")
+	}
+	// Mid-ramp: halfway between browsing and shopping.
+	got := s.MixAt(125)
+	want := Browsing.Interpolate(Shopping, 0.5)
+	if got.Weights != want.Weights {
+		t.Fatalf("t=125: got %v, want the 50%% blend", got.Weights)
+	}
+	if got := s.MixAt(200); !reflect.DeepEqual(got, Shopping) {
+		t.Fatalf("t=200: got %s, want shopping (past the ramp)", got.Name)
+	}
+	// A step segment (Ramp 0) switches instantly.
+	if got := s.MixAt(300); !reflect.DeepEqual(got, Ordering) {
+		t.Fatalf("t=300: got %s, want ordering", got.Name)
+	}
+	if idx, name := s.PhaseAt(125); idx != 1 || name != "shopping" {
+		t.Fatalf("PhaseAt(125) = %d %q, want 1 shopping (ramps belong to the entered phase)", idx, name)
+	}
+	if end := s.End(); end != 300 {
+		t.Fatalf("End() = %g, want 300", end)
+	}
+}
+
+func TestScheduleLoadAtFlashCrowd(t *testing.T) {
+	s := &Schedule{
+		Segments: []Segment{{Mix: Shopping}},
+		Crowds:   []FlashCrowd{{At: 50, Duration: 20, Factor: 1.5}},
+	}
+	if l := s.LoadAt(49); l != 1 {
+		t.Fatalf("pre-crowd load %g, want 1", l)
+	}
+	if l := s.LoadAt(60); l != 1.5 {
+		t.Fatalf("in-crowd load %g, want 1.5", l)
+	}
+	if l := s.LoadAt(70); l != 1 {
+		t.Fatalf("post-crowd load %g, want 1 (interval is half-open)", l)
+	}
+	if end := s.End(); end != 70 {
+		t.Fatalf("End() = %g, want 70 (crowd outlives the segments)", end)
+	}
+}
+
+// TestStationaryScheduleIsThePlainMix pins the identity the drift-off
+// world depends on: a stationary schedule returns the mix value itself,
+// not an interpolated copy, at every time.
+func TestStationaryScheduleIsThePlainMix(t *testing.T) {
+	s := Stationary(Ordering)
+	for _, at := range []float64{0, 1, 1e6} {
+		if got := s.MixAt(at); !reflect.DeepEqual(got, Ordering) {
+			t.Fatalf("t=%g: stationary schedule returned %+v", at, got)
+		}
+	}
+	if l := s.LoadAt(123); l != 1 {
+		t.Fatalf("stationary load %g, want 1", l)
+	}
+}
+
+// TestStandardDriftDeterministicAndOrdered pins that the canonical
+// drifting workload is reproducible per seed and keeps its three phases
+// in escalation order with distinct timelines across seeds.
+func TestStandardDriftDeterministicAndOrdered(t *testing.T) {
+	a := StandardDrift(42, 1000, 200)
+	b := StandardDrift(42, 1000, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.Segments) != 3 || a.Segments[0].Mix.Name != "browsing" ||
+		a.Segments[1].Mix.Name != "shopping" || a.Segments[2].Mix.Name != "ordering" {
+		t.Fatalf("unexpected phase order: %+v", a.Segments)
+	}
+	if a.Segments[1].Start <= 0 || a.Segments[2].Start <= a.Segments[1].Start {
+		t.Fatalf("phase boundaries not increasing: %+v", a.Segments)
+	}
+	if len(a.Crowds) != 1 || a.Crowds[0].At <= a.Segments[1].Start {
+		t.Fatalf("flash crowd not inside the shopping phase: %+v", a.Crowds)
+	}
+	c := StandardDrift(43, 1000, 200)
+	if reflect.DeepEqual(a.Segments, c.Segments) {
+		t.Fatal("distinct seeds produced identical timelines")
+	}
+}
