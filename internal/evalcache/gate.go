@@ -130,6 +130,8 @@ type Gate struct {
 	effMinRecords  int
 	errSum         float64 // relative-error accumulator of the open window
 	errN           int     // truth checks in the open window
+	errScale       float64 // EWMA of |measured| across truth checks — the robust normalizer
+	errScaleN      int     // truth checks folded into errScale (0: unseeded)
 }
 
 // NewGate returns a gate over the space. The estimator uses the expdb k-d
@@ -208,23 +210,39 @@ func (g *Gate) Flush() {
 	g.seen = map[string]bool{}
 	g.prepared, g.prepLen = nil, 0
 	g.errSum, g.errN = 0, 0
+	g.errScale, g.errScaleN = 0, 0
 }
 
 // RecordTruthError feeds one calibration truth check into the adaptive
 // shrink: absErr is |measured - estimated| and scale the measured
-// magnitude. Each AdaptWindow-sized batch of checks produces one verdict —
-// a mean relative error over AdaptErrorBound halves the distance and
-// residual acceptance and doubles the record floor (counted on
-// harmony_gate_shrinks_total); a mean under half the bound re-widens by 25%
-// toward (never past) the configured acceptance. In between, the gate
-// holds.
+// magnitude. Errors are normalized by an EWMA of the measured magnitudes
+// across checks — not by this check's own |measured|, which would explode
+// on an objective that legitimately passes near zero — and each check's
+// relative error is capped at the window's whole error budget
+// (AdaptErrorBound·AdaptWindow), so a single outlier can prime a shrink
+// but never force one by itself. Each AdaptWindow-sized batch of checks
+// produces one verdict — a mean relative error over AdaptErrorBound halves
+// the distance and residual acceptance and doubles the record floor
+// (counted on harmony_gate_shrinks_total); a mean under half the bound
+// re-widens by 25% toward (never past) the configured acceptance. In
+// between, the gate holds.
 func (g *Gate) RecordTruthError(absErr, scale float64) {
 	if g.opts.AdaptErrorBound < 0 || !isFinite(absErr) || !isFinite(scale) {
 		return
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.errSum += absErr / math.Max(math.Abs(scale), 1e-12)
+	if g.errScaleN == 0 {
+		g.errScale = math.Abs(scale)
+	} else {
+		g.errScale = 0.75*g.errScale + 0.25*math.Abs(scale)
+	}
+	g.errScaleN++
+	rel := absErr / math.Max(g.errScale, 1e-12)
+	if lim := g.opts.AdaptErrorBound * float64(g.opts.AdaptWindow); rel > lim {
+		rel = lim
+	}
+	g.errSum += rel
 	g.errN++
 	if g.errN < g.opts.AdaptWindow {
 		return

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -399,11 +400,19 @@ func TestV3ReportCharacteristicsRoundTrip(t *testing.T) {
 	}
 
 	// Garbage payloads must be rejected as garbage frames, not crash.
+	// The last case is the count-overflow attack: n = 2^61+1 makes n*8
+	// wrap to exactly the 8 trailing bytes mod 2^64, so a naive n*8 length
+	// check passes and make([]float64, n) panics on the connection
+	// goroutine, killing the daemon.
+	overflow := append([]byte{opReportC, 0}, make([]byte, 16)...)
+	overflow = binary.AppendUvarint(overflow, 1<<61+1)
+	overflow = append(overflow, make([]byte, 8)...)
 	garbage := [][]byte{
 		{opReportC},    // empty
 		{opReportC, 0}, // no fidelity/perf
 		append([]byte{opReportC, 0}, make([]byte, 16)...),               // n == 0
 		append([]byte{opReportC, 0}, append(make([]byte, 16), 2, 0)...), // n claims 2, no data
+		overflow, // n*8 wraps around 2^64
 	}
 	for _, body := range garbage {
 		if _, err := decodeFrame(body); err == nil {

@@ -155,7 +155,14 @@ type Server struct {
 	// of converging on a configuration tuned for traffic that no longer
 	// exists. Stationary workloads are unaffected: the detector never
 	// trips, no drift events are emitted, and trajectories are identical
-	// to detection being off. Set it before Listen.
+	// to detection being off. Note the gate-flush scope: the estimation
+	// gate is shared by every session in one (app, spec) namespace, and
+	// drift detection assumes those sessions observe the same live
+	// application — one session's drift flushes the shared gate (and its
+	// open calibration window) for all of them. Concurrent sessions of one
+	// key tuning *independent* application instances with different traffic
+	// should not enable drift detection on a shared namespace. Set it
+	// before Listen.
 	DriftDetect bool
 	// DriftOptions tune the detector (thresholds, EWMA weight, hysteresis
 	// window); zero values select the drift package defaults.
@@ -1323,7 +1330,10 @@ func (s *Server) startSession(reg message, id string, st *sessionState, log *slo
 				// configurations and stay valid (the objective is what
 				// changed, and the memo is keyed per-configuration truth the
 				// client re-reports anyway); the gate's plane fits are
-				// interpolations of pre-drift truth and must go.
+				// interpolations of pre-drift truth and must go. The gate is
+				// shared namespace-wide, so this flush acts for every peer
+				// session of the key — DriftDetect documents the assumption
+				// that they all observe the same live application.
 				if layer != nil && layer.Gate != nil {
 					layer.Gate.Flush()
 				}

@@ -363,7 +363,11 @@ func decodeFrame(body []byte) (message, error) {
 		m.Perf = math.Float64frombits(binary.LittleEndian.Uint64(rest))
 		rest = rest[8:]
 		n, k := binary.Uvarint(rest)
-		if k <= 0 || n == 0 || n*8 != uint64(len(rest)-k) {
+		// Bound the count before multiplying (mirroring the config-frame
+		// guard): each value costs 8 bytes, and a count past the remaining
+		// bytes is a lie. Checking n*8 alone would let a huge n wrap around
+		// 2^64 and pass, then panic in make below.
+		if k <= 0 || n == 0 || n > uint64(len(rest)-k)/8 || n*8 != uint64(len(rest)-k) {
 			return message{}, &garbageError{reason: "v3 reportc frame: malformed characteristics count"}
 		}
 		rest = rest[k:]
