@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sort"
@@ -26,11 +27,12 @@ const loadRSL = `
 `
 
 // loadBenchReport is the BENCH_load.json artifact: the same session
-// schedule driven over the JSON (v2) and binary (v3) framings against a
-// live server, with throughput, fetch-latency percentiles, allocation
-// rates and error counts per mode. Regenerate with:
+// schedule driven over the JSON (v2) and binary (v3) framings — and, with
+// -load-proto mux or all, multiplexed over -load-conns shared connections
+// (v4-mux) — against a live server, with throughput, fetch-latency
+// percentiles, allocation rates and error counts per mode. Regenerate with:
 //
-//	hbench -sessions 1000 > BENCH_load.json
+//	hbench -sessions 1000 -load-proto all > BENCH_load.json
 //
 // Wall-clock and latency fields vary by machine; the session/exchange
 // counts and the error columns are deterministic for a healthy run.
@@ -40,24 +42,37 @@ type loadBenchReport struct {
 	EvalsPer    int             `json:"evals_per_session"`
 	Window      int             `json:"window"`
 	Concurrency int             `json:"concurrency"`
-	Addr        string          `json:"addr"` // "" = in-process server over loopback
+	LoadConns   int             `json:"load_conns"` // mux mode: shared connections
+	Addr        string          `json:"addr"`       // "" = in-process server over loopback
 	GOMAXPROCS  int             `json:"gomaxprocs"`
 	Modes       []loadBenchMode `json:"modes"`
 	// SpeedupV3 and AllocRatioV3 compare the binary framing against the
 	// JSON baseline when both modes ran: sessions/sec ratio (higher is
-	// better) and allocs/op ratio (lower is better).
+	// better) and allocs/op ratio (lower is better). SpeedupMux compares
+	// the multiplexed mode against un-muxed v3 the same way.
 	SpeedupV3    float64 `json:"speedup_v3,omitempty"`
 	AllocRatioV3 float64 `json:"alloc_ratio_v3,omitempty"`
+	SpeedupMux   float64 `json:"speedup_mux,omitempty"`
 }
 
 // loadBenchMode is one framing's outcome over the whole schedule.
 type loadBenchMode struct {
-	Proto           string  `json:"proto"` // v2-json | v3-binary
+	Proto string `json:"proto"` // v2-json | v3-binary | v3-mux
+	// Conns and Dials are accounted independently of sessions: v2/v3 dial
+	// one connection per session, mux dials -load-conns shared connections
+	// for the whole schedule. The bench used to infer dial failures from
+	// session errors, which broke as soon as sessions shared a connection.
+	Conns           int     `json:"conns"`
+	Dials           int     `json:"dials"`
 	Completed       int     `json:"completed"`
 	WallMS          float64 `json:"wall_ms"`
 	SessionsPerSec  float64 `json:"sessions_per_sec"`
 	Exchanges       int     `json:"exchanges"`
 	ExchangesPerSec float64 `json:"exchanges_per_sec"`
+	// FramesPerSyscall is the client write-side coalescing ratio — outgoing
+	// frames per socket write. The corked mux writer exists to push this
+	// well above 1; un-muxed modes don't instrument it (0).
+	FramesPerSyscall float64 `json:"frames_per_syscall,omitempty"`
 	// Fetch-exchange latency percentiles in microseconds (one measurement
 	// round trip: report+fetch in, config out).
 	P50Micros float64 `json:"p50_us"`
@@ -66,22 +81,28 @@ type loadBenchMode struct {
 	// (client, wire and server stack together — the bench runs the server
 	// in-process unless -load-addr points elsewhere).
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	// Error columns. A healthy run has zeros everywhere; the bench used to
-	// silently ignore dial failures, which made overload invisible — now
-	// every failed session is accounted to exactly one column.
+	// Error columns. A healthy run has zeros everywhere. Each failure lands
+	// in exactly one column: DialErrors counts failed dial attempts (never
+	// inferred from session outcomes), SessionErrors and ProtocolErrors
+	// count failed sessions, and ConnErrors counts connection-scope mux
+	// incidents (token-0 error frames, dropped frames) per connection.
 	DialErrors     int `json:"dial_errors"`
 	SessionErrors  int `json:"session_errors"`
 	ProtocolErrors int `json:"protocol_errors"`
+	ConnErrors     int `json:"conn_errors"`
 }
 
 // loadBench drives -sessions concurrent tuning sessions over each selected
 // framing and writes the comparison as JSON on stdout.
-func loadBench(rt *obs.Runtime, sessions, evals, window, concurrency int, proto, addr string) error {
+func loadBench(rt *obs.Runtime, sessions, evals, window, concurrency, conns int, proto, addr string) error {
 	if concurrency < 1 {
 		concurrency = 1
 	}
 	if concurrency > sessions {
 		concurrency = sessions
+	}
+	if conns < 1 {
+		conns = 1
 	}
 	rep := loadBenchReport{
 		Bench:       "load",
@@ -89,37 +110,56 @@ func loadBench(rt *obs.Runtime, sessions, evals, window, concurrency int, proto,
 		EvalsPer:    evals,
 		Window:      window,
 		Concurrency: concurrency,
+		LoadConns:   conns,
 		Addr:        addr,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 
-	var protos []int
+	var modes []string
 	switch proto {
 	case "both":
-		protos = []int{2, 3}
+		modes = []string{"v2-json", "v3-binary"}
+	case "all":
+		modes = []string{"v2-json", "v3-binary", "v3-mux"}
 	case "2", "json":
-		protos = []int{2}
+		modes = []string{"v2-json"}
 	case "3", "binary":
-		protos = []int{3}
+		modes = []string{"v3-binary"}
+	case "mux":
+		modes = []string{"v3-mux"}
 	default:
-		return fmt.Errorf("load bench: unknown -load-proto %q (want both, 2 or 3)", proto)
+		return fmt.Errorf("load bench: unknown -load-proto %q (want both, all, 2, 3 or mux)", proto)
 	}
 
-	for _, p := range protos {
-		mode, err := runLoadMode(rt, p, sessions, evals, window, concurrency, addr)
+	for _, name := range modes {
+		mode, err := runLoadMode(rt, name, sessions, evals, window, concurrency, conns, addr)
 		if err != nil {
 			return err
 		}
 		rep.Modes = append(rep.Modes, mode)
 		rt.Logger.Info("load mode complete", "proto", mode.Proto,
+			"conns", mode.Conns,
 			"sessions_per_sec", fmt.Sprintf("%.1f", mode.SessionsPerSec),
 			"p99_us", fmt.Sprintf("%.0f", mode.P99Micros),
 			"allocs_per_op", fmt.Sprintf("%.1f", mode.AllocsPerOp),
-			"dial_errors", mode.DialErrors, "session_errors", mode.SessionErrors)
+			"frames_per_syscall", fmt.Sprintf("%.1f", mode.FramesPerSyscall),
+			"dial_errors", mode.DialErrors, "session_errors", mode.SessionErrors,
+			"conn_errors", mode.ConnErrors)
 	}
-	if len(rep.Modes) == 2 && rep.Modes[0].SessionsPerSec > 0 && rep.Modes[0].AllocsPerOp > 0 {
-		rep.SpeedupV3 = rep.Modes[1].SessionsPerSec / rep.Modes[0].SessionsPerSec
-		rep.AllocRatioV3 = rep.Modes[1].AllocsPerOp / rep.Modes[0].AllocsPerOp
+	byName := map[string]loadBenchMode{}
+	for _, m := range rep.Modes {
+		byName[m.Proto] = m
+	}
+	if v2, ok2 := byName["v2-json"]; ok2 {
+		if v3, ok3 := byName["v3-binary"]; ok3 && v2.SessionsPerSec > 0 && v2.AllocsPerOp > 0 {
+			rep.SpeedupV3 = v3.SessionsPerSec / v2.SessionsPerSec
+			rep.AllocRatioV3 = v3.AllocsPerOp / v2.AllocsPerOp
+		}
+	}
+	if v3, ok3 := byName["v3-binary"]; ok3 {
+		if mx, okm := byName["v3-mux"]; okm && v3.SessionsPerSec > 0 {
+			rep.SpeedupMux = mx.SessionsPerSec / v3.SessionsPerSec
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -128,12 +168,17 @@ func loadBench(rt *obs.Runtime, sessions, evals, window, concurrency int, proto,
 }
 
 // runLoadMode runs the whole session schedule over one framing.
-func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency int, addr string) (loadBenchMode, error) {
-	name := "v2-json"
-	if proto >= 3 {
-		name = "v3-binary"
-	}
+func runLoadMode(rt *obs.Runtime, name string, sessions, evals, window, concurrency, conns int, addr string) (loadBenchMode, error) {
 	mode := loadBenchMode{Proto: name}
+	proto := 2
+	switch name {
+	case "v3-binary", "v3-mux":
+		proto = 3
+	}
+	muxed := name == "v3-mux"
+	if !muxed {
+		conns = sessions // one dial per session
+	}
 
 	// In-process server over real loopback TCP unless -load-addr points at
 	// an external daemon.
@@ -150,6 +195,7 @@ func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency in
 	var (
 		completed atomic.Int64
 		exchanges atomic.Int64
+		dials     atomic.Int64
 		dialErrs  atomic.Int64
 		sessErrs  atomic.Int64
 		protoErrs atomic.Int64
@@ -158,6 +204,36 @@ func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency in
 		sem       = make(chan struct{}, concurrency)
 		wg        sync.WaitGroup
 	)
+
+	// Mux mode shares -load-conns connections across the whole schedule,
+	// dialed up front; sessions are handed out round-robin. Dial accounting
+	// is per connection — a session that fails on a healthy connection is a
+	// session error, never a dial error.
+	var muxes []*server.Mux
+	if muxed {
+		for i := 0; i < conns; i++ {
+			dials.Add(1)
+			mx, err := server.DialMux(addr, 5*time.Second)
+			if err != nil {
+				dialErrs.Add(1)
+				return mode, fmt.Errorf("load bench: mux dial %d: %w", i, err)
+			}
+			defer mx.Close()
+			muxes = append(muxes, mx)
+		}
+	}
+	newSession := func(i int) (*server.Client, error) {
+		if muxed {
+			return muxes[i%conns].Session(), nil
+		}
+		dials.Add(1)
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			dialErrs.Add(1)
+			return nil, nil // dial failure is fully accounted; no session ran
+		}
+		return server.NewClientConn(conn), nil
+	}
 
 	// Quiesce the heap so the allocation delta belongs to this mode alone.
 	runtime.GC()
@@ -168,10 +244,15 @@ func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency in
 	for i := 0; i < sessions; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			lats, n, err := runLoadSession(addr, proto, evals, window)
+			c, err := newSession(i)
+			if err != nil || c == nil {
+				return
+			}
+			defer c.Close()
+			lats, n, err := runLoadSession(c, proto, evals, window)
 			exchanges.Add(int64(n))
 			if len(lats) > 0 {
 				latMu.Lock()
@@ -179,20 +260,16 @@ func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency in
 				latMu.Unlock()
 			}
 			if err != nil {
-				// Every failed session lands in exactly one error column —
-				// dial failures used to vanish silently here.
-				switch {
-				case errors.Is(err, server.ErrServerGone) && n == 0 && len(lats) == 0:
-					dialErrs.Add(1)
-				case errors.Is(err, server.ErrProtocol):
+				// Every failed session lands in exactly one error column.
+				if errors.Is(err, server.ErrProtocol) {
 					protoErrs.Add(1)
-				default:
+				} else {
 					sessErrs.Add(1)
 				}
 				return
 			}
 			completed.Add(1)
-		}()
+		}(i)
 	}
 	wg.Wait()
 
@@ -200,6 +277,8 @@ func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency in
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 
+	mode.Conns = conns
+	mode.Dials = int(dials.Load())
 	mode.Completed = int(completed.Load())
 	mode.WallMS = float64(wall) / float64(time.Millisecond)
 	if wall > 0 {
@@ -213,6 +292,20 @@ func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency in
 	mode.DialErrors = int(dialErrs.Load())
 	mode.SessionErrors = int(sessErrs.Load())
 	mode.ProtocolErrors = int(protoErrs.Load())
+	if muxed {
+		var frames, flushes uint64
+		var connErrs int64
+		for _, mx := range muxes {
+			f, fl := mx.Stats()
+			frames += f
+			flushes += fl
+			connErrs += mx.ConnErrors()
+		}
+		if flushes > 0 {
+			mode.FramesPerSyscall = float64(frames) / float64(flushes)
+		}
+		mode.ConnErrors = int(connErrs)
+	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	if len(latencies) > 0 {
@@ -223,16 +316,11 @@ func runLoadMode(rt *obs.Runtime, proto, sessions, evals, window, concurrency in
 	return mode, nil
 }
 
-// runLoadSession is one client: dial, register, tune the quadratic to its
-// eval budget, and time every measurement exchange. It returns the
-// exchange latencies, the exchange count, and the terminal error (nil on
-// a completed session).
-func runLoadSession(addr string, proto, evals, window int) ([]time.Duration, int, error) {
-	c, err := server.Dial(addr, 5*time.Second)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer c.Close()
+// runLoadSession is one client session over an established transport:
+// register, tune the quadratic to its eval budget, and time every
+// measurement exchange. It returns the exchange latencies, the exchange
+// count, and the terminal error (nil on a completed session).
+func runLoadSession(c *server.Client, proto, evals, window int) ([]time.Duration, int, error) {
 	opts := server.RegisterOptions{MaxEvals: evals, Improved: true, Proto: proto, Window: window}
 	if _, err := c.Register(loadRSL, opts); err != nil {
 		return nil, 0, err

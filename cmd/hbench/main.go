@@ -58,11 +58,12 @@ func main() {
 		driftB     = flag.Bool("drift-bench", false, "run the workload-drift recovery benchmark (no-retune vs cold restart vs warm in-session re-tune on the web cluster) and emit BENCH_drift.json on stdout")
 
 		sessions  = flag.Int("sessions", 0, "load mode: drive this many tuning sessions against a live server (in-process unless -load-addr) and emit BENCH_load.json on stdout")
-		loadProto = flag.String("load-proto", "both", "load mode: framings to drive — both, 2 (JSON) or 3 (binary)")
+		loadProto = flag.String("load-proto", "both", "load mode: framings to drive — both (2+3), all (2+3+mux), 2 (JSON), 3 (binary) or mux (v4 multiplexed)")
 		loadAddr  = flag.String("load-addr", "", "load mode: address of an external harmonyd to drive over loopback (default: in-process server)")
 		loadConc  = flag.Int("load-concurrency", 64, "load mode: sessions in flight at once")
 		loadEvals = flag.Int("load-evals", 40, "load mode: measurement budget per session")
 		loadWin   = flag.Int("load-window", 1, "load mode: pipeline window per session (1 = lockstep)")
+		loadConns = flag.Int("load-conns", 8, "load mode, mux framing: shared connections to multiplex the sessions over")
 	)
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -82,7 +83,7 @@ func main() {
 	defer rt.Close()
 
 	if *sessions > 0 {
-		if err := loadBench(rt, *sessions, *loadEvals, *loadWin, *loadConc, *loadProto, *loadAddr); err != nil {
+		if err := loadBench(rt, *sessions, *loadEvals, *loadWin, *loadConc, *loadConns, *loadProto, *loadAddr); err != nil {
 			rt.Logger.Error("load bench failed", "err", err)
 			rt.Close()
 			os.Exit(1)

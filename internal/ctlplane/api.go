@@ -93,24 +93,30 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
 }
 
-// sessionList is the GET /api/v1/sessions response shape.
+// sessionList is the GET /api/v1/sessions response shape. Connections
+// counts the distinct transport connections behind the running sessions —
+// under v4-mux many sessions share one (each snapshot's conn_id says
+// which).
 type sessionList struct {
-	Sessions []server.SessionSnapshot `json:"sessions"`
-	Running  int                      `json:"running"`
+	Sessions    []server.SessionSnapshot `json:"sessions"`
+	Running     int                      `json:"running"`
+	Connections int                      `json:"connections"`
 }
 
 func (a *API) listSessions(w http.ResponseWriter, r *http.Request) {
 	snaps := a.Sessions.SessionSnapshots()
 	running := 0
+	conns := map[string]bool{}
 	for _, s := range snaps {
 		if s.Status == server.StatusRunning {
 			running++
+			conns[s.ConnID] = true
 		}
 	}
 	if snaps == nil {
 		snaps = []server.SessionSnapshot{}
 	}
-	writeJSON(w, http.StatusOK, sessionList{Sessions: snaps, Running: running})
+	writeJSON(w, http.StatusOK, sessionList{Sessions: snaps, Running: running, Connections: len(conns)})
 }
 
 func (a *API) getSession(w http.ResponseWriter, r *http.Request) {

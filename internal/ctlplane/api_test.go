@@ -112,18 +112,27 @@ func postJSON(t *testing.T, url string, wantCode int, into any) {
 
 func TestAPISessionsListAndDetail(t *testing.T) {
 	sess := &fakeSessions{snaps: []server.SessionSnapshot{
-		{ID: "s1", Status: server.StatusRunning, App: "gemm", Evals: 12, BestPerf: 3.5, HaveBest: true},
+		{ID: "s1", Status: server.StatusRunning, App: "gemm", Evals: 12, BestPerf: 3.5, HaveBest: true, ConnID: "conn-1", Mux: true},
 		{ID: "s2", Status: server.StatusCompleted, App: "gemm", Evals: 80},
+		{ID: "s3", Status: server.StatusRunning, App: "gemm", Evals: 4, ConnID: "conn-1", Mux: true},
 	}}
 	srv := apiServer(t, sess, &fakeExperience{})
 
 	var list struct {
-		Sessions []server.SessionSnapshot `json:"sessions"`
-		Running  int                      `json:"running"`
+		Sessions    []server.SessionSnapshot `json:"sessions"`
+		Running     int                      `json:"running"`
+		Connections int                      `json:"connections"`
 	}
 	getJSON(t, srv.URL+"/api/v1/sessions", http.StatusOK, &list)
-	if len(list.Sessions) != 2 || list.Running != 1 {
-		t.Fatalf("list = %d sessions, running %d; want 2 and 1", len(list.Sessions), list.Running)
+	if len(list.Sessions) != 3 || list.Running != 2 {
+		t.Fatalf("list = %d sessions, running %d; want 3 and 2", len(list.Sessions), list.Running)
+	}
+	// Both running sessions ride one mux connection.
+	if list.Connections != 1 {
+		t.Fatalf("connections = %d, want 1", list.Connections)
+	}
+	if !list.Sessions[0].Mux || list.Sessions[0].ConnID != "conn-1" {
+		t.Fatalf("snapshot lost its connection identity: %+v", list.Sessions[0])
 	}
 
 	var one server.SessionSnapshot

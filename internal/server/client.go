@@ -43,6 +43,10 @@ type Client struct {
 	// proto is the wire framing generation in use: 2 for the JSON line
 	// protocol (the default), 3 after a binary-framing registration.
 	proto int
+	// mux is set on handles vended by Mux.Session: the transport shares a
+	// multiplexed connection, so Register skips the preamble negotiation and
+	// Close detaches the session without closing the socket.
+	mux *Mux
 	// wmu serializes writes: in a pipelined session several measurement
 	// workers send reports and fetch credits on the same connection.
 	wmu sync.Mutex
@@ -300,6 +304,18 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closeOnce.Do(func() {
+		if c.mux != nil {
+			// A mux session handle: say goodbye and detach the route; the
+			// shared connection belongs to the Mux and stays up for its
+			// peer sessions.
+			if mw, ok := c.tr.(*muxWire); ok {
+				if mw.token != 0 {
+					c.send(message{Op: "quit"}) //nolint:errcheck // best effort
+				}
+				c.mux.detach(mw.token)
+			}
+			return
+		}
 		if c.OpTimeout == 0 {
 			// send applies OpTimeout itself when set; this deadline covers
 			// the otherwise-unbounded case.
@@ -403,6 +419,10 @@ func (c *Client) recv() (message, error) {
 		case errors.Is(err, io.ErrUnexpectedEOF):
 			c.logTransport("read", err)
 			return message{}, fmt.Errorf("%w: connection died mid-frame", ErrServerGone)
+		case errors.Is(err, ErrSessionEvicted):
+			// Already typed by the mux transport; pass it through.
+			c.logTransport("read", err)
+			return message{}, err
 		}
 		c.logTransport("read", err)
 		return message{}, fmt.Errorf("%w: read: %v", ErrServerGone, err)
@@ -420,7 +440,7 @@ func (c *Client) Register(rslText string, opts RegisterOptions) ([]string, error
 	if opts.Minimize {
 		dir = "min"
 	}
-	if opts.Proto >= 3 {
+	if opts.Proto >= 3 && c.mux == nil {
 		// Switch to binary framing before the first byte goes out: the
 		// magic preamble is buffered ahead of the register frame and both
 		// leave in one write. The server has sent nothing yet (register is

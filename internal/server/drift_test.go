@@ -242,7 +242,7 @@ func TestDriftDetectStationaryIdentity(t *testing.T) {
 // control plane can answer 409 instead of silently accepting a no-op.
 func TestRetuneSweptAfterFinalPoll(t *testing.T) {
 	s := NewServer()
-	st := s.trackState("race", "r:1")
+	st := s.trackState("race", "r:1", "conn-1")
 
 	if err := s.Retune("race"); err != nil {
 		t.Fatalf("Retune while open = %v", err)
@@ -266,7 +266,7 @@ func TestRetuneSweptAfterFinalPoll(t *testing.T) {
 	// The same sweep under contention: requests racing the close must each
 	// either land before it (at most one pending is swept) or observe
 	// ErrSessionDone — never vanish silently.
-	st2 := s.trackState("race2", "r:2")
+	st2 := s.trackState("race2", "r:2", "conn-2")
 	var wg sync.WaitGroup
 	refused := make(chan error, 16)
 	for i := 0; i < 16; i++ {

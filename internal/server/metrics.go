@@ -72,6 +72,33 @@ type Metrics struct {
 	// DrainSeconds observes Shutdown drain durations
 	// (harmony_shutdown_drain_seconds).
 	DrainSeconds *obs.Histogram
+
+	// MuxConnections is the number of live multiplexed (v4-mux)
+	// connections (harmony_mux_connections).
+	MuxConnections *obs.Gauge
+	// MuxSessionsPerConn observes, at each mux connection's end, how many
+	// sessions it hosted over its lifetime
+	// (harmony_mux_sessions_per_conn). An average stuck at 1 means clients
+	// negotiate mux and then never fan in.
+	MuxSessionsPerConn *obs.Histogram
+	// MuxCorkedFlushFrames observes how many frames each corked-writer
+	// flush coalesced into one socket write
+	// (harmony_mux_corked_flush_frames) — the batch size that collapses
+	// the per-exchange syscall floor at high session counts.
+	MuxCorkedFlushFrames *obs.Histogram
+	// MuxCreditStalls counts deliveries that found a session's inbox full
+	// — its flow-control credit exhausted (harmony_mux_credit_stalls_total).
+	// Each stall evicts the offending session; the connection and its peer
+	// sessions continue.
+	MuxCreditStalls *obs.Counter
+	// MuxEvictions counts sessions evicted from a mux connection for
+	// exhausting their flow-control credit (harmony_mux_evictions_total).
+	MuxEvictions *obs.Counter
+	// MuxUnknownTokens counts frames naming a session token that was never
+	// attached (harmony_mux_unknown_tokens_total). Each is answered with a
+	// framed connection-scope error and charged to the connection's
+	// failure budget — not a connection kill.
+	MuxUnknownTokens *obs.Counter
 }
 
 // NewMetrics registers the server metric family on reg and returns the
@@ -96,6 +123,13 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		AcceptRetries:      reg.Counter("harmony_accept_retries_total", "Transient listener Accept failures survived by the retry loop."),
 		OversizedLines:     reg.Counter("harmony_oversized_lines_total", "Wire lines rejected for exceeding the 1 MiB frame cap."),
 		DrainSeconds:       reg.Histogram("harmony_shutdown_drain_seconds", "Shutdown drain durations in seconds.", []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}),
+
+		MuxConnections:       reg.Gauge("harmony_mux_connections", "Live multiplexed (v4-mux) connections."),
+		MuxSessionsPerConn:   reg.Histogram("harmony_mux_sessions_per_conn", "Sessions hosted per mux connection over its lifetime.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		MuxCorkedFlushFrames: reg.Histogram("harmony_mux_corked_flush_frames", "Frames coalesced into one corked-writer flush.", []float64{1, 2, 4, 8, 16, 32, 64}),
+		MuxCreditStalls:      reg.Counter("harmony_mux_credit_stalls_total", "Deliveries that found a mux session's flow-control credit exhausted."),
+		MuxEvictions:         reg.Counter("harmony_mux_evictions_total", "Sessions evicted from a mux connection for exhausting their credit."),
+		MuxUnknownTokens:     reg.Counter("harmony_mux_unknown_tokens_total", "Mux frames naming a session token that was never attached."),
 	}
 }
 

@@ -95,6 +95,14 @@ type message struct {
 	// lockstep v1 exchange.
 	Window int `json:"window,omitempty"`
 
+	// Mux (v4-mux) asks the server to multiplex many sessions over this
+	// connection. It is legal only on a v3 connection's first (negotiation)
+	// register envelope: when the server accepts, every subsequent frame in
+	// both directions carries a varint session token after the opcode, and
+	// further register envelopes attach additional sessions. Absent keeps
+	// the un-muxed v3 exchange byte-identical.
+	Mux bool `json:"mux,omitempty"`
+
 	// registered
 	Names []string `json:"names,omitempty"`
 	// Warm reports whether a prior experience seeded this session.
@@ -129,6 +137,13 @@ type message struct {
 	// changes, and the binary hot path never allocates a *int.
 	id    int
 	hasID bool
+
+	// sess/hasSess are the v4-mux session token, purely transport state: on
+	// a mux connection the frame writer emits sess after the opcode and the
+	// frame reader fills both from the incoming token. They never appear in
+	// a JSON envelope — the token lives in the frame, not the message.
+	sess    uint64
+	hasSess bool
 }
 
 // encode renders a message as one JSON line. The normalized id is

@@ -124,6 +124,11 @@ type Server struct {
 	// family (hits, misses, coalesced, estimated, saved seconds, size).
 	// Build it with evalcache.NewMetrics(registry); nil disables.
 	CacheMetrics *evalcache.Metrics
+	// MaxMuxSessions caps how many sessions one multiplexed (v4-mux)
+	// connection may host concurrently. 0 means DefaultMaxMuxSessions;
+	// negative refuses mux negotiation entirely (the register is answered
+	// with a protocol error). Set it before Listen.
+	MaxMuxSessions int
 	// ConnShards is the live-connection table stripe count (0 =
 	// DefaultConnShards; rounded up to a power of two). Every connect,
 	// disconnect and hot-path counter update touches only its own stripe,
@@ -589,18 +594,39 @@ func (s *Server) handle(conn net.Conn) error {
 	defer conn.Close()
 
 	id := obs.NewID()
+	// The connection token names the transport in session snapshots, so the
+	// control plane can group the sessions of one mux connection.
+	connID := fmt.Sprintf("conn-%d", token)
 	log := s.logger().With("session", id, "remote", conn.RemoteAddr().String())
 	m := s.m()
 	m.SessionsStarted.Inc()
 	m.SessionsActive.Inc()
-	defer m.SessionsActive.Dec()
+	activeOwned := true
+	defer func() {
+		if activeOwned {
+			m.SessionsActive.Dec()
+		}
+	}()
 	log.Debug("session started")
 
-	st := s.trackState(id, conn.RemoteAddr().String())
+	st := s.trackState(id, conn.RemoteAddr().String(), connID)
 	end := SessionEnd{ID: id}
 	// The connection token doubles as the metric stripe: hot-path counters
 	// land on the same shard the session table uses.
-	sess, err := s.serve(conn, &end, id, int(token), st, log)
+	sess, muxed, err := s.serve(conn, &end, id, int(token), connID, st, log)
+	if muxed {
+		// serveMux owned every session's bookkeeping — including the first,
+		// which reused this connection's id, state twin and the
+		// started/active counts above. Only connection-level logging is
+		// left.
+		activeOwned = false
+		if err != nil {
+			log.Warn("mux connection ended", "err", err)
+		} else {
+			log.Debug("mux connection ended")
+		}
+		return err
+	}
 	if sess != nil {
 		// Unblock the kernel and wait for it to unwind; an abnormal
 		// disconnect deposits the partial trace before kernelDone closes,
@@ -712,9 +738,73 @@ func negotiate(br *bufio.Reader, w *bufio.Writer, beforeRead, beforeWrite func()
 	return newBinWire(br, w, beforeRead, beforeWrite), 3, nil
 }
 
+// failureBudget resolves the server's per-session fault tolerance.
+func (s *Server) failureBudget() int {
+	switch {
+	case s.FailureBudget == 0:
+		return 3
+	case s.FailureBudget < 0:
+		return 0
+	}
+	return s.FailureBudget
+}
+
+// failer builds the protocol-rejection helper: count, tell the client, and
+// return the terminal error.
+func (s *Server) failer(send func(message) error) func(string) error {
+	return func(msg string) error {
+		s.m().ProtocolErrors.Inc()
+		send(message{Op: "error", Msg: msg}) //nolint:errcheck
+		return errors.New(msg)
+	}
+}
+
+// tolerator builds the failure-budget helper for one session: each charge
+// is observable (counter, warn log, typed budget event) and the returned
+// error is non-nil once the budget is exhausted.
+func (s *Server) tolerator(end *SessionEnd, st *sessionState, id string, budget int, log *slog.Logger) func(string) error {
+	return func(what string) error {
+		end.Faults++
+		st.faults.Store(int64(end.Faults))
+		s.m().Faults.Inc()
+		if s.Tracer != nil {
+			s.Tracer.Emit(search.Event{
+				Session: id, Time: time.Now(), Type: search.EventBudget,
+				Iter: end.Faults, Note: what,
+			})
+		}
+		if end.Faults > budget {
+			return fmt.Errorf("failure budget exhausted (%d faults > %d): %s", end.Faults, budget, what)
+		}
+		log.Warn("tolerated fault", "fault", end.Faults, "budget", budget, "what", what)
+		return nil
+	}
+}
+
+// runRegistered sends the registration reply and runs the message loop the
+// granted window selects — the per-session tail shared by plain
+// connections and every session of a mux connection.
+func (s *Server) runRegistered(sess *session, end *SessionEnd, lo loop) error {
+	regReply := message{Op: "registered", Names: sess.names, Warm: sess.warm}
+	if sess.window > 1 {
+		// Only v2 sessions see v2 fields: a v1 registration (no window)
+		// gets the byte-identical v1 reply.
+		regReply.Window = sess.window
+	}
+	if err := lo.send(regReply); err != nil {
+		return err
+	}
+	if sess.window > 1 {
+		return s.servePipelined(sess, end, lo)
+	}
+	return s.serveLockstep(sess, end, lo)
+}
+
 // serve runs the message loop. It returns the session (nil when
-// registration never succeeded) and the terminal error.
-func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, st *sessionState, log *slog.Logger) (*session, error) {
+// registration never succeeded), whether the connection negotiated mux
+// (session bookkeeping then happened per session inside serveMux), and the
+// terminal error.
+func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, connID string, st *sessionState, log *slog.Logger) (*session, bool, error) {
 	// 16 KiB holds any hot-path unit with room to spare (frames and lines
 	// are tens of bytes; only register envelopes run longer) and keeps the
 	// per-connection footprint small at thousand-session scale.
@@ -734,51 +824,26 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, st 
 	tr, proto, err := negotiate(br, w, beforeRead, beforeWrite)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("server: client closed before registering")
+			return nil, false, fmt.Errorf("server: client closed before registering")
 		}
 		if errors.Is(err, errBadPreamble) {
 			s.m().ProtocolErrors.Inc()
 			// The peer speaks neither framing; answer in JSON, the lingua
 			// franca every generation understands, before hanging up.
 			(&jsonWire{w: w, beforeWrite: beforeWrite}).send(message{Op: "error", Msg: err.Error()}) //nolint:errcheck
-			return nil, err
+			return nil, false, err
 		}
-		return nil, err
+		return nil, false, err
 	}
 
 	send := tr.send
-	fail := func(msg string) error {
-		s.m().ProtocolErrors.Inc()
-		send(message{Op: "error", Msg: msg}) //nolint:errcheck
-		return errors.New(msg)
-	}
-
-	budget := s.FailureBudget
-	if budget == 0 {
-		budget = 3
-	} else if budget < 0 {
-		budget = 0
-	}
+	fail := s.failer(send)
+	budget := s.failureBudget()
 	// tolerate charges one fault against the session's budget. It returns
 	// an error once the budget is exhausted. Every charge is observable:
 	// a counter tick, a warn-level log record and a typed budget event on
 	// the trace stream.
-	tolerate := func(what string) error {
-		end.Faults++
-		st.faults.Store(int64(end.Faults))
-		s.m().Faults.Inc()
-		if s.Tracer != nil {
-			s.Tracer.Emit(search.Event{
-				Session: id, Time: time.Now(), Type: search.EventBudget,
-				Iter: end.Faults, Note: what,
-			})
-		}
-		if end.Faults > budget {
-			return fmt.Errorf("failure budget exhausted (%d faults > %d): %s", end.Faults, budget, what)
-		}
-		log.Warn("tolerated fault", "fault", end.Faults, "budget", budget, "what", what)
-		return nil
-	}
+	tolerate := s.tolerator(end, st, id, budget, log)
 	lo := loop{tr: tr, send: send, fail: fail, tolerate: tolerate, proto: proto, shard: shard}
 
 	// First message must register. Faults before a session exists are not
@@ -788,21 +853,40 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, st 
 		var g *garbageError
 		switch {
 		case errors.As(err, &g):
-			return nil, fail(g.Error())
+			return nil, false, fail(g.Error())
 		case errors.Is(err, io.EOF):
-			return nil, fmt.Errorf("server: client closed before registering")
+			return nil, false, fmt.Errorf("server: client closed before registering")
 		}
 		if err := s.recvEnd(err, lo); err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return nil, fmt.Errorf("server: client closed before registering")
+		return nil, false, fmt.Errorf("server: client closed before registering")
 	}
 	if reg.Op != "register" {
-		return nil, fail("first message must be register")
+		return nil, false, fail("first message must be register")
+	}
+	if reg.Mux {
+		// The v4-mux negotiation: legal only as a v3 connection's first
+		// envelope. From here the connection hosts many sessions; serveMux
+		// owns all of their bookkeeping (the first reuses this connection's
+		// id and state twin).
+		bw, ok := tr.(*binWire)
+		if !ok || proto < 3 {
+			return nil, false, fail("mux negotiation requires the v3 binary framing")
+		}
+		if s.MaxMuxSessions < 0 {
+			return nil, false, fail("server refuses multiplexed connections")
+		}
+		return nil, true, s.serveMux(muxSetup{
+			bw: bw, w: w, beforeWrite: beforeWrite,
+			reg: reg, id: id, shard: shard, connID: connID,
+			remote: conn.RemoteAddr().String(),
+			st:     st, log: log, budget: budget,
+		})
 	}
 	sess, err := s.startSession(reg, id, st, log)
 	if err != nil {
-		return nil, fail(err.Error())
+		return nil, false, fail(err.Error())
 	}
 	end.App = reg.App
 	if sess.warm {
@@ -817,20 +901,7 @@ func (s *Server) serve(conn net.Conn, end *SessionEnd, id string, shard int, st 
 		"improved", reg.Improved, "max_evals", reg.MaxEvals,
 		"window", sess.window)
 
-	regReply := message{Op: "registered", Names: sess.names, Warm: sess.warm}
-	if sess.window > 1 {
-		// Only v2 sessions see v2 fields: a v1 registration (no window)
-		// gets the byte-identical v1 reply.
-		regReply.Window = sess.window
-	}
-	if err := send(regReply); err != nil {
-		return sess, err
-	}
-
-	if sess.window > 1 {
-		return sess, s.servePipelined(sess, end, lo)
-	}
-	return sess, s.serveLockstep(sess, end, lo)
+	return sess, false, s.runRegistered(sess, end, lo)
 }
 
 // serveLockstep is the protocol v1 message loop: one fetch, one config,

@@ -30,10 +30,17 @@ type SessionSnapshot struct {
 	Status string `json:"status"`
 	// App and Characteristics-derived fields appear once registration
 	// succeeded; a snapshot taken before that carries only identity.
-	App       string    `json:"app,omitempty"`
-	Remote    string    `json:"remote,omitempty"`
-	Proto     int       `json:"proto,omitempty"`
-	Window    int       `json:"window,omitempty"`
+	App    string `json:"app,omitempty"`
+	Remote string `json:"remote,omitempty"`
+	// ConnID identifies the transport connection hosting this session —
+	// derived from the connection-table token, so every session of one
+	// multiplexed (v4-mux) connection shares it and the dashboard can group
+	// them. Un-muxed sessions each carry a unique ConnID.
+	ConnID string `json:"conn_id,omitempty"`
+	// Mux reports whether the session rides a multiplexed connection.
+	Mux    bool `json:"mux,omitempty"`
+	Proto  int  `json:"proto,omitempty"`
+	Window int  `json:"window,omitempty"`
 	Dim       int       `json:"dim,omitempty"`
 	Direction string    `json:"direction,omitempty"`
 	Warm      bool      `json:"warm,omitempty"`
@@ -254,9 +261,10 @@ func (st *sessionState) closeRetunes() (dropped bool) {
 const DefaultSessionHistory = 256
 
 // trackState registers a new running session in the state registry.
-func (s *Server) trackState(id, remote string) *sessionState {
+func (s *Server) trackState(id, remote, connID string) *sessionState {
 	st := &sessionState{snap: SessionSnapshot{
-		ID: id, Status: StatusRunning, Remote: remote, StartedAt: time.Now(),
+		ID: id, Status: StatusRunning, Remote: remote, ConnID: connID,
+		StartedAt: time.Now(),
 	}}
 	s.stateMu.Lock()
 	if s.states == nil {

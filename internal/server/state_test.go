@@ -47,10 +47,10 @@ func TestSessionRegistryLifecycleAndRetention(t *testing.T) {
 	s := NewServer()
 	s.SessionHistory = 2
 
-	a := s.trackState("a", "1.2.3.4:1")
-	b := s.trackState("b", "1.2.3.4:2")
-	c := s.trackState("c", "1.2.3.4:3")
-	s.trackState("d", "1.2.3.4:4")
+	a := s.trackState("a", "1.2.3.4:1", "conn-1")
+	b := s.trackState("b", "1.2.3.4:2", "conn-2")
+	c := s.trackState("c", "1.2.3.4:3", "conn-3")
+	s.trackState("d", "1.2.3.4:4", "conn-4")
 
 	if got := len(s.SessionSnapshots()); got != 4 {
 		t.Fatalf("4 running sessions, snapshots = %d", got)
@@ -82,7 +82,7 @@ func TestSessionRegistryLifecycleAndRetention(t *testing.T) {
 
 func TestRetuneStates(t *testing.T) {
 	s := NewServer()
-	st := s.trackState("live", "r:1")
+	st := s.trackState("live", "r:1", "conn-5")
 
 	if err := s.Retune("nope"); !errors.Is(err, ErrSessionUnknown) {
 		t.Errorf("Retune(unknown) = %v, want ErrSessionUnknown", err)

@@ -38,6 +38,25 @@ package server
 // keeping them JSON means every field (RSL, characteristics, window, warm)
 // rides along without a parallel binary schema.
 //
+// # Session multiplexing (v4-mux)
+//
+// A v3 connection whose first register envelope carries "mux":true becomes
+// a multiplexed connection: from the next frame onward, in both directions,
+// every frame carries a varint session token between the opcode and the
+// payload:
+//
+//	mux frame := length uint32-LE | opcode byte | session uvarint | body
+//
+// The negotiation register itself is a plain v3 frame (the server has not
+// agreed to mux yet when it reads it) and attaches session token 1; further
+// register envelopes — now token-stamped — attach additional sessions with
+// client-chosen tokens. Token 0 is reserved for connection-scope error
+// frames (unknown tokens, malformed frames that name no session). Apart
+// from the token, every frame is encoded exactly as on an un-muxed v3
+// connection: a mux connection carrying a single session produces the
+// identical frame sequence, token aside (and the "mux":true negotiation
+// field on the register envelope itself).
+//
 // Unlike v1, v3 does not acknowledge reports (v2 never did): the next
 // config is the flow control, which lets a lockstep client coalesce
 // report+fetch into a single socket write and halves the syscalls per
@@ -87,8 +106,15 @@ const (
 
 // garbageError marks a tolerable decode problem: the offending line or
 // frame was consumed whole, the stream is still in sync, and the session
-// can charge its failure budget and continue.
-type garbageError struct{ reason string }
+// can charge its failure budget and continue. On a mux connection a
+// garbage frame whose session token still parsed carries it (sess/hasSess),
+// so the fault routes to that session's failure budget instead of the
+// connection's.
+type garbageError struct {
+	reason  string
+	sess    uint64
+	hasSess bool
+}
 
 func (e *garbageError) Error() string { return e.reason }
 
@@ -233,10 +259,13 @@ func (t *binWire) sendBatch(ms ...message) error {
 // frameReader decodes v3 frames. The body scratch buffer is reused across
 // frames, so steady-state hot-path reads (fetch, report) allocate nothing;
 // decode copies every value that outlives the call (config values, error
-// strings, JSON envelopes) out of the scratch.
+// strings, JSON envelopes) out of the scratch. With mux set (a v4-mux
+// connection, after the negotiation register) every frame carries a varint
+// session token after the opcode, surfaced on message.sess.
 type frameReader struct {
 	r   *bufio.Reader
 	buf []byte
+	mux bool
 }
 
 func (fr *frameReader) read() (message, error) {
@@ -265,7 +294,30 @@ func (fr *frameReader) read() (message, error) {
 		}
 		return message{}, err
 	}
-	return decodeFrame(body)
+	if !fr.mux {
+		return decodeFrame(body)
+	}
+	// Mux frame: opcode, session token, then the ordinary payload. The
+	// token is sliced out in place — its last byte is overwritten with the
+	// opcode so decodeFrame sees a contiguous opcode+payload view without a
+	// copy — and stamped onto the decoded message (or, for payload garbage,
+	// onto the error, so the fault charges the right session's budget).
+	op := body[0]
+	tok, k := binary.Uvarint(body[1:])
+	if k <= 0 {
+		return message{}, &garbageError{reason: "v4 mux frame: malformed session token"}
+	}
+	body[k] = op
+	m, err := decodeFrame(body[k:])
+	if err != nil {
+		var g *garbageError
+		if errors.As(err, &g) {
+			g.sess, g.hasSess = tok, true
+		}
+		return message{}, err
+	}
+	m.sess, m.hasSess = tok, true
+	return m, nil
 }
 
 // decodeFrame parses one complete frame body (opcode + payload). All
@@ -417,10 +469,23 @@ func decodeID(m *message, rest []byte) ([]byte, bool) {
 
 // frameWriter encodes v3 frames into a reusable scratch buffer before
 // committing header+body to the bufio.Writer, so steady-state hot-path
-// sends (config, report, fetch) allocate nothing.
+// sends (config, report, fetch) allocate nothing. With mux set every frame
+// carries message.sess as a varint session token after the opcode; unset,
+// the emitted bytes are pinned to the historical v3 encoding.
 type frameWriter struct {
 	w       *bufio.Writer
 	scratch []byte
+	mux     bool
+}
+
+// open appends the opcode and, on a mux connection, the session token — the
+// shared prefix of every frame body.
+func (fw *frameWriter) open(body []byte, op byte, m message) []byte {
+	body = append(body, op)
+	if fw.mux {
+		body = binary.AppendUvarint(body, m.sess)
+	}
+	return body
 }
 
 // append encodes m as one frame onto the buffered writer without flushing.
@@ -434,21 +499,21 @@ func (fw *frameWriter) append(m message) error {
 	body := fw.scratch[:4] // length placeholder, filled below
 	switch m.Op {
 	case "fetch":
-		body = append(body, opFetch)
+		body = fw.open(body, opFetch, m)
 	case "ok":
-		body = append(body, opOK)
+		body = fw.open(body, opOK, m)
 	case "quit":
-		body = append(body, opQuit)
+		body = fw.open(body, opQuit, m)
 	case "error":
-		body = append(body, opError)
+		body = fw.open(body, opError, m)
 		body = append(body, m.Msg...)
 	case "config":
 		if fidelityOnWire(m.Fidelity) {
-			body = append(body, opConfigF)
+			body = fw.open(body, opConfigF, m)
 			body = appendID(body, m)
 			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Fidelity))
 		} else {
-			body = append(body, opConfig)
+			body = fw.open(body, opConfig, m)
 			body = appendID(body, m)
 		}
 		body = binary.AppendUvarint(body, uint64(len(m.Values)))
@@ -458,7 +523,7 @@ func (fw *frameWriter) append(m message) error {
 	case "report":
 		switch {
 		case len(m.Characteristics) > 0:
-			body = append(body, opReportC)
+			body = fw.open(body, opReportC, m)
 			body = appendID(body, m)
 			fid := m.Fidelity
 			if !fidelityOnWire(fid) {
@@ -466,11 +531,11 @@ func (fw *frameWriter) append(m message) error {
 			}
 			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(fid))
 		case fidelityOnWire(m.Fidelity):
-			body = append(body, opReportF)
+			body = fw.open(body, opReportF, m)
 			body = appendID(body, m)
 			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Fidelity))
 		default:
-			body = append(body, opReport)
+			body = fw.open(body, opReport, m)
 			body = appendID(body, m)
 		}
 		body = binary.LittleEndian.AppendUint64(body, math.Float64bits(m.Perf))
@@ -498,7 +563,7 @@ func (fw *frameWriter) append(m message) error {
 		if err != nil {
 			return err
 		}
-		body = append(body, op)
+		body = fw.open(body, op, m)
 		body = append(body, b...)
 	default:
 		return fmt.Errorf("server: cannot encode op %q as a v3 frame", m.Op)

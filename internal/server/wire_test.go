@@ -531,47 +531,77 @@ func FuzzV3FrameDecode(f *testing.F) {
 	f.Add([]byte{5, 0, 0, 0, opConfig, 0, 0xff})                           // lying value count
 	f.Add(frame(opFetch, nil)[:3])                                         // truncated header
 	f.Add(frame(opConfig, []byte{0, 2, 40, 90})[:7])                       // truncated body
+	// Mux-tokened frames (v4-mux): the same seeds with a varint session
+	// token between opcode and payload. Every input runs through both the
+	// plain and the mux reader below, so each of these also exercises
+	// token-bytes-on-an-unmuxed-connection, and the plain seeds above
+	// exercise missing-token-on-a-muxed-connection.
+	muxFrame := func(op byte, tok uint64, body []byte) []byte {
+		tb := binary.AppendUvarint(nil, tok)
+		b := make([]byte, 4, 5+len(tb)+len(body))
+		binary.LittleEndian.PutUint32(b, uint32(1+len(tb)+len(body)))
+		b = append(b, op)
+		b = append(b, tb...)
+		return append(b, body...)
+	}
+	f.Add(muxFrame(opFetch, 1, nil))
+	f.Add(muxFrame(opReport, 1, append([]byte{1, 7}, make([]byte, 8)...)))
+	f.Add(muxFrame(opConfig, 300, []byte{0, 2, 40, 90})) // two-byte varint token
+	f.Add(muxFrame(opRegister, 2, []byte(`{"op":"register","rsl":"{ harmonyBundle x { int {0 60 1} } }"}`)))
+	f.Add(muxFrame(opFetch, 99, nil))                      // unknown token: well-formed on the wire
+	f.Add(muxFrame(opError, 0, []byte("conn-scope")))      // reserved token 0
+	f.Add(frame(opFetch, bytes.Repeat([]byte{0x80}, 10)))  // unterminated uvarint token
+	f.Add(frame(opFetch, bytes.Repeat([]byte{0x80}, 3)))   // truncated uvarint token
+	f.Add(muxFrame(opReportF, 5, []byte{0, 1, 2, 3}))      // tokened short reportf body
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		fr := frameReader{r: bufio.NewReader(bytes.NewReader(data))}
-		for i := 0; i < 64; i++ {
-			m, err := fr.read()
-			if err != nil {
-				var g *garbageError
-				switch {
-				case errors.As(err, &g),
-					errors.Is(err, io.EOF),
-					errors.Is(err, io.ErrUnexpectedEOF),
-					errors.Is(err, errFrameTooBig):
-					// every failure must be one of the classified kinds
-				default:
-					t.Fatalf("unclassified frame error: %v", err)
+		// The same contract holds on both framings: never panic, classify
+		// every failure, and round-trip every decoded hot-path message.
+		for _, mux := range []bool{false, true} {
+			fr := frameReader{r: bufio.NewReader(bytes.NewReader(data)), mux: mux}
+			for i := 0; i < 64; i++ {
+				m, err := fr.read()
+				if err != nil {
+					var g *garbageError
+					switch {
+					case errors.As(err, &g),
+						errors.Is(err, io.EOF),
+						errors.Is(err, io.ErrUnexpectedEOF),
+						errors.Is(err, errFrameTooBig):
+						// every failure must be one of the classified kinds
+					default:
+						t.Fatalf("mux=%v: unclassified frame error: %v", mux, err)
+					}
+					if errors.As(err, &g) {
+						continue // in sync: keep reading
+					}
+					break
 				}
-				if errors.As(err, &g) {
-					continue // in sync: keep reading
+				if m.Op == "" {
+					t.Fatalf("mux=%v: decoded frame with empty op", mux)
 				}
-				return
-			}
-			if m.Op == "" {
-				t.Fatal("decoded frame with empty op")
-			}
-			// Round-trip stability for everything the writer can encode.
-			var buf bytes.Buffer
-			fw := frameWriter{w: bufio.NewWriter(&buf)}
-			if err := fw.append(m); err != nil {
-				t.Fatalf("re-encode of decoded %q failed: %v", m.Op, err)
-			}
-			fw.w.Flush()
-			rt := frameReader{r: bufio.NewReader(&buf)}
-			m2, err := rt.read()
-			if err != nil {
-				t.Fatalf("re-decode of %q failed: %v", m.Op, err)
-			}
-			if m2.Op != m.Op || m2.hasID != m.hasID || m2.id != m.id ||
-				m2.Fidelity != m.Fidelity ||
-				fmt.Sprint(m2.Values) != fmt.Sprint(m.Values) ||
-				(m2.Perf != m.Perf && !(m2.Perf != m2.Perf && m.Perf != m.Perf)) {
-				t.Fatalf("round trip changed the message:\n was %+v\n now %+v", m, m2)
+				if mux && !m.hasSess {
+					t.Fatalf("mux frame decoded without a session token: %+v", m)
+				}
+				// Round-trip stability for everything the writer can encode,
+				// token included.
+				var buf bytes.Buffer
+				fw := frameWriter{w: bufio.NewWriter(&buf), mux: mux}
+				if err := fw.append(m); err != nil {
+					t.Fatalf("mux=%v: re-encode of decoded %q failed: %v", mux, m.Op, err)
+				}
+				fw.w.Flush()
+				rt := frameReader{r: bufio.NewReader(&buf), mux: mux}
+				m2, err := rt.read()
+				if err != nil {
+					t.Fatalf("mux=%v: re-decode of %q failed: %v", mux, m.Op, err)
+				}
+				if m2.Op != m.Op || m2.hasID != m.hasID || m2.id != m.id ||
+					m2.Fidelity != m.Fidelity || m2.sess != m.sess ||
+					fmt.Sprint(m2.Values) != fmt.Sprint(m.Values) ||
+					(m2.Perf != m.Perf && !(m2.Perf != m2.Perf && m.Perf != m.Perf)) {
+					t.Fatalf("mux=%v: round trip changed the message:\n was %+v\n now %+v", mux, m, m2)
+				}
 			}
 		}
 	})
